@@ -1,0 +1,180 @@
+//! One Criterion benchmark per table/figure of the paper's evaluation.
+//!
+//! Each benchmark executes a scaled-down version of the corresponding
+//! experiment pipeline (short window, single seed, representative subset
+//! of points), so `cargo bench` continuously exercises the code that
+//! regenerates every published result and tracks its cost over time. The
+//! full-fidelity runs live in the `nocout-experiments` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nocout::prelude::*;
+use nocout_bench::bench_window;
+use nocout_noc::topology::fbfly::FbflySpec;
+use nocout_noc::topology::mesh::MeshSpec;
+use nocout_noc::topology::nocout::NocOutSpec;
+use nocout_tech::area::{NocAreaModel, OrganizationArea};
+use nocout_tech::{BufferTech, NocEnergyModel};
+use std::hint::black_box;
+
+fn run_point(org: Organization, workload: Workload, cores: usize) -> f64 {
+    let spec = RunSpec {
+        chip: ChipConfig::with_cores(org, cores),
+        workload,
+        window: bench_window(),
+        seed: 1,
+    };
+    nocout::run(&spec).aggregate_ipc()
+}
+
+/// Fig. 1: core-count sweep on the analytic fabrics.
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("bench_fig1", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [4usize, 16, 64] {
+                acc += run_point(Organization::IdealWire, Workload::DataServing, n);
+                acc += run_point(Organization::ZeroLoadMesh, Workload::DataServing, n);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Fig. 4: snoop-rate measurement.
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("bench_fig4", |b| {
+        b.iter(|| {
+            let spec = RunSpec {
+                chip: ChipConfig::paper(Organization::Mesh),
+                workload: Workload::SatSolver,
+                window: bench_window(),
+                seed: 1,
+            };
+            black_box(nocout::run(&spec).llc.snoop_percent())
+        })
+    });
+}
+
+/// Fig. 7: one workload across the three organizations.
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("bench_fig7", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for org in Organization::EVALUATED {
+                acc += run_point(org, Workload::WebSearch, 64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Fig. 8: the full area breakdown of all three organizations.
+fn bench_fig8(c: &mut Criterion) {
+    let model = NocAreaModel::paper_32nm();
+    c.bench_function("bench_fig8", |b| {
+        b.iter(|| {
+            let mesh = model.area(&OrganizationArea::mesh(&MeshSpec::paper_64()));
+            let fb = model.area(&OrganizationArea::fbfly(&FbflySpec::paper_64()));
+            let no = model.area(&OrganizationArea::nocout(&NocOutSpec::paper_64()));
+            black_box(mesh.total_mm2() + fb.total_mm2() + no.total_mm2())
+        })
+    });
+}
+
+/// Fig. 9: the width-fitting search plus one area-normalized run.
+fn bench_fig9(c: &mut Criterion) {
+    let model = NocAreaModel::paper_32nm();
+    c.bench_function("bench_fig9", |b| {
+        b.iter(|| {
+            let budget = model
+                .area(&OrganizationArea::nocout(&NocOutSpec::paper_64()))
+                .total_mm2();
+            let (mesh_w, _) = model.fit_width_to_budget(budget, |w| {
+                OrganizationArea::mesh_with_width(&MeshSpec::paper_64(), w)
+            });
+            let spec = RunSpec {
+                chip: ChipConfig::paper(Organization::Mesh).with_link_width(mesh_w),
+                workload: Workload::WebSearch,
+                window: bench_window(),
+                seed: 1,
+            };
+            black_box(nocout::run(&spec).aggregate_ipc())
+        })
+    });
+}
+
+/// §6.4: energy accounting over measured activity.
+fn bench_power(c: &mut Criterion) {
+    c.bench_function("bench_power", |b| {
+        let spec = RunSpec {
+            chip: ChipConfig::paper(Organization::NocOut),
+            workload: Workload::MapReduceC,
+            window: bench_window(),
+            seed: 1,
+        };
+        let metrics = nocout::run(&spec);
+        let model = NocEnergyModel::paper_32nm(128, BufferTech::FlipFlop).with_radix(2.8);
+        b.iter(|| black_box(model.energy(&metrics.noc_activity()).power_w()))
+    });
+}
+
+/// Table 1: configuration construction (kept honest and cheap).
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("bench_table1", |b| {
+        b.iter(|| {
+            let cfg = ChipConfig::paper(Organization::NocOut);
+            black_box((cfg.nocout_spec().cores(), cfg.llc_tiles()))
+        })
+    });
+}
+
+/// §4.3: the banking sweep at one point.
+fn bench_banking(c: &mut Criterion) {
+    c.bench_function("bench_banking", |b| {
+        b.iter(|| {
+            let mut cfg = ChipConfig::paper(Organization::NocOut);
+            cfg.banks_per_llc_tile = 4;
+            let spec = RunSpec {
+                chip: cfg,
+                workload: Workload::DataServing,
+                window: bench_window(),
+                seed: 1,
+            };
+            black_box(nocout::run(&spec).aggregate_ipc())
+        })
+    });
+}
+
+/// §7.1: a concentrated 128-core NOC-Out build + short run.
+fn bench_scalability(c: &mut Criterion) {
+    c.bench_function("bench_scalability", |b| {
+        b.iter(|| {
+            let mut cfg = ChipConfig::with_cores(Organization::NocOut, 128);
+            cfg.concentration = 2;
+            cfg.active_core_override = Some(128);
+            cfg.mem_channels = 8;
+            let spec = RunSpec {
+                chip: cfg,
+                workload: Workload::MapReduceC,
+                window: bench_window(),
+                seed: 1,
+            };
+            black_box(nocout::run(&spec).aggregate_ipc())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_fig1, bench_fig4, bench_fig7, bench_fig8, bench_fig9,
+              bench_power, bench_table1, bench_banking, bench_scalability
+}
+criterion_main!(figures);

@@ -1,0 +1,187 @@
+//! Microbenchmarks of the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nocout_cpu::source::InstructionSource;
+use nocout_mem::addr::Addr;
+use nocout_mem::cache::{CacheArray, CacheGeometry};
+use nocout_mem::llc::{LlcConfig, LlcInput, LlcTile};
+use nocout_mem::protocol::{CoreId, RequestKind, TxnId};
+use nocout_noc::topology::mesh::{build_mesh, MeshSpec};
+use nocout_noc::topology::nocout::{build_nocout, NocOutSpec};
+use nocout_noc::types::MessageClass;
+use nocout_sim::rng::{SimRng, Zipf};
+use nocout_sim::Cycle;
+use nocout_workloads::{Workload, WorkloadGen};
+use std::hint::black_box;
+
+/// Flit-level mesh under sustained random traffic: cycles per second.
+fn bench_mesh_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("mesh_64_tick_1k_cycles_loaded", |b| {
+        let mut mesh = build_mesh(&MeshSpec::paper_64());
+        let terms = mesh.tile_terminals.clone();
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            for _ in 0..1000 {
+                // ~0.5 packets injected per cycle.
+                if rng.chance(0.5) {
+                    let s = rng.next_below(64) as usize;
+                    let d = rng.next_below(64) as usize;
+                    mesh.network
+                        .inject(terms[s], terms[d], MessageClass::Response, 64, 0);
+                }
+                mesh.network.tick();
+                for t in &terms {
+                    while mesh.network.poll(*t).is_some() {}
+                }
+            }
+            black_box(mesh.network.now())
+        })
+    });
+    g.bench_function("nocout_64_tick_1k_cycles_loaded", |b| {
+        let mut n = build_nocout(&NocOutSpec::paper_64());
+        let cores = n.core_terminals.clone();
+        let llcs = n.llc_terminals.clone();
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            for _ in 0..1000 {
+                if rng.chance(0.5) {
+                    let s = rng.next_below(64) as usize;
+                    let d = rng.next_below(8) as usize;
+                    n.network
+                        .inject(cores[s], llcs[d], MessageClass::Request, 0, 0);
+                }
+                n.network.tick();
+                for t in cores.iter().chain(llcs.iter()) {
+                    while n.network.poll(*t).is_some() {}
+                }
+            }
+            black_box(n.network.now())
+        })
+    });
+    g.finish();
+}
+
+/// Full-system cycle cost.
+fn bench_chip_tick(c: &mut Criterion) {
+    use nocout::prelude::*;
+    let mut g = c.benchmark_group("chip");
+    g.throughput(Throughput::Elements(1000));
+    for org in [Organization::Mesh, Organization::NocOut] {
+        g.bench_function(format!("{org}_tick_1k_cycles"), |b| {
+            let mut chip = nocout::ScaleOutChip::new(
+                ChipConfig::paper(org),
+                Workload::MapReduceC,
+                1,
+            );
+            b.iter(|| {
+                for _ in 0..1000 {
+                    chip.tick();
+                }
+                black_box(chip.now())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// LLC tile: request service throughput.
+fn bench_llc(c: &mut Criterion) {
+    c.bench_function("llc_tile_1k_hits", |b| {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        // Warm 1k lines.
+        for i in 0..1000u64 {
+            tile.warm(Addr::from_line_index(i));
+        }
+        let mut now = Cycle(0);
+        b.iter(|| {
+            for i in 0..1000u64 {
+                tile.submit(LlcInput::Core {
+                    txn: TxnId(i as u32),
+                    core: CoreId((i % 64) as u16),
+                    addr: Addr::from_line_index(i % 1000),
+                    kind: RequestKind::GetS,
+                });
+                tile.tick(now);
+                while tile.pop_ready(now).is_some() {}
+                now += 1;
+            }
+            black_box(tile.stats.accesses.value())
+        })
+    });
+}
+
+/// Tag-array operations.
+fn bench_cache_array(c: &mut Criterion) {
+    c.bench_function("cache_array_lookup_insert", |b| {
+        let mut cache = CacheArray::new(CacheGeometry::llc_slice(1024 * 1024));
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            for _ in 0..1000 {
+                let a = Addr::from_line_index(rng.next_below(100_000));
+                if cache.lookup(a) == nocout_mem::cache::Lookup::Miss {
+                    cache.insert(a, false);
+                }
+            }
+            black_box(cache.valid_lines())
+        })
+    });
+}
+
+/// Workload stream generation.
+fn bench_workload_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("data_serving_next_instr", |b| {
+        let mut gen = WorkloadGen::new(Workload::DataServing.profile(), 0, 1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= gen.next_instr().fetch_line.0;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// RNG and Zipf sampling.
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_u64_x1000", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("zipf_sample_x1000", |b| {
+        let zipf = Zipf::new(96 * 1024, 0.6);
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc ^= zipf.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = micro;
+    config = config();
+    targets = bench_mesh_tick, bench_chip_tick, bench_llc, bench_cache_array,
+              bench_workload_gen, bench_rng
+}
+criterion_main!(micro);

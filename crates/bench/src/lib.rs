@@ -1,0 +1,19 @@
+//! Benchmark support crate.
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `figures` — one Criterion benchmark per paper table/figure
+//!   (`bench_fig1`, `bench_fig4`, `bench_fig7`, `bench_fig8`,
+//!   `bench_fig9`, `bench_power`, `bench_table1`, `bench_banking`,
+//!   `bench_scalability`), each exercising a scaled-down version of the
+//!   corresponding experiment pipeline,
+//! * `micro` — microbenchmarks of the simulator's hot paths (network
+//!   tick, LLC tile, L1, workload generation, RNG).
+//!
+//! Run with `cargo bench -p nocout-bench`. The full-fidelity experiment
+//! binaries live in `nocout-experiments`.
+
+/// A short measurement window for benchmark-scale simulations.
+pub fn bench_window() -> nocout_sim::config::MeasurementWindow {
+    nocout_sim::config::MeasurementWindow::new(500, 1_500)
+}

@@ -1,0 +1,797 @@
+//! The full-system chip model: cores + L1s + LLC tiles + directory +
+//! memory channels, bound together by an interconnect fabric.
+//!
+//! This is the piece that corresponds to the paper's Flexus full-system
+//! timing simulation (§5.4): every protocol message physically traverses
+//! the configured NoC, LLC banks arbitrate among requests, memory channels
+//! queue, and cores stall exactly as their fills come back.
+
+use crate::config::{ChipConfig, Organization};
+use crate::metrics::{LlcSummary, MemSummary, NetSummary, SystemMetrics};
+use nocout_cpu::{Core, CoreConfig, MissRequest};
+use nocout_mem::addr::{Addr, AddressMap};
+use nocout_mem::llc::{LlcConfig, LlcInput, LlcOutput, LlcTile};
+use nocout_mem::mem_ctrl::{MemChannelConfig, MemRequest, MemoryChannel};
+use nocout_mem::protocol::{AccessKind, CoreId, Msg, MsgSlab, TxnId};
+use nocout_noc::fabric::Fabric;
+use nocout_noc::latency::LatencyFabric;
+use nocout_noc::topology::ideal::{build_analytic, AnalyticKind, AnalyticSpec};
+use nocout_noc::topology::{fbfly::build_fbfly, mesh::build_mesh, nocout::build_nocout};
+use nocout_noc::types::{MessageClass, TerminalId};
+use nocout_sim::Cycle;
+use nocout_workloads::{Workload, WorkloadGen};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TermInfo {
+    core: Option<usize>,
+    llc: Option<usize>,
+    mem: Option<usize>,
+}
+
+#[derive(Debug)]
+struct TxnTable {
+    entries: Vec<Option<(u16, Addr, AccessKind)>>,
+    free: Vec<u32>,
+}
+
+impl TxnTable {
+    fn new() -> Self {
+        TxnTable {
+            entries: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, core: u16, line: Addr, kind: AccessKind) -> TxnId {
+        if let Some(i) = self.free.pop() {
+            self.entries[i as usize] = Some((core, line, kind));
+            TxnId(i)
+        } else {
+            self.entries.push(Some((core, line, kind)));
+            TxnId((self.entries.len() - 1) as u32)
+        }
+    }
+
+    fn release(&mut self, txn: TxnId) -> (u16, Addr, AccessKind) {
+        let rec = self.entries[txn.0 as usize]
+            .take()
+            .expect("transaction must be live");
+        self.free.push(txn.0);
+        rec
+    }
+
+    fn live(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+}
+
+/// The simulated chip.
+///
+/// # Examples
+///
+/// Run a few thousand cycles of Web Search on NOC-Out:
+///
+/// ```
+/// use nocout::chip::ScaleOutChip;
+/// use nocout::config::{ChipConfig, Organization};
+/// use nocout_workloads::Workload;
+///
+/// let mut chip = ScaleOutChip::new(
+///     ChipConfig::paper(Organization::NocOut),
+///     Workload::WebSearch,
+///     42,
+/// );
+/// for _ in 0..2000 {
+///     chip.tick();
+/// }
+/// assert!(chip.metrics().instructions > 0);
+/// ```
+pub struct ScaleOutChip {
+    cfg: ChipConfig,
+    fabric: Box<dyn Fabric>,
+    cores: Vec<Core>,
+    /// (core index, its instruction stream) for every active core.
+    active: Vec<(usize, WorkloadGen)>,
+    llcs: Vec<LlcTile>,
+    channels: Vec<MemoryChannel>,
+    msgs: MsgSlab,
+    txns: TxnTable,
+    map: AddressMap,
+    core_term: Vec<TerminalId>,
+    llc_term: Vec<TerminalId>,
+    mc_term: Vec<TerminalId>,
+    term_info: Vec<TermInfo>,
+    now: Cycle,
+    req_buf: Vec<MissRequest>,
+}
+
+impl std::fmt::Debug for ScaleOutChip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScaleOutChip")
+            .field("organization", &self.cfg.organization)
+            .field("cores", &self.cores.len())
+            .field("active", &self.active.len())
+            .field("llc_tiles", &self.llcs.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl ScaleOutChip {
+    /// Builds a chip running `workload` with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configurations (e.g. a core count the
+    /// organization cannot lay out).
+    pub fn new(cfg: ChipConfig, workload: Workload, seed: u64) -> Self {
+        let profile = workload.profile();
+        let (fabric, core_term, llc_term, mc_term, active_order): (
+            Box<dyn Fabric>,
+            Vec<TerminalId>,
+            Vec<TerminalId>,
+            Vec<TerminalId>,
+            Vec<usize>,
+        ) = match cfg.organization {
+            Organization::Mesh => {
+                let built = build_mesh(&cfg.mesh_spec());
+                let order = center_first_order(built.cols, built.rows);
+                (
+                    Box::new(built.network),
+                    built.tile_terminals.clone(),
+                    built.tile_terminals,
+                    built.mc_terminals,
+                    order,
+                )
+            }
+            Organization::FlattenedButterfly => {
+                let built = build_fbfly(&cfg.fbfly_spec());
+                let order = center_first_order(built.cols, built.rows);
+                (
+                    Box::new(built.network),
+                    built.tile_terminals.clone(),
+                    built.tile_terminals,
+                    built.mc_terminals,
+                    order,
+                )
+            }
+            Organization::NocOut => {
+                let built = build_nocout(&cfg.nocout_spec());
+                // LLC-adjacent cores first (§5.3: 16-core workloads run on
+                // the core tiles adjacent to the LLC).
+                let mut order: Vec<usize> = (0..built.core_terminals.len()).collect();
+                order.sort_by_key(|&c| (built.core_depth(c), c));
+                (
+                    Box::new(built.network),
+                    built.core_terminals,
+                    built.llc_terminals,
+                    built.mc_terminals,
+                    order,
+                )
+            }
+            Organization::IdealWire | Organization::ZeroLoadMesh => {
+                let kind = if cfg.organization == Organization::IdealWire {
+                    AnalyticKind::IdealWire
+                } else {
+                    AnalyticKind::ZeroLoadMesh
+                };
+                let mut spec = AnalyticSpec::for_tiles(cfg.cores, kind);
+                spec.link_width_bits = cfg.link_width_bits;
+                spec.num_memory_channels = cfg.mem_channels;
+                let fab: LatencyFabric = build_analytic(&spec);
+                let tiles: Vec<TerminalId> =
+                    (0..cfg.cores as u16).map(TerminalId).collect();
+                let mcs: Vec<TerminalId> = (0..cfg.mem_channels as u16)
+                    .map(|k| TerminalId(cfg.cores as u16 + k))
+                    .collect();
+                let order = center_first_order(spec.cols, spec.rows);
+                (Box::new(fab), tiles.clone(), tiles, mcs, order)
+            }
+        };
+
+        let llc_tiles = llc_term.len();
+        let banks = if cfg.organization == Organization::NocOut {
+            cfg.banks_per_llc_tile
+        } else {
+            1
+        };
+        let map = AddressMap::new(llc_tiles, banks, cfg.mem_channels);
+        let slice_bytes = cfg.llc_total_bytes / llc_tiles as u64;
+        let llc_cfg = LlcConfig {
+            slice_bytes,
+            banks,
+            ..if cfg.organization == Organization::NocOut {
+                LlcConfig::nocout_tile()
+            } else {
+                LlcConfig::tiled_slice()
+            }
+        };
+        let llcs = (0..llc_tiles)
+            .map(|i| LlcTile::new(llc_cfg.at_position(i, llc_tiles)))
+            .collect();
+        let channels = (0..cfg.mem_channels)
+            .map(|_| MemoryChannel::new(MemChannelConfig::default()))
+            .collect();
+        let cores: Vec<Core> = (0..cfg.cores).map(|_| Core::new(CoreConfig::a15())).collect();
+
+        // Reverse terminal map.
+        let max_term = core_term
+            .iter()
+            .chain(llc_term.iter())
+            .chain(mc_term.iter())
+            .map(|t| t.index())
+            .max()
+            .expect("at least one terminal")
+            + 1;
+        let mut term_info = vec![TermInfo::default(); max_term];
+        for (i, t) in core_term.iter().enumerate() {
+            term_info[t.index()].core = Some(i);
+        }
+        for (i, t) in llc_term.iter().enumerate() {
+            term_info[t.index()].llc = Some(i);
+        }
+        for (i, t) in mc_term.iter().enumerate() {
+            term_info[t.index()].mem = Some(i);
+        }
+
+        // Activate the first `n` cores in the organization's preferred
+        // placement order.
+        let n_active = cfg
+            .active_core_override
+            .unwrap_or_else(|| profile.active_cores(cfg.cores))
+            .min(cfg.cores);
+        let active = active_order[..n_active]
+            .iter()
+            .map(|&c| (c, WorkloadGen::new(profile, c as u16, seed)))
+            .collect();
+
+        let mut chip = ScaleOutChip {
+            cfg,
+            fabric,
+            cores,
+            active,
+            llcs,
+            channels,
+            msgs: MsgSlab::new(),
+            txns: TxnTable::new(),
+            map,
+            core_term,
+            llc_term,
+            mc_term,
+            term_info,
+            now: Cycle::ZERO,
+            req_buf: Vec::new(),
+        };
+        chip.warm_caches();
+        chip
+    }
+
+    /// Checkpoint-style cache warming (§5.4: the paper launches from
+    /// checkpoints with warmed caches): the shared instruction footprint,
+    /// the LLC-resident data region and the shared read-write region are
+    /// installed in the LLC; each active core's hot instruction set and
+    /// local data set are installed in its L1s.
+    fn warm_caches(&mut self) {
+        use nocout_mem::addr::LINE_BYTES;
+        use nocout_workloads::gen::{INSTR_BASE, LLC_DATA_BASE, SHARED_RW_BASE};
+        let profile = match self.active.first() {
+            Some((_, g)) => *g.profile(),
+            None => return,
+        };
+        for i in 0..profile.instr_footprint_lines as u64 {
+            let addr = Addr(INSTR_BASE + i * LINE_BYTES);
+            self.llcs[self.map.home_tile(addr)].warm(addr);
+        }
+        for i in 0..profile.llc_resident_lines as u64 {
+            let addr = Addr(LLC_DATA_BASE + i * LINE_BYTES);
+            self.llcs[self.map.home_tile(addr)].warm(addr);
+        }
+        for i in 0..profile.shared_rw_lines as u64 {
+            let addr = Addr(SHARED_RW_BASE + i * LINE_BYTES);
+            self.llcs[self.map.home_tile(addr)].warm(addr);
+        }
+        for ai in 0..self.active.len() {
+            let (c, _) = self.active[ai];
+            let hot: Vec<Addr> = self.active[ai].1.hot_instr_lines().collect();
+            let local: Vec<Addr> = self.active[ai].1.local_data_lines().collect();
+            for addr in hot {
+                self.cores[c].warm_l1i(addr);
+            }
+            for addr in local {
+                self.cores[c].warm_l1d(addr);
+            }
+        }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> ChipConfig {
+        self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of cores running the workload.
+    pub fn active_cores(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Protocol messages currently in flight (network + tables).
+    pub fn inflight_messages(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Outstanding core transactions.
+    pub fn inflight_transactions(&self) -> usize {
+        self.txns.live()
+    }
+
+    fn inject(&mut self, src: TerminalId, dst: TerminalId, msg: Msg) {
+        let class = msg.class();
+        let payload = msg.payload_bytes();
+        let token = self.msgs.insert(msg);
+        self.fabric.inject(src, dst, class, payload, token);
+    }
+
+    /// Advances the chip by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+
+        // 1. Cores execute and emit miss requests.
+        let mut injections: Vec<(TerminalId, TerminalId, Msg)> = Vec::new();
+        for ai in 0..self.active.len() {
+            let (c, _) = self.active[ai];
+            let (core_idx, source) = {
+                let entry = &mut self.active[ai];
+                (entry.0, &mut entry.1)
+            };
+            self.req_buf.clear();
+            self.cores[core_idx].tick(now, source, &mut self.req_buf);
+            for r in self.req_buf.drain(..) {
+                let txn = self.txns.alloc(c as u16, r.line, r.kind);
+                let home = self.map.home_tile(r.line);
+                injections.push((
+                    self.core_term[c],
+                    self.llc_term[home],
+                    Msg::CoreRequest {
+                        txn,
+                        core: CoreId(c as u16),
+                        addr: r.line,
+                        kind: r.kind.request(),
+                    },
+                ));
+            }
+        }
+        for (src, dst, msg) in injections.drain(..) {
+            self.inject(src, dst, msg);
+        }
+
+        // 2. LLC tiles process and emit protocol messages.
+        for i in 0..self.llcs.len() {
+            self.llcs[i].tick(now);
+            while let Some(out) = self.llcs[i].pop_ready(now) {
+                let (src, dst, msg) = self.convert_llc_output(i, out);
+                injections.push((src, dst, msg));
+            }
+        }
+        for (src, dst, msg) in injections.drain(..) {
+            self.inject(src, dst, msg);
+        }
+
+        // 3. Memory channels complete reads.
+        for k in 0..self.channels.len() {
+            for token in self.channels[k].tick(now) {
+                let home = match self.msgs.get(token) {
+                    Msg::MemData { home, .. } => *home as usize,
+                    other => unreachable!("unexpected memory completion {other:?}"),
+                };
+                self.fabric.inject(
+                    self.mc_term[k],
+                    self.llc_term[home],
+                    MessageClass::Response,
+                    nocout_mem::LINE_BYTES as u32,
+                    token,
+                );
+            }
+        }
+
+        // 4. The interconnect moves flits.
+        self.fabric.tick();
+
+        // 5. Deliveries resume protocol FSMs.
+        for t in 0..self.term_info.len() {
+            while let Some(delivery) = self.fabric.poll(TerminalId(t as u16)) {
+                self.dispatch(t, delivery.packet.token, now);
+            }
+        }
+
+        self.now.0 += 1;
+    }
+
+    fn convert_llc_output(
+        &mut self,
+        tile: usize,
+        out: LlcOutput,
+    ) -> (TerminalId, TerminalId, Msg) {
+        let src = self.llc_term[tile];
+        match out {
+            LlcOutput::Data { txn, to } => {
+                (src, self.core_term[to.index()], Msg::Data { txn })
+            }
+            LlcOutput::FwdGetS {
+                txn,
+                owner,
+                requester,
+                addr,
+            } => (
+                src,
+                self.core_term[owner.index()],
+                Msg::FwdGetS {
+                    txn,
+                    requester,
+                    addr,
+                },
+            ),
+            LlcOutput::FwdGetX {
+                txn,
+                owner,
+                requester,
+                addr,
+            } => (
+                src,
+                self.core_term[owner.index()],
+                Msg::FwdGetX {
+                    txn,
+                    requester,
+                    addr,
+                },
+            ),
+            LlcOutput::Inv { mshr, sharer, addr } => (
+                src,
+                self.core_term[sharer.index()],
+                Msg::Inv {
+                    mshr,
+                    home: tile as u16,
+                    addr,
+                },
+            ),
+            LlcOutput::MemRead { mshr, addr } => {
+                let ch = self.map.memory_channel(addr);
+                (
+                    src,
+                    self.mc_term[ch],
+                    Msg::MemRead {
+                        mshr,
+                        home: tile as u16,
+                        addr,
+                    },
+                )
+            }
+            LlcOutput::MemWrite { addr } => {
+                let ch = self.map.memory_channel(addr);
+                (src, self.mc_term[ch], Msg::MemWrite { addr })
+            }
+        }
+    }
+
+    fn dispatch(&mut self, terminal: usize, token: u64, now: Cycle) {
+        let info = self.term_info[terminal];
+        let msg = self.msgs.take(token);
+        match msg {
+            Msg::CoreRequest {
+                txn,
+                core,
+                addr,
+                kind,
+            } => {
+                let llc = info.llc.expect("CoreRequest must land on an LLC tile");
+                self.llcs[llc].submit(LlcInput::Core {
+                    txn,
+                    core,
+                    addr,
+                    kind,
+                });
+            }
+            Msg::WriteBack { core, addr } => {
+                let llc = info.llc.expect("WriteBack must land on an LLC tile");
+                self.llcs[llc].submit(LlcInput::WriteBack { core, addr });
+            }
+            Msg::InvAck { mshr } => {
+                let llc = info.llc.expect("InvAck must land on an LLC tile");
+                self.llcs[llc].submit(LlcInput::InvAck { mshr });
+            }
+            Msg::MemData { mshr, .. } => {
+                let llc = info.llc.expect("MemData must land on an LLC tile");
+                self.llcs[llc].submit(LlcInput::MemData { mshr });
+            }
+            Msg::Data { txn } => {
+                let (core, line, kind) = self.txns.release(txn);
+                let c = core as usize;
+                debug_assert_eq!(info.core, Some(c));
+                if kind.is_ifetch() {
+                    self.cores[c].fill_ifetch(line, now);
+                } else if let Some(victim) = self.cores[c].fill_data(line, now) {
+                    if victim.dirty {
+                        let home = self.map.home_tile(victim.addr);
+                        self.inject(
+                            self.core_term[c],
+                            self.llc_term[home],
+                            Msg::WriteBack {
+                                core: CoreId(core),
+                                addr: victim.addr,
+                            },
+                        );
+                    }
+                }
+            }
+            Msg::FwdGetS {
+                txn,
+                requester,
+                addr,
+            } => {
+                let c = info.core.expect("snoop must land on a core");
+                self.cores[c].snoop_downgrade(addr);
+                // The owner supplies the line straight to the requester
+                // (an L1-to-L1 forward; in NOC-Out it physically transits
+                // the LLC region).
+                self.inject(
+                    self.core_term[c],
+                    self.core_term[requester.index()],
+                    Msg::Data { txn },
+                );
+            }
+            Msg::FwdGetX {
+                txn,
+                requester,
+                addr,
+            } => {
+                let c = info.core.expect("snoop must land on a core");
+                self.cores[c].snoop_invalidate(addr);
+                self.inject(
+                    self.core_term[c],
+                    self.core_term[requester.index()],
+                    Msg::Data { txn },
+                );
+            }
+            Msg::Inv { mshr, home, addr } => {
+                let c = info.core.expect("invalidation must land on a core");
+                self.cores[c].snoop_invalidate(addr);
+                self.inject(
+                    self.core_term[c],
+                    self.llc_term[home as usize],
+                    Msg::InvAck { mshr },
+                );
+            }
+            Msg::MemRead { mshr, home, addr } => {
+                let ch = info.mem.expect("MemRead must land on a memory channel");
+                let token = self.msgs.insert(Msg::MemData { mshr, home });
+                self.channels[ch].push(MemRequest::Read { token }, now);
+                let _ = addr;
+            }
+            Msg::MemWrite { .. } => {
+                let ch = info.mem.expect("MemWrite must land on a memory channel");
+                self.channels[ch].push(MemRequest::Write, now);
+            }
+        }
+    }
+
+    /// Resets all statistics at the warmup/measurement boundary.
+    pub fn reset_stats(&mut self) {
+        for (c, _) in &self.active {
+            self.cores[*c].stats.reset();
+        }
+        for llc in &mut self.llcs {
+            llc.stats.reset();
+        }
+        for ch in &mut self.channels {
+            ch.reads.reset();
+            ch.writes.reset();
+            ch.queue_cycles.reset();
+        }
+        self.fabric.reset_stats();
+    }
+
+    /// Collects the metrics accumulated since the last reset.
+    pub fn metrics(&self) -> SystemMetrics {
+        let mut per_core_ipc = vec![0.0; self.cores.len()];
+        let mut instructions = 0u64;
+        let mut cycles = 0u64;
+        let mut fetch_stall = 0u64;
+        let mut core_cycles = 0u64;
+        for (c, _) in &self.active {
+            let s = &self.cores[*c].stats;
+            per_core_ipc[*c] = s.ipc();
+            instructions += s.retired.value();
+            cycles = cycles.max(s.cycles.value());
+            fetch_stall += s.fetch_stall_cycles.value();
+            core_cycles += s.cycles.value();
+        }
+        let mut llc = LlcSummary::default();
+        for tile in &self.llcs {
+            llc.accesses += tile.stats.accesses.value();
+            llc.hits += tile.stats.hits.value();
+            llc.misses += tile.stats.misses.value();
+            llc.snoops_sent += tile.stats.snoops_sent.value();
+            llc.snooping_accesses += tile.stats.snooping_accesses.value();
+            llc.writebacks += tile.stats.writebacks.value();
+        }
+        let ns = self.fabric.stats();
+        let network = NetSummary {
+            packets: ns.packets_delivered.value(),
+            mean_latency: ns.mean_latency(),
+            mean_request_latency: ns.mean_class_latency(MessageClass::Request),
+            mean_response_latency: ns.mean_class_latency(MessageClass::Response),
+            p50_latency: ns.latency_hist.percentile(0.5),
+            p99_latency: ns.latency_hist.percentile(0.99),
+            flit_mm: ns.flit_mm,
+            buffer_writes: ns.buffer_writes.value(),
+            buffer_reads: ns.buffer_reads.value(),
+            xbar_traversals: ns.xbar_traversals.value(),
+        };
+        let mut memory = MemSummary::default();
+        for ch in &self.channels {
+            memory.reads += ch.reads.value();
+            memory.writes += ch.writes.value();
+        }
+        SystemMetrics {
+            per_core_ipc,
+            active_cores: self.active.len(),
+            cycles,
+            instructions,
+            fetch_stall_fraction: if core_cycles == 0 {
+                0.0
+            } else {
+                fetch_stall as f64 / core_cycles as f64
+            },
+            llc,
+            network,
+            memory,
+        }
+    }
+}
+
+/// Tile indices ordered centre-out: the paper runs 16-core workloads on
+/// the 16 tiles in the centre of the tiled die (§5.3).
+fn center_first_order(cols: usize, rows: usize) -> Vec<usize> {
+    let cx = (cols as f64 - 1.0) / 2.0;
+    let cy = (rows as f64 - 1.0) / 2.0;
+    let mut order: Vec<usize> = (0..cols * rows).collect();
+    order.sort_by(|&a, &b| {
+        let da = ((a % cols) as f64 - cx).powi(2) + ((a / cols) as f64 - cy).powi(2);
+        let db = ((b % cols) as f64 - cx).powi(2) + ((b / cols) as f64 - cy).powi(2);
+        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cycles(chip: &mut ScaleOutChip, n: u64) {
+        for _ in 0..n {
+            chip.tick();
+        }
+    }
+
+    #[test]
+    fn center_order_prefers_middle_tiles() {
+        let order = center_first_order(8, 8);
+        let center16: Vec<usize> = order[..16].to_vec();
+        for &tile in &center16 {
+            let (c, r) = (tile % 8, tile / 8);
+            assert!((2..=5).contains(&c) && (2..=5).contains(&r), "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn mesh_chip_makes_progress() {
+        let mut chip = ScaleOutChip::new(
+            ChipConfig::paper(Organization::Mesh),
+            Workload::MapReduceC,
+            1,
+        );
+        run_cycles(&mut chip, 3000);
+        let m = chip.metrics();
+        assert!(m.instructions > 1000, "retired {}", m.instructions);
+        assert!(m.llc.accesses > 0);
+        assert!(m.network.packets > 0);
+    }
+
+    #[test]
+    fn nocout_chip_makes_progress() {
+        let mut chip = ScaleOutChip::new(
+            ChipConfig::paper(Organization::NocOut),
+            Workload::MapReduceC,
+            1,
+        );
+        run_cycles(&mut chip, 3000);
+        assert!(chip.metrics().instructions > 1000);
+    }
+
+    #[test]
+    fn analytic_fabrics_run() {
+        for org in [Organization::IdealWire, Organization::ZeroLoadMesh] {
+            let mut chip = ScaleOutChip::new(
+                ChipConfig::with_cores(org, 4),
+                Workload::DataServing,
+                3,
+            );
+            run_cycles(&mut chip, 2000);
+            assert!(chip.metrics().instructions > 100, "{org}");
+        }
+    }
+
+    #[test]
+    fn sixteen_core_workload_activates_sixteen() {
+        let chip = ScaleOutChip::new(
+            ChipConfig::paper(Organization::NocOut),
+            Workload::WebSearch,
+            1,
+        );
+        assert_eq!(chip.active_cores(), 16);
+    }
+
+    #[test]
+    fn memory_traffic_flows() {
+        let mut chip = ScaleOutChip::new(
+            ChipConfig::paper(Organization::Mesh),
+            Workload::DataServing,
+            7,
+        );
+        run_cycles(&mut chip, 5000);
+        let m = chip.metrics();
+        assert!(m.memory.reads > 0, "vast dataset must reach memory");
+        assert!(m.llc.misses > 0);
+    }
+
+    #[test]
+    fn snoops_occur_but_rarely() {
+        let mut chip = ScaleOutChip::new(
+            ChipConfig::paper(Organization::Mesh),
+            Workload::SatSolver,
+            5,
+        );
+        run_cycles(&mut chip, 20_000);
+        let m = chip.metrics();
+        assert!(m.llc.snoops_sent > 0, "sharing must produce some snoops");
+        assert!(
+            m.llc.snoop_percent() < 10.0,
+            "but rarely: {:.1}%",
+            m.llc.snoop_percent()
+        );
+    }
+
+    #[test]
+    fn reset_clears_window() {
+        let mut chip = ScaleOutChip::new(
+            ChipConfig::paper(Organization::Mesh),
+            Workload::MapReduceW,
+            2,
+        );
+        run_cycles(&mut chip, 1000);
+        chip.reset_stats();
+        let m = chip.metrics();
+        assert_eq!(m.instructions, 0);
+        run_cycles(&mut chip, 1000);
+        assert!(chip.metrics().instructions > 0);
+    }
+
+    #[test]
+    fn no_transaction_leaks_over_long_run() {
+        let mut chip = ScaleOutChip::new(
+            ChipConfig::paper(Organization::NocOut),
+            Workload::WebFrontend,
+            9,
+        );
+        run_cycles(&mut chip, 10_000);
+        // In-flight transactions stay bounded by cores × (MSHRs + fetch).
+        assert!(
+            chip.inflight_transactions() <= 16 * 10,
+            "{} transactions leaked",
+            chip.inflight_transactions()
+        );
+    }
+}

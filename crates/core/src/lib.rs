@@ -1,0 +1,61 @@
+//! # nocout — a reproduction of *NOC-Out: Microarchitecting a Scale-Out
+//! Processor* (MICRO 2012)
+//!
+//! NOC-Out is a many-core chip organization for scale-out server
+//! workloads: because traffic is almost entirely bilateral (cores ↔ shared
+//! LLC, with negligible coherence), the design segregates LLC tiles into a
+//! central row, connects each column of cores to its LLC tile through
+//! routing-free **reduction trees** (cores → LLC) and **dispersion trees**
+//! (LLC → cores), and links the LLC tiles with a small flattened
+//! butterfly. The result matches a full flattened butterfly's performance
+//! at roughly the area of a mesh.
+//!
+//! This crate binds the substrates (NoC, memory system, cores, workloads,
+//! technology models) into the full-system model the evaluation needs:
+//!
+//! * [`config`] — the evaluated [`config::Organization`]s and Table 1
+//!   parameters,
+//! * [`chip`] — [`chip::ScaleOutChip`], the cycle-driven full system,
+//! * [`runner`] — warmup/measure orchestration,
+//! * [`metrics`] — what a run reports,
+//! * [`sop`] — the Scale-Out Processor configuration methodology (§2.2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nocout::prelude::*;
+//!
+//! // Compare NOC-Out against the mesh baseline on a short window.
+//! let mesh = run(&RunSpec::new(
+//!     ChipConfig::paper(Organization::Mesh),
+//!     Workload::WebSearch,
+//! )
+//! .fast());
+//! let nocout = run(&RunSpec::new(
+//!     ChipConfig::paper(Organization::NocOut),
+//!     Workload::WebSearch,
+//! )
+//! .fast());
+//! assert!(nocout.aggregate_ipc() > 0.0 && mesh.aggregate_ipc() > 0.0);
+//! ```
+
+pub mod chip;
+pub mod config;
+pub mod metrics;
+pub mod runner;
+pub mod sop;
+
+pub use chip::ScaleOutChip;
+pub use config::{ChipConfig, Organization};
+pub use metrics::SystemMetrics;
+pub use runner::{run, run_replicated, RunSpec};
+
+/// Convenient glob-import surface for examples and the harness.
+pub mod prelude {
+    pub use crate::chip::ScaleOutChip;
+    pub use crate::config::{ChipConfig, Organization};
+    pub use crate::metrics::SystemMetrics;
+    pub use crate::runner::{run, run_replicated, RunSpec};
+    pub use nocout_sim::config::{MeasurementWindow, SeedSet};
+    pub use nocout_workloads::Workload;
+}

@@ -1,0 +1,173 @@
+//! System-level metrics collected over a measurement window.
+
+use nocout_tech::energy::NocActivity;
+use serde::{Deserialize, Serialize};
+
+/// Everything the experiment harness reads out of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemMetrics {
+    /// Instructions per cycle of every core (inactive cores report 0).
+    pub per_core_ipc: Vec<f64>,
+    /// Number of cores that ran the workload.
+    pub active_cores: usize,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Total instructions retired across active cores.
+    pub instructions: u64,
+    /// Fraction of core cycles stalled on instruction fetch.
+    pub fetch_stall_fraction: f64,
+    /// LLC behaviour.
+    pub llc: LlcSummary,
+    /// Interconnect behaviour.
+    pub network: NetSummary,
+    /// Memory-channel behaviour.
+    pub memory: MemSummary,
+}
+
+impl SystemMetrics {
+    /// The paper's performance metric: application instructions per total
+    /// cycle, aggregated over the chip.
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean per-active-core IPC (Fig. 1's per-core performance).
+    pub fn per_core_performance(&self) -> f64 {
+        if self.active_cores == 0 {
+            0.0
+        } else {
+            self.aggregate_ipc() / self.active_cores as f64
+        }
+    }
+
+    /// Network activity in the shape the energy model consumes.
+    pub fn noc_activity(&self) -> NocActivity {
+        NocActivity {
+            flit_mm: self.network.flit_mm,
+            buffer_writes: self.network.buffer_writes,
+            buffer_reads: self.network.buffer_reads,
+            xbar_traversals: self.network.xbar_traversals,
+            cycles: self.cycles,
+        }
+    }
+}
+
+/// Aggregated LLC statistics (summed over tiles).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LlcSummary {
+    /// Core requests processed.
+    pub accesses: u64,
+    /// Serviced from the LLC or by owner forwarding.
+    pub hits: u64,
+    /// Fetched from memory.
+    pub misses: u64,
+    /// Snoop messages sent.
+    pub snoops_sent: u64,
+    /// Core requests that triggered at least one snoop (Fig. 4 numerator).
+    pub snooping_accesses: u64,
+    /// Writebacks received.
+    pub writebacks: u64,
+}
+
+impl LlcSummary {
+    /// Percentage of LLC accesses that triggered a snoop (Fig. 4).
+    pub fn snoop_percent(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.snooping_accesses as f64 / self.accesses as f64
+        }
+    }
+
+    /// LLC hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Interconnect statistics for the window.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NetSummary {
+    /// Packets delivered.
+    pub packets: u64,
+    /// Mean end-to-end packet latency in cycles.
+    pub mean_latency: f64,
+    /// Mean request-class latency.
+    pub mean_request_latency: f64,
+    /// Mean response-class latency.
+    pub mean_response_latency: f64,
+    /// Median end-to-end packet latency (cycles).
+    pub p50_latency: u64,
+    /// 99th-percentile end-to-end packet latency (cycles) — where the
+    /// Fig. 9 serialization spike shows first.
+    pub p99_latency: u64,
+    /// Flit·mm of link traversal (energy input).
+    pub flit_mm: f64,
+    /// Buffer writes.
+    pub buffer_writes: u64,
+    /// Buffer reads.
+    pub buffer_reads: u64,
+    /// Crossbar traversals.
+    pub xbar_traversals: u64,
+}
+
+/// Memory-channel statistics for the window.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct MemSummary {
+    /// Line reads serviced.
+    pub reads: u64,
+    /// Line writes serviced.
+    pub writes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> SystemMetrics {
+        SystemMetrics {
+            per_core_ipc: vec![0.5; 4],
+            active_cores: 4,
+            cycles: 1000,
+            instructions: 2000,
+            fetch_stall_fraction: 0.3,
+            llc: LlcSummary {
+                accesses: 100,
+                hits: 80,
+                misses: 20,
+                snoops_sent: 2,
+                snooping_accesses: 2,
+                writebacks: 5,
+            },
+            network: NetSummary::default(),
+            memory: MemSummary::default(),
+        }
+    }
+
+    #[test]
+    fn aggregate_ipc() {
+        assert!((metrics().aggregate_ipc() - 2.0).abs() < 1e-12);
+        assert!((metrics().per_core_performance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snoop_percent() {
+        assert!((metrics().llc.snoop_percent() - 2.0).abs() < 1e-12);
+        assert!((metrics().llc.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_round_trip() {
+        let a = metrics().noc_activity();
+        assert_eq!(a.cycles, 1000);
+    }
+}

@@ -1,0 +1,166 @@
+//! Warmup + measurement run orchestration (the SimFlex-style methodology
+//! of §5.4, minus the statistical sampling we replace with fixed windows
+//! over deterministic seeds).
+
+use crate::chip::ScaleOutChip;
+use crate::config::ChipConfig;
+use crate::metrics::SystemMetrics;
+use nocout_sim::config::{MeasurementWindow, SeedSet};
+use nocout_sim::stats::RunningStats;
+use nocout_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One simulation point: chip × workload × window × seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Chip configuration.
+    pub chip: ChipConfig,
+    /// Workload to run.
+    pub workload: Workload,
+    /// Warmup/measurement window.
+    pub window: MeasurementWindow,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A paper-like run at the default window.
+    pub fn new(chip: ChipConfig, workload: Workload) -> Self {
+        RunSpec {
+            chip,
+            workload,
+            window: MeasurementWindow::default(),
+            seed: 1,
+        }
+    }
+
+    /// Shortens the window for tests.
+    pub fn fast(mut self) -> Self {
+        self.window = MeasurementWindow::fast();
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Executes one run: build, warm up, reset statistics, measure.
+///
+/// # Examples
+///
+/// ```
+/// use nocout::config::{ChipConfig, Organization};
+/// use nocout::runner::{run, RunSpec};
+/// use nocout_workloads::Workload;
+///
+/// let spec = RunSpec::new(
+///     ChipConfig::paper(Organization::NocOut),
+///     Workload::WebSearch,
+/// )
+/// .fast();
+/// let metrics = run(&spec);
+/// assert!(metrics.aggregate_ipc() > 0.0);
+/// ```
+pub fn run(spec: &RunSpec) -> SystemMetrics {
+    let mut chip = ScaleOutChip::new(spec.chip, spec.workload, spec.seed);
+    for _ in 0..spec.window.warmup_cycles {
+        chip.tick();
+    }
+    chip.reset_stats();
+    for _ in 0..spec.window.measure_cycles {
+        chip.tick();
+    }
+    chip.metrics()
+}
+
+/// Aggregate over a seed set: mean aggregate IPC with its 95% confidence
+/// half-width, plus the last run's full metrics for detailed reporting.
+#[derive(Debug, Clone)]
+pub struct ReplicatedResult {
+    /// Mean aggregate IPC across seeds.
+    pub mean_ipc: f64,
+    /// 95% confidence half-width of the mean.
+    pub ci95: f64,
+    /// Metrics of the final seed's run (for activity/latency detail).
+    pub last: SystemMetrics,
+}
+
+/// Runs the spec once per seed and aggregates.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut stats = RunningStats::new();
+    let mut last = None;
+    for seed in seeds.iter() {
+        let metrics = run(&spec.with_seed(seed));
+        stats.record(metrics.aggregate_ipc());
+        last = Some(metrics);
+    }
+    ReplicatedResult {
+        mean_ipc: stats.mean(),
+        ci95: stats.ci95_half_width(),
+        last: last.expect("at least one seed ran"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Organization;
+
+    #[test]
+    fn run_produces_nonzero_ipc() {
+        let spec = RunSpec::new(
+            ChipConfig::with_cores(Organization::Mesh, 16),
+            Workload::MapReduceC,
+        )
+        .fast();
+        let m = run(&spec);
+        assert!(m.aggregate_ipc() > 0.0);
+        assert_eq!(m.cycles, spec.window.measure_cycles);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = RunSpec::new(
+            ChipConfig::with_cores(Organization::NocOut, 64),
+            Workload::SatSolver,
+        )
+        .fast();
+        let a = run(&spec);
+        let b = run(&spec);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.llc.accesses, b.llc.accesses);
+        assert_eq!(a.network.packets, b.network.packets);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = RunSpec::new(
+            ChipConfig::with_cores(Organization::Mesh, 16),
+            Workload::MapReduceW,
+        )
+        .fast();
+        let a = run(&spec.with_seed(1));
+        let b = run(&spec.with_seed(2));
+        assert_ne!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn replication_reports_confidence() {
+        let spec = RunSpec::new(
+            ChipConfig::with_cores(Organization::Mesh, 16),
+            Workload::WebFrontend,
+        )
+        .fast();
+        let r = run_replicated(&spec, &nocout_sim::config::SeedSet::consecutive(1, 3));
+        assert!(r.mean_ipc > 0.0);
+        assert!(r.ci95 >= 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! The instruction-stream interface between cores and workload models.
+
+use nocout_mem::addr::Addr;
+
+/// One dynamic instruction's behaviour, as far as timing is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A non-memory operation completing `latency` cycles after dispatch.
+    /// Dependency chains in the workload surface as latencies above 1.
+    Alu {
+        /// Execution latency in cycles (≥ 1).
+        latency: u8,
+    },
+    /// A data load.
+    Load {
+        /// Byte address accessed.
+        addr: Addr,
+        /// Whether this load depends on an earlier outstanding miss and
+        /// must wait for all pending data misses to resolve before
+        /// dispatch (the mechanism behind the low MLP of scale-out
+        /// workloads).
+        dependent: bool,
+    },
+    /// A data store.
+    Store {
+        /// Byte address accessed.
+        addr: Addr,
+    },
+}
+
+/// A dynamic instruction: its fetch line plus its operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchedInstr {
+    /// The instruction-cache line this instruction is fetched from. When
+    /// it differs from the previous instruction's line the core performs
+    /// an L1-I access (and stalls fetch on a miss).
+    pub fetch_line: Addr,
+    /// What the instruction does.
+    pub op: Op,
+}
+
+/// Produces the dynamic instruction stream of one hardware context.
+///
+/// Implemented by the workload models in `nocout-workloads`; the unit tests
+/// in this crate use simple scripted sources.
+pub trait InstructionSource {
+    /// The next dynamic instruction. Must always return (workloads are
+    /// infinite request streams).
+    fn next_instr(&mut self) -> FetchedInstr;
+}
+
+/// A trivial source that loops over a fixed instruction sequence; useful
+/// for tests and the quickstart example.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_cpu::source::{FetchedInstr, InstructionSource, Op, ScriptedSource};
+/// use nocout_mem::addr::Addr;
+///
+/// let mut src = ScriptedSource::new(vec![FetchedInstr {
+///     fetch_line: Addr(0),
+///     op: Op::Alu { latency: 1 },
+/// }]);
+/// let a = src.next_instr();
+/// let b = src.next_instr();
+/// assert_eq!(a, b, "scripted source loops");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedSource {
+    script: Vec<FetchedInstr>,
+    pos: usize,
+}
+
+impl ScriptedSource {
+    /// Creates a looping source over `script`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script is empty.
+    pub fn new(script: Vec<FetchedInstr>) -> Self {
+        assert!(!script.is_empty(), "script must be non-empty");
+        ScriptedSource { script, pos: 0 }
+    }
+}
+
+impl InstructionSource for ScriptedSource {
+    fn next_instr(&mut self) -> FetchedInstr {
+        let i = self.script[self.pos];
+        self.pos = (self.pos + 1) % self.script.len();
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_source_loops() {
+        let mut s = ScriptedSource::new(vec![
+            FetchedInstr {
+                fetch_line: Addr(0),
+                op: Op::Alu { latency: 1 },
+            },
+            FetchedInstr {
+                fetch_line: Addr(64),
+                op: Op::Load {
+                    addr: Addr(0x1000),
+                    dependent: false,
+                },
+            },
+        ]);
+        let first = s.next_instr();
+        let second = s.next_instr();
+        let third = s.next_instr();
+        assert_ne!(first, second);
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_script_rejected() {
+        let _ = ScriptedSource::new(vec![]);
+    }
+}

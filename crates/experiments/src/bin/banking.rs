@@ -1,0 +1,46 @@
+//! §4.3 banking ablation: LLC tiles/banks vs performance.
+//!
+//! Paper claims: (a) four cores per LLC bank perform within 2% of a
+//! one-bank-per-core design because low ILP/MLP dampens LLC bandwidth
+//! pressure; (b) two banks per NOC-Out tile achieve the throughput of
+//! higher banking degrees at lower cost.
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin banking`.
+
+use nocout::prelude::*;
+use nocout_experiments::{perf_point, write_csv, Table};
+use std::path::Path;
+
+fn main() {
+    let mut table = Table::new(
+        "§4.3 — NOC-Out LLC banking sweep (aggregate IPC, normalized to 2 banks/tile)",
+        vec![
+            "Workload".into(),
+            "1 bank/tile".into(),
+            "2 banks/tile (paper config)".into(),
+            "4 banks/tile".into(),
+        ],
+    );
+    for w in [Workload::DataServing, Workload::MapReduceW, Workload::WebSearch] {
+        let mut vals = Vec::new();
+        for banks in [1usize, 2, 4] {
+            let mut cfg = ChipConfig::paper(Organization::NocOut);
+            cfg.banks_per_llc_tile = banks;
+            vals.push(perf_point(cfg, w).ipc);
+        }
+        let base = vals[1];
+        table.row(vec![
+            w.name().into(),
+            format!("{:.4}", vals[0] / base),
+            "1.0000".into(),
+            format!("{:.4}", vals[2] / base),
+        ]);
+    }
+    table.print();
+    println!(
+        "Expectation: 4 banks buys little over 2 (paper: similar throughput at lower \
+         area with 2 banks/tile); 1 bank loses on bank-contention-sensitive workloads."
+    );
+    let _ = write_csv(Path::new("banking.csv"), &table.csv_records());
+    println!("(wrote banking.csv)");
+}

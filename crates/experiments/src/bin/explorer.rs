@@ -1,0 +1,117 @@
+//! Free-form configuration explorer: run any organization × workload ×
+//! knob combination from the command line and dump the full metrics.
+//!
+//! ```text
+//! cargo run --release -p nocout-experiments --bin explorer -- \
+//!     --org nocout --workload data-serving --cores 64 --width 128 \
+//!     --seeds 3 --banks 2
+//! ```
+
+use nocout::prelude::*;
+use nocout_experiments::measurement_window;
+use nocout_sim::config::SeedSet;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explorer [--org mesh|fbfly|nocout|ideal|zeromesh] \
+         [--workload NAME] [--cores N] [--width BITS] [--banks N] \
+         [--concentration N] [--express] [--llc-rows N] [--seeds N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut org = Organization::NocOut;
+    let mut workload = Workload::DataServing;
+    let mut cores = 64usize;
+    let mut width = 128u32;
+    let mut banks = 2usize;
+    let mut concentration = 1usize;
+    let mut express = false;
+    let mut llc_rows = 1usize;
+    let mut seeds = 1usize;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--org" => {
+                org = match val().as_str() {
+                    "mesh" => Organization::Mesh,
+                    "fbfly" => Organization::FlattenedButterfly,
+                    "nocout" => Organization::NocOut,
+                    "ideal" => Organization::IdealWire,
+                    "zeromesh" => Organization::ZeroLoadMesh,
+                    _ => usage(),
+                }
+            }
+            "--workload" => {
+                workload = match val().as_str() {
+                    "data-serving" => Workload::DataServing,
+                    "mapreduce-c" => Workload::MapReduceC,
+                    "mapreduce-w" => Workload::MapReduceW,
+                    "sat-solver" => Workload::SatSolver,
+                    "web-frontend" => Workload::WebFrontend,
+                    "web-search" => Workload::WebSearch,
+                    _ => usage(),
+                }
+            }
+            "--cores" => cores = val().parse().unwrap_or_else(|_| usage()),
+            "--width" => width = val().parse().unwrap_or_else(|_| usage()),
+            "--banks" => banks = val().parse().unwrap_or_else(|_| usage()),
+            "--concentration" => concentration = val().parse().unwrap_or_else(|_| usage()),
+            "--express" => express = true,
+            "--llc-rows" => llc_rows = val().parse().unwrap_or_else(|_| usage()),
+            "--seeds" => seeds = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let mut chip = ChipConfig::with_cores(org, cores).with_link_width(width);
+    chip.banks_per_llc_tile = banks;
+    chip.concentration = concentration;
+    chip.express_links = express;
+    chip.llc_rows = llc_rows;
+
+    let spec = RunSpec {
+        chip,
+        workload,
+        window: measurement_window(),
+        seed: 1,
+    };
+    let result = nocout::run_replicated(&spec, &SeedSet::consecutive(1, seeds.max(1)));
+    let m = &result.last;
+
+    println!("configuration : {org} / {workload} / {cores} cores / {width}-bit links");
+    println!(
+        "performance   : aggregate IPC {:.4} ± {:.4} (95% CI over {seeds} seed(s))",
+        result.mean_ipc, result.ci95
+    );
+    println!(
+        "cores         : {} active, fetch stall {:.1}%",
+        m.active_cores,
+        m.fetch_stall_fraction * 100.0
+    );
+    println!(
+        "LLC           : {} accesses, hit {:.2}, snoop rate {:.2}%, {} writebacks",
+        m.llc.accesses,
+        m.llc.hit_ratio(),
+        m.llc.snoop_percent(),
+        m.llc.writebacks
+    );
+    println!(
+        "network       : {} packets, latency mean {:.1} (req {:.1} / resp {:.1}), \
+         p50 ≤ {} / p99 ≤ {} cycles",
+        m.network.packets,
+        m.network.mean_latency,
+        m.network.mean_request_latency,
+        m.network.mean_response_latency,
+        m.network.p50_latency,
+        m.network.p99_latency
+    );
+    println!(
+        "memory        : {} reads, {} writes",
+        m.memory.reads, m.memory.writes
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 1: effect of distance (growing with core count) on per-core
+//! performance for ideal and mesh interconnects, on Data Serving and
+//! MapReduce-W, without contention.
+//!
+//! Paper result: per-core performance degrades as cores are added because
+//! the die grows and the LLC moves farther away; at 64 cores the mesh
+//! trails the ideal (wire-only) fabric by ~22% on average.
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin fig1`.
+
+use nocout::prelude::*;
+use nocout_experiments::{perf_point, write_csv, Table};
+use std::path::Path;
+
+fn main() {
+    let core_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let workloads = [Workload::DataServing, Workload::MapReduceW];
+
+    let mut table = Table::new(
+        "Figure 1 — Per-core performance vs core count (normalized to 1 core), contention-free",
+        vec![
+            "Cores".into(),
+            "DataServing(Ideal)".into(),
+            "DataServing(Mesh)".into(),
+            "MapReduce-W(Ideal)".into(),
+            "MapReduce-W(Mesh)".into(),
+        ],
+    );
+
+    // Per-core performance for every (workload, fabric, cores) point,
+    // normalized to the same workload at 1 core on the same fabric kind's
+    // 1-core value (the paper normalizes to one core).
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for w in workloads {
+        for org in [Organization::IdealWire, Organization::ZeroLoadMesh] {
+            let mut vals = Vec::new();
+            for &n in &core_counts {
+                let p = perf_point(ChipConfig::with_cores(org, n), w);
+                vals.push(p.metrics.per_core_performance());
+                eprintln!("  [{w} / {org} / {n} cores] per-core {:.4}", vals.last().unwrap());
+            }
+            let base = vals[0];
+            series.push(vals.iter().map(|v| v / base).collect());
+        }
+    }
+    let mut gap_at_64 = Vec::new();
+    for (i, &n) in core_counts.iter().enumerate() {
+        table.row(vec![
+            n.to_string(),
+            format!("{:.3}", series[0][i]),
+            format!("{:.3}", series[1][i]),
+            format!("{:.3}", series[2][i]),
+            format!("{:.3}", series[3][i]),
+        ]);
+        if n == 64 {
+            gap_at_64.push(1.0 - series[1][i] / series[0][i]);
+            gap_at_64.push(1.0 - series[3][i] / series[2][i]);
+        }
+    }
+    table.print();
+    let avg_gap = gap_at_64.iter().sum::<f64>() / gap_at_64.len() as f64;
+    println!(
+        "Mesh vs Ideal gap at 64 cores: {:.0}% (paper: ~22%)",
+        avg_gap * 100.0
+    );
+    let _ = write_csv(Path::new("fig1.csv"), &table.csv_records());
+    println!("(wrote fig1.csv)");
+}

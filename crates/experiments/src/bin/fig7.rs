@@ -1,0 +1,70 @@
+//! Figure 7: system performance normalized to the mesh, per workload,
+//! for Mesh / Flattened Butterfly / NOC-Out at 128-bit links.
+//!
+//! Paper result: FBfly beats the mesh by 7–31% (geomean +17%); NOC-Out
+//! matches FBfly on average — slightly below it on Data Serving (LLC bank
+//! contention), above it on Web Search (16 cores adjacent to the LLC).
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin fig7`
+//! (set `NOCOUT_FAST=1` for a quick smoke run).
+
+use nocout::prelude::*;
+use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_sim::stats::geometric_mean;
+use std::path::Path;
+
+fn main() {
+    let paper_fbfly = [1.31, 1.15, 1.20, 1.12, 1.16, 1.07];
+    let paper_nocout = [1.27, 1.15, 1.21, 1.12, 1.16, 1.12];
+
+    let mut table = Table::new(
+        "Figure 7 — System performance normalized to mesh (128-bit links)",
+        vec![
+            "Workload".into(),
+            "Mesh".into(),
+            "FBfly".into(),
+            "NOC-Out".into(),
+            "FBfly(paper)".into(),
+            "NOC-Out(paper)".into(),
+        ],
+    );
+    let mut fb_norm = Vec::new();
+    let mut no_norm = Vec::new();
+    for (i, w) in Workload::ALL.iter().enumerate() {
+        let mesh = perf_point(ChipConfig::paper(Organization::Mesh), *w);
+        let fb = perf_point(ChipConfig::paper(Organization::FlattenedButterfly), *w);
+        let no = perf_point(ChipConfig::paper(Organization::NocOut), *w);
+        let fbn = fb.ipc / mesh.ipc;
+        let non = no.ipc / mesh.ipc;
+        fb_norm.push(fbn);
+        no_norm.push(non);
+        table.row(vec![
+            w.name().into(),
+            "1.000".into(),
+            format!("{fbn:.3}"),
+            format!("{non:.3}"),
+            format!("{:.2}", paper_fbfly[i]),
+            format!("{:.2}", paper_nocout[i]),
+        ]);
+        eprintln!(
+            "  [{w}] mesh {:.4}  fbfly {:.4}  nocout {:.4}  (net lat: {:.1} / {:.1} / {:.1})",
+            mesh.ipc,
+            fb.ipc,
+            no.ipc,
+            mesh.metrics.network.mean_latency,
+            fb.metrics.network.mean_latency,
+            no.metrics.network.mean_latency,
+        );
+    }
+    table.row(vec![
+        "GMean".into(),
+        "1.000".into(),
+        format!("{:.3}", geometric_mean(&fb_norm)),
+        format!("{:.3}", geometric_mean(&no_norm)),
+        "1.17".into(),
+        "1.17".into(),
+    ]);
+    table.print();
+    let _ = write_csv(Path::new("fig7.csv"), &table.csv_records());
+    println!("(wrote fig7.csv)");
+}

@@ -1,0 +1,85 @@
+//! Figure 9: system performance normalized to mesh under a fixed NoC area
+//! budget (every organization constrained to NOC-Out's 2.5 mm²).
+//!
+//! Paper result: shrinking the mesh's links hurts it mildly (serialization
+//! stays dwarfed by header delay), but the flattened butterfly's link
+//! width collapses ~7× and serialization delay spikes. At equal area,
+//! NOC-Out outperforms the mesh by ~19% and the butterfly by ~65%.
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin fig9`.
+
+use nocout::prelude::*;
+use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_sim::stats::geometric_mean;
+use nocout_tech::area::{NocAreaModel, OrganizationArea};
+use std::path::Path;
+
+fn main() {
+    let model = NocAreaModel::paper_32nm();
+    let nocout_cfg = ChipConfig::paper(Organization::NocOut);
+    let budget = model
+        .area(&OrganizationArea::nocout(&nocout_cfg.nocout_spec()))
+        .total_mm2();
+
+    // Fit the mesh and butterfly link widths into NOC-Out's budget.
+    let mesh_cfg = ChipConfig::paper(Organization::Mesh);
+    let (mesh_w, _) = model.fit_width_to_budget(budget, |w| {
+        OrganizationArea::mesh_with_width(&mesh_cfg.mesh_spec(), w)
+    });
+    let fb_cfg = ChipConfig::paper(Organization::FlattenedButterfly);
+    let (fb_w, _) = model.fit_width_to_budget(budget, |w| {
+        OrganizationArea::fbfly_with_width(&fb_cfg.fbfly_spec(), w)
+    });
+    println!(
+        "Area budget {budget:.2} mm²: mesh fits at {mesh_w}-bit links, \
+         flattened butterfly at {fb_w}-bit links (from 128)"
+    );
+
+    let mesh_cfg = mesh_cfg.with_link_width(mesh_w);
+    let fb_cfg = fb_cfg.with_link_width(fb_w);
+
+    let mut table = Table::new(
+        "Figure 9 — Performance normalized to mesh under a fixed 2.5 mm² NOC budget",
+        vec![
+            "Workload".into(),
+            "Mesh".into(),
+            "FBfly".into(),
+            "NOC-Out".into(),
+        ],
+    );
+    let mut fb_norm = Vec::new();
+    let mut no_norm = Vec::new();
+    for w in Workload::ALL {
+        let mesh = perf_point(mesh_cfg, w);
+        let fb = perf_point(fb_cfg, w);
+        let no = perf_point(nocout_cfg, w);
+        fb_norm.push(fb.ipc / mesh.ipc);
+        no_norm.push(no.ipc / mesh.ipc);
+        table.row(vec![
+            w.name().into(),
+            "1.000".into(),
+            format!("{:.3}", fb_norm.last().unwrap()),
+            format!("{:.3}", no_norm.last().unwrap()),
+        ]);
+        eprintln!(
+            "  [{w}] mesh {:.4} fbfly {:.4} nocout {:.4}",
+            mesh.ipc, fb.ipc, no.ipc
+        );
+    }
+    let fb_g = geometric_mean(&fb_norm);
+    let no_g = geometric_mean(&no_norm);
+    table.row(vec![
+        "GMean".into(),
+        "1.000".into(),
+        format!("{fb_g:.3}"),
+        format!("{no_g:.3}"),
+    ]);
+    table.print();
+    println!(
+        "NOC-Out vs mesh: +{:.0}% (paper +19%); NOC-Out vs FBfly: +{:.0}% (paper +65%)",
+        (no_g - 1.0) * 100.0,
+        (no_g / fb_g - 1.0) * 100.0
+    );
+    let _ = write_csv(Path::new("fig9.csv"), &table.csv_records());
+    println!("(wrote fig9.csv)");
+}

@@ -1,0 +1,31 @@
+//! Diagnostic probe: stall composition and miss rates per organization.
+//! Not part of the paper's figures; used to calibrate the workload models.
+
+use nocout::prelude::*;
+use nocout_experiments::perf_point;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = match args.get(1).map(|s| s.as_str()) {
+        Some("ws") => Workload::WebSearch,
+        Some("sat") => Workload::SatSolver,
+        _ => Workload::DataServing,
+    };
+    for org in [Organization::Mesh, Organization::NocOut] {
+        let p = perf_point(ChipConfig::paper(org), workload);
+        let m = &p.metrics;
+        let instr = m.instructions as f64;
+        println!(
+            "{org:>22}: ipc/core {:.3}  fetch_stall {:.1}%  LLC-acc/ki {:.1}  LLC hit {:.2} \
+             snoop {:.2}%  req_lat {:.1} resp_lat {:.1}  mem reads/ki {:.1}",
+            m.aggregate_ipc() / m.active_cores as f64,
+            m.fetch_stall_fraction * 100.0,
+            m.llc.accesses as f64 / instr * 1000.0,
+            m.llc.hit_ratio(),
+            m.llc.snoop_percent(),
+            m.network.mean_request_latency,
+            m.network.mean_response_latency,
+            m.memory.reads as f64 / instr * 1000.0,
+        );
+    }
+}

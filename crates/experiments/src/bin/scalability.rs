@@ -1,0 +1,69 @@
+//! §7.1 scalability: concentration in the reduction/dispersion trees.
+//!
+//! Paper claim: a concentration factor of two (two adjacent cores sharing
+//! each tree node's local port) supports twice the cores at nearly the
+//! same network area cost; with concentration four, the 16-byte tree links
+//! become a bandwidth bottleneck.
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin scalability`.
+
+use nocout::prelude::*;
+use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_tech::area::{NocAreaModel, OrganizationArea};
+use std::path::Path;
+
+fn main() {
+    let model = NocAreaModel::paper_32nm();
+    let workload = Workload::MapReduceC;
+
+    let mut table = Table::new(
+        "§7.1 — Tree concentration scaling (MapReduce-C)",
+        vec![
+            "Configuration".into(),
+            "Cores".into(),
+            "Per-core perf (norm.)".into(),
+            "NOC area (mm²)".into(),
+            "Area per core (mm²)".into(),
+        ],
+    );
+
+    let mut base_per_core = None;
+    for (label, cores, concentration) in [
+        ("Baseline (c=1)", 64usize, 1usize),
+        ("Concentration 2", 128, 2),
+        ("Concentration 4", 256, 4),
+    ] {
+        let mut cfg = ChipConfig::with_cores(Organization::NocOut, cores);
+        cfg.concentration = concentration;
+        cfg.active_core_override = Some(cores);
+        // Memory bandwidth scales with the socket (the paper's §7.1 claim
+        // concerns the on-die trees, not DRAM starvation); the LLC stays
+        // at 8 MB per the paper's observation that added cores do not
+        // mandate added LLC capacity.
+        cfg.mem_channels = 4 * (cores / 64).max(1);
+        let p = perf_point(cfg, workload);
+        let per_core = p.metrics.per_core_performance();
+        let base = *base_per_core.get_or_insert(per_core);
+        let area = model
+            .area(&OrganizationArea::nocout(&cfg.nocout_spec()))
+            .total_mm2();
+        table.row(vec![
+            label.into(),
+            cores.to_string(),
+            format!("{:.3}", per_core / base),
+            format!("{area:.2}"),
+            format!("{:.4}", area / cores as f64),
+        ]);
+        eprintln!(
+            "  [{label}] per-core {per_core:.4}  net latency {:.1}",
+            p.metrics.network.mean_latency
+        );
+    }
+    table.print();
+    println!(
+        "Expectation: c=2 keeps per-core performance close at roughly the same \
+         network area (so area/core halves); c=4 starts to saturate the 16B tree links."
+    );
+    let _ = write_csv(Path::new("scalability.csv"), &table.csv_records());
+    println!("(wrote scalability.csv)");
+}

@@ -1,0 +1,57 @@
+//! Link-width sweep: the serialization-latency mechanism behind Fig. 9,
+//! traced point by point for all three organizations.
+//!
+//! The paper argues that narrowing the mesh mostly adds serialization
+//! latency that stays "dwarfed by the header delay", while the flattened
+//! butterfly — whose whole advantage is low header delay — is devastated.
+//! This sweep exposes that mechanism directly (NOC-Out, with its shared
+//! tree links, is the most serialization-sensitive of all — which is
+//! precisely why its ability to keep full-width links inside a mesh-class
+//! area budget is the winning move in Fig. 9).
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin sweep`.
+
+use nocout::prelude::*;
+use nocout_experiments::{perf_point, write_csv, Table};
+use std::path::Path;
+
+fn main() {
+    let widths = [128u32, 64, 32, 16];
+    let workload = Workload::MapReduceW;
+    let mut table = Table::new(
+        "Link-width sweep — aggregate IPC normalized to each organization at 128 bits (MapReduce-W)",
+        vec![
+            "Width (bits)".into(),
+            "Mesh".into(),
+            "FBfly".into(),
+            "NOC-Out".into(),
+            "Mesh resp lat".into(),
+            "FBfly resp lat".into(),
+            "NOC-Out resp lat".into(),
+        ],
+    );
+    let mut bases: Vec<Option<f64>> = vec![None; 3];
+    for &w in &widths {
+        let mut cells = vec![w.to_string()];
+        let mut lats = Vec::new();
+        for (i, org) in Organization::EVALUATED.iter().enumerate() {
+            let p = perf_point(ChipConfig::paper(*org).with_link_width(w), workload);
+            let base = *bases[i].get_or_insert(p.ipc);
+            cells.push(format!("{:.3}", p.ipc / base));
+            lats.push(format!("{:.1}", p.metrics.network.mean_response_latency));
+        }
+        cells.extend(lats);
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "Expectation: the mesh degrades most gently (its header delay dwarfs \
+         serialization); the butterfly and NOC-Out, whose advantage is low header \
+         delay, lose it to serialization — NOC-Out fastest of all because its \
+         shared tree links serialize whole cache lines. This is why Fig. 9 is an \
+         asymmetric contest: NOC-Out fits the 2.5 mm² budget at full 128-bit \
+         width, and only its rivals must narrow."
+    );
+    let _ = write_csv(Path::new("sweep.csv"), &table.csv_records());
+    println!("(wrote sweep.csv)");
+}

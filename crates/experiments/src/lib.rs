@@ -1,0 +1,13 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation and prints it as an aligned text table (optionally
+//! CSV). This library holds the pieces they share: run-point helpers,
+//! normalization, table rendering, and the measurement window handling
+//! (honouring `NOCOUT_FAST=1` for quick smoke runs).
+
+pub mod report;
+pub mod table;
+
+pub use report::{measurement_window, perf_point, seeds, PerfPoint};
+pub use table::{write_csv, Table};

@@ -1,0 +1,74 @@
+//! Run-point helpers shared by the experiment binaries.
+
+use nocout::prelude::*;
+use nocout_sim::config::{MeasurementWindow, SeedSet};
+
+/// The measurement window the binaries use: paper-like by default,
+/// shortened when `NOCOUT_FAST=1` is set (CI smoke runs).
+pub fn measurement_window() -> MeasurementWindow {
+    if std::env::var("NOCOUT_FAST").as_deref() == Ok("1") {
+        MeasurementWindow::new(4_000, 8_000)
+    } else {
+        MeasurementWindow::new(30_000, 30_000)
+    }
+}
+
+/// Seeds per experiment point (fewer in fast mode).
+pub fn seeds() -> SeedSet {
+    if std::env::var("NOCOUT_FAST").as_deref() == Ok("1") {
+        SeedSet::single(1)
+    } else {
+        SeedSet::consecutive(1, 3)
+    }
+}
+
+/// One measured performance point.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Mean aggregate IPC across seeds.
+    pub ipc: f64,
+    /// 95% confidence half-width.
+    pub ci95: f64,
+    /// Full metrics of the last seed (activity, latencies, LLC stats).
+    pub metrics: SystemMetrics,
+}
+
+/// Runs `workload` on `chip` over the standard window and seed set.
+pub fn perf_point(chip: ChipConfig, workload: Workload) -> PerfPoint {
+    let spec = RunSpec {
+        chip,
+        workload,
+        window: measurement_window(),
+        seed: 1,
+    };
+    let r = nocout::run_replicated(&spec, &seeds());
+    PerfPoint {
+        ipc: r.mean_ipc,
+        ci95: r.ci95,
+        metrics: r.last,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_respects_fast_env() {
+        // Can't mutate the environment safely in parallel tests; just check
+        // the default shape.
+        let w = measurement_window();
+        assert!(w.measure_cycles >= 8_000);
+    }
+
+    #[test]
+    fn perf_point_runs() {
+        std::env::set_var("NOCOUT_FAST", "1");
+        let p = perf_point(
+            ChipConfig::with_cores(Organization::Mesh, 16),
+            Workload::MapReduceC,
+        );
+        assert!(p.ipc > 0.0);
+        std::env::remove_var("NOCOUT_FAST");
+    }
+}

@@ -1,0 +1,368 @@
+//! Set-associative cache tag array with true-LRU replacement.
+//!
+//! Used for both the 32 KB L1s and the LLC slices. Only tags and metadata
+//! are modelled — the simulator never carries data values, just timing.
+
+use crate::addr::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// A 32 KB, 4-way L1 (Cortex-A15-like).
+    pub fn l1_32k() -> Self {
+        CacheGeometry {
+            capacity_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// An LLC slice of the given capacity, 16-way.
+    pub fn llc_slice(capacity_bytes: u64) -> Self {
+        CacheGeometry {
+            capacity_bytes,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / (self.ways as u64 * self.line_bytes)) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A line evicted by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address of the victim.
+    pub addr: Addr,
+    /// Whether the victim was dirty (must be written back).
+    pub dirty: bool,
+}
+
+/// Outcome of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present.
+    Hit,
+    /// Line absent.
+    Miss,
+}
+
+/// A set-associative, true-LRU, write-back tag array.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_mem::addr::Addr;
+/// use nocout_mem::cache::{CacheArray, CacheGeometry, Lookup};
+///
+/// let mut c = CacheArray::new(CacheGeometry::l1_32k());
+/// let a = Addr(0x1000);
+/// assert_eq!(c.lookup(a), Lookup::Miss);
+/// c.insert(a, false);
+/// assert_eq!(c.lookup(a), Lookup::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    geometry: CacheGeometry,
+    sets: usize,
+    ways: Vec<Way>,
+    stamp: u64,
+    line_shift: u32,
+}
+
+impl CacheArray {
+    /// Creates an empty array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields zero sets or a non-power-of-two set
+    /// count or line size.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(geometry.line_bytes.is_power_of_two());
+        CacheArray {
+            geometry,
+            sets,
+            ways: vec![Way::default(); sets * geometry.ways],
+            stamp: 0,
+            line_shift: geometry.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    #[inline]
+    fn set_index(&self, addr: Addr) -> usize {
+        ((addr.0 >> self.line_shift) as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag(&self, addr: Addr) -> u64 {
+        addr.0 >> self.line_shift
+    }
+
+    #[inline]
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.geometry.ways..(set + 1) * self.geometry.ways
+    }
+
+    /// Probes for a line without updating recency.
+    pub fn probe(&self, addr: Addr) -> Lookup {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        if self.ways[self.set_range(set)]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+        {
+            Lookup::Hit
+        } else {
+            Lookup::Miss
+        }
+    }
+
+    /// Looks up a line, updating LRU recency on a hit.
+    pub fn lookup(&mut self, addr: Addr) -> Lookup {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.lru = stamp;
+                return Lookup::Hit;
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Marks a present line dirty (returns whether it was present).
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts a line (after a fill), evicting the LRU way if the set is
+    /// full. Returns the victim, if any.
+    pub fn insert(&mut self, addr: Addr, dirty: bool) -> Option<Evicted> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let line_shift = self.line_shift;
+        let range = self.set_range(set);
+        let ways = &mut self.ways[range];
+        // Already present: refresh (fill on a racing request).
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = stamp;
+            w.dirty |= dirty;
+            return None;
+        }
+        // Free way?
+        if let Some(w) = ways.iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                tag,
+                valid: true,
+                dirty,
+                lru: stamp,
+            };
+            return None;
+        }
+        // Evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("ways non-empty");
+        let evicted = Evicted {
+            addr: Addr(victim.tag << line_shift),
+            dirty: victim.dirty,
+        };
+        *victim = Way {
+            tag,
+            valid: true,
+            dirty,
+            lru: stamp,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates a line if present; returns `(was_present, was_dirty)`.
+    pub fn invalidate(&mut self, addr: Addr) -> (bool, bool) {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                let dirty = w.dirty;
+                w.valid = false;
+                w.dirty = false;
+                return (true, dirty);
+            }
+        }
+        (false, false)
+    }
+
+    /// Clears a present line's dirty bit (downgrade on a forward snoop);
+    /// returns whether the line was present.
+    pub fn clean(&mut self, addr: Addr) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let range = self.set_range(set);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == tag {
+                w.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines (test/diagnostic helper; O(size)).
+    pub fn valid_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        CacheArray::new(CacheGeometry {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    fn line(set: u64, tag: u64) -> Addr {
+        // 4 sets.
+        Addr((tag * 4 + set) * 64)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        let a = line(0, 1);
+        assert_eq!(c.lookup(a), Lookup::Miss);
+        assert!(c.insert(a, false).is_none());
+        assert_eq!(c.lookup(a), Lookup::Hit);
+        assert_eq!(c.probe(a), Lookup::Hit);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        let a = line(0, 1);
+        let b = line(0, 2);
+        let d = line(0, 3);
+        c.insert(a, false);
+        c.insert(b, false);
+        // Touch a so b is LRU.
+        assert_eq!(c.lookup(a), Lookup::Hit);
+        let ev = c.insert(d, false).expect("set full, must evict");
+        assert_eq!(ev.addr, b.line());
+        assert!(!ev.dirty);
+        assert_eq!(c.probe(a), Lookup::Hit);
+        assert_eq!(c.probe(b), Lookup::Miss);
+    }
+
+    #[test]
+    fn dirty_victims_reported() {
+        let mut c = small();
+        let a = line(1, 1);
+        c.insert(a, false);
+        assert!(c.mark_dirty(a));
+        c.insert(line(1, 2), false);
+        let ev = c.insert(line(1, 3), false).unwrap();
+        assert_eq!(ev.addr, a.line());
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_and_clean() {
+        let mut c = small();
+        let a = line(2, 5);
+        c.insert(a, true);
+        assert!(c.clean(a));
+        let (present, dirty) = c.invalidate(a);
+        assert!(present);
+        assert!(!dirty, "clean() must have cleared the dirty bit");
+        assert_eq!(c.probe(a), Lookup::Miss);
+        assert_eq!(c.invalidate(a), (false, false));
+    }
+
+    #[test]
+    fn insert_same_line_is_idempotent() {
+        let mut c = small();
+        let a = line(0, 9);
+        c.insert(a, false);
+        assert!(c.insert(a, true).is_none());
+        assert_eq!(c.valid_lines(), 1);
+        // The refreshed line must now be dirty.
+        let (_, dirty) = c.invalidate(a);
+        assert!(dirty);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        for s in 0..4 {
+            c.insert(line(s, 7), false);
+        }
+        assert_eq!(c.valid_lines(), 4);
+        for s in 0..4 {
+            assert_eq!(c.probe(line(s, 7)), Lookup::Hit);
+        }
+    }
+
+    #[test]
+    fn l1_geometry() {
+        let g = CacheGeometry::l1_32k();
+        assert_eq!(g.sets(), 128);
+        let c = CacheArray::new(g);
+        assert_eq!(c.geometry().ways, 4);
+    }
+
+    #[test]
+    fn llc_slice_geometry() {
+        let g = CacheGeometry::llc_slice(1024 * 1024);
+        assert_eq!(g.sets(), 1024);
+    }
+}

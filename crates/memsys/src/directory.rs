@@ -1,0 +1,260 @@
+//! Full-map directory for the shared LLC.
+//!
+//! Each LLC slice carries a directory slice tracking which cores hold each
+//! line and in what state (Fig. 2(b): "L2 slice = data + tags + directory").
+//! The directory is what turns L1 data sharing into snoop traffic; in
+//! scale-out workloads that traffic is nearly absent (Fig. 4 measures ~2%
+//! of LLC accesses producing a snoop), and NOC-Out's design leans on that.
+
+use crate::protocol::CoreId;
+use std::collections::HashMap;
+
+/// A set of sharer cores (bit per core; supports up to 128 cores for the
+/// §7.1 concentration study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(pub u128);
+
+impl SharerSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        SharerSet(0)
+    }
+
+    /// A singleton set.
+    pub fn single(core: CoreId) -> Self {
+        SharerSet(1u128 << core.0)
+    }
+
+    /// Inserts a core.
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1u128 << core.0;
+    }
+
+    /// Removes a core.
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !(1u128 << core.0);
+    }
+
+    /// Whether `core` is in the set.
+    pub fn contains(&self, core: CoreId) -> bool {
+        self.0 & (1u128 << core.0) != 0
+    }
+
+    /// Number of sharers.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over member cores.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        let bits = self.0;
+        (0..128u16)
+            .filter(move |i| bits & (1u128 << i) != 0)
+            .map(CoreId)
+    }
+}
+
+impl FromIterator<CoreId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut s = SharerSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+/// Directory state of one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// One or more cores hold the line read-only.
+    Shared(SharerSet),
+    /// Exactly one core holds the line with write permission.
+    Exclusive(CoreId),
+}
+
+/// A directory slice: line → sharer state, for lines cached in any L1.
+///
+/// Lines not present map to "uncached above the LLC". Entries are dropped
+/// eagerly when their sharer set empties.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_mem::addr::Addr;
+/// use nocout_mem::directory::{Directory, DirState, SharerSet};
+/// use nocout_mem::protocol::CoreId;
+///
+/// let mut dir = Directory::new();
+/// let a = Addr(0x40);
+/// dir.add_sharer(a, CoreId(3));
+/// assert!(matches!(dir.state(a), Some(DirState::Shared(_))));
+/// dir.set_exclusive(a, CoreId(5));
+/// assert_eq!(dir.state(a), Some(DirState::Exclusive(CoreId(5))));
+/// ```
+#[derive(Debug, Default)]
+pub struct Directory {
+    lines: HashMap<u64, DirState>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Current state of a line (None = uncached in all L1s).
+    pub fn state(&self, addr: crate::addr::Addr) -> Option<DirState> {
+        self.lines.get(&addr.line_index()).copied()
+    }
+
+    /// Records `core` as a sharer (demotes Exclusive to Shared, keeping the
+    /// former owner as a sharer — the FwdGetS path).
+    pub fn add_sharer(&mut self, addr: crate::addr::Addr, core: CoreId) {
+        let entry = self
+            .lines
+            .entry(addr.line_index())
+            .or_insert(DirState::Shared(SharerSet::empty()));
+        *entry = match *entry {
+            DirState::Shared(mut s) => {
+                s.insert(core);
+                DirState::Shared(s)
+            }
+            DirState::Exclusive(owner) => {
+                let mut s = SharerSet::single(owner);
+                s.insert(core);
+                DirState::Shared(s)
+            }
+        };
+    }
+
+    /// Makes `core` the exclusive owner, replacing any previous state.
+    pub fn set_exclusive(&mut self, addr: crate::addr::Addr, core: CoreId) {
+        self.lines
+            .insert(addr.line_index(), DirState::Exclusive(core));
+    }
+
+    /// Removes `core` from the line's sharers/ownership (writeback or
+    /// invalidation), dropping the entry when no holder remains. Returns
+    /// whether the core was recorded.
+    pub fn remove_core(&mut self, addr: crate::addr::Addr, core: CoreId) -> bool {
+        let idx = addr.line_index();
+        match self.lines.get_mut(&idx) {
+            None => false,
+            Some(DirState::Exclusive(owner)) => {
+                if *owner == core {
+                    self.lines.remove(&idx);
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(DirState::Shared(s)) => {
+                let had = s.contains(core);
+                s.remove(core);
+                if s.is_empty() {
+                    self.lines.remove(&idx);
+                }
+                had
+            }
+        }
+    }
+
+    /// Drops all state for a line (LLC eviction).
+    pub fn drop_line(&mut self, addr: crate::addr::Addr) {
+        self.lines.remove(&addr.line_index());
+    }
+
+    /// Number of tracked lines.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(CoreId(0));
+        s.insert(CoreId(63));
+        s.insert(CoreId(127));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(CoreId(63)));
+        s.remove(CoreId(63));
+        assert!(!s.contains(CoreId(63)));
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![CoreId(0), CoreId(127)]);
+    }
+
+    #[test]
+    fn sharer_set_from_iter() {
+        let s: SharerSet = [CoreId(1), CoreId(2)].into_iter().collect();
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn exclusive_demotes_to_shared_on_read() {
+        let mut dir = Directory::new();
+        let a = Addr(0x100);
+        dir.set_exclusive(a, CoreId(1));
+        dir.add_sharer(a, CoreId(2));
+        match dir.state(a) {
+            Some(DirState::Shared(s)) => {
+                assert!(s.contains(CoreId(1)), "old owner stays as sharer");
+                assert!(s.contains(CoreId(2)));
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_core_drops_empty_entries() {
+        let mut dir = Directory::new();
+        let a = Addr(0x40);
+        dir.add_sharer(a, CoreId(9));
+        assert!(dir.remove_core(a, CoreId(9)));
+        assert_eq!(dir.state(a), None);
+        assert_eq!(dir.tracked_lines(), 0);
+        assert!(!dir.remove_core(a, CoreId(9)));
+    }
+
+    #[test]
+    fn remove_nonowner_is_noop() {
+        let mut dir = Directory::new();
+        let a = Addr(0x40);
+        dir.set_exclusive(a, CoreId(1));
+        assert!(!dir.remove_core(a, CoreId(2)));
+        assert_eq!(dir.state(a), Some(DirState::Exclusive(CoreId(1))));
+    }
+
+    #[test]
+    fn drop_line_clears_state() {
+        let mut dir = Directory::new();
+        let a = Addr(0x80);
+        dir.set_exclusive(a, CoreId(0));
+        dir.drop_line(a);
+        assert_eq!(dir.state(a), None);
+    }
+
+    #[test]
+    fn lines_are_independent() {
+        let mut dir = Directory::new();
+        dir.add_sharer(Addr(0x00), CoreId(1));
+        dir.add_sharer(Addr(0x40), CoreId(2));
+        assert_eq!(dir.tracked_lines(), 2);
+        match dir.state(Addr(0x00)) {
+            Some(DirState::Shared(s)) => assert!(!s.contains(CoreId(2))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

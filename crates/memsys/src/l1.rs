@@ -1,0 +1,305 @@
+//! Private L1 caches with miss-status holding registers.
+//!
+//! Each core has a 32 KB L1-I and a 32 KB L1-D (Table 1). L1-I misses stall
+//! fetch — the effect the whole paper revolves around — while L1-D misses
+//! overlap up to the MSHR/LSQ bound, modelling the low memory-level
+//! parallelism of scale-out workloads.
+
+use crate::addr::Addr;
+use crate::cache::{CacheArray, CacheGeometry, Evicted, Lookup};
+use nocout_sim::stats::Counter;
+use std::collections::HashMap;
+
+/// Result of an L1 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Access {
+    /// Line present; access completes at L1 latency.
+    Hit,
+    /// Line absent; a new miss transaction must be issued (an MSHR was
+    /// allocated).
+    Miss,
+    /// Line absent but a miss for the same line is already outstanding;
+    /// the access piggybacks on it (no new request).
+    MergedMiss,
+    /// All MSHRs are busy; the access must retry later.
+    Blocked,
+}
+
+/// Configuration of an L1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// Tag/data geometry.
+    pub geometry: CacheGeometry,
+    /// Maximum outstanding line misses.
+    pub mshr_capacity: usize,
+    /// Access latency in cycles (hit or miss detection).
+    pub latency: u64,
+}
+
+impl L1Config {
+    /// Cortex-A15-like 32 KB L1 with a handful of MSHRs.
+    pub fn a15() -> Self {
+        L1Config {
+            geometry: CacheGeometry::l1_32k(),
+            mshr_capacity: 8,
+            latency: 2,
+        }
+    }
+}
+
+/// A private L1 cache (instruction or data).
+///
+/// # Examples
+///
+/// ```
+/// use nocout_mem::addr::Addr;
+/// use nocout_mem::l1::{L1Access, L1Cache, L1Config};
+///
+/// let mut l1 = L1Cache::new(L1Config::a15());
+/// let a = Addr(0x400);
+/// assert_eq!(l1.access(a, false, 1), L1Access::Miss);
+/// assert_eq!(l1.access(a, false, 2), L1Access::MergedMiss);
+/// let (waiters, evicted) = l1.fill(a, false);
+/// assert_eq!(waiters, vec![1, 2]);
+/// assert!(evicted.is_none());
+/// assert_eq!(l1.access(a, false, 3), L1Access::Hit);
+/// ```
+#[derive(Debug)]
+pub struct L1Cache {
+    cfg: L1Config,
+    array: CacheArray,
+    /// line index → waiter tags (opaque, chosen by the core model).
+    mshrs: HashMap<u64, MshrEntry>,
+    /// Statistics.
+    pub hits: Counter,
+    /// Misses that allocated a new MSHR.
+    pub misses: Counter,
+    /// Misses merged into an outstanding MSHR.
+    pub merged: Counter,
+    /// Accesses rejected because MSHRs were full.
+    pub blocked: Counter,
+}
+
+#[derive(Debug, Default)]
+struct MshrEntry {
+    waiters: Vec<u64>,
+    /// Whether any waiter needs write permission (upgrades the fill).
+    wants_write: bool,
+}
+
+impl L1Cache {
+    /// Creates an empty L1.
+    pub fn new(cfg: L1Config) -> Self {
+        L1Cache {
+            cfg,
+            array: CacheArray::new(cfg.geometry),
+            mshrs: HashMap::new(),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            merged: Counter::new(),
+            blocked: Counter::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> L1Config {
+        self.cfg
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.cfg.latency
+    }
+
+    /// Performs an access for the line containing `addr`. `waiter` is an
+    /// opaque tag returned by [`fill`](Self::fill) when the line arrives.
+    ///
+    /// Write upgrades are folded into misses: a store to a present line
+    /// simply marks it dirty (the coherence request for exclusivity is
+    /// raised by the chip model when the directory demands it; our L1 does
+    /// not track S/E distinction — see DESIGN.md §3.3).
+    pub fn access(&mut self, addr: Addr, is_write: bool, waiter: u64) -> L1Access {
+        let line = addr.line();
+        match self.array.lookup(line) {
+            Lookup::Hit => {
+                if is_write {
+                    self.array.mark_dirty(line);
+                }
+                self.hits.incr();
+                L1Access::Hit
+            }
+            Lookup::Miss => {
+                if let Some(entry) = self.mshrs.get_mut(&line.line_index()) {
+                    entry.waiters.push(waiter);
+                    entry.wants_write |= is_write;
+                    self.merged.incr();
+                    L1Access::MergedMiss
+                } else if self.mshrs.len() >= self.cfg.mshr_capacity {
+                    self.blocked.incr();
+                    L1Access::Blocked
+                } else {
+                    self.mshrs.insert(
+                        line.line_index(),
+                        MshrEntry {
+                            waiters: vec![waiter],
+                            wants_write: is_write,
+                        },
+                    );
+                    self.misses.incr();
+                    L1Access::Miss
+                }
+            }
+        }
+    }
+
+    /// Number of outstanding misses.
+    pub fn outstanding_misses(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Whether a miss for this line is outstanding.
+    pub fn miss_pending(&self, addr: Addr) -> bool {
+        self.mshrs.contains_key(&addr.line().line_index())
+    }
+
+    /// Completes a miss: installs the line and releases its MSHR. Returns
+    /// the waiter tags and any evicted victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no miss is outstanding for the line.
+    pub fn fill(&mut self, addr: Addr, dirty: bool) -> (Vec<u64>, Option<Evicted>) {
+        let line = addr.line();
+        let entry = self
+            .mshrs
+            .remove(&line.line_index())
+            .expect("fill without outstanding miss");
+        let evicted = self.array.insert(line, dirty || entry.wants_write);
+        (entry.waiters, evicted)
+    }
+
+    /// Installs a line without timing effects (checkpoint-style cache
+    /// warming, mirroring the paper's warmed-checkpoint methodology).
+    pub fn warm(&mut self, addr: Addr) {
+        let _ = self.array.insert(addr.line(), false);
+    }
+
+    /// Invalidation snoop: removes the line; returns `(present, dirty)`.
+    pub fn snoop_invalidate(&mut self, addr: Addr) -> (bool, bool) {
+        self.array.invalidate(addr.line())
+    }
+
+    /// Downgrade snoop (FwdGetS): cleans the line, keeping it shared;
+    /// returns whether it was present.
+    pub fn snoop_downgrade(&mut self, addr: Addr) -> bool {
+        self.array.clean(addr.line())
+    }
+
+    /// L1 miss ratio over all accesses so far (diagnostics).
+    pub fn miss_ratio(&self) -> f64 {
+        let h = self.hits.value() as f64;
+        let m = (self.misses.value() + self.merged.value()) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            m / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(L1Config::a15())
+    }
+
+    #[test]
+    fn miss_allocates_then_merges() {
+        let mut c = l1();
+        let a = Addr(0x1000);
+        assert_eq!(c.access(a, false, 10), L1Access::Miss);
+        assert_eq!(c.access(Addr(0x1008), false, 11), L1Access::MergedMiss);
+        assert_eq!(c.outstanding_misses(), 1);
+        assert!(c.miss_pending(a));
+        let (waiters, _) = c.fill(a, false);
+        assert_eq!(waiters, vec![10, 11]);
+        assert_eq!(c.outstanding_misses(), 0);
+    }
+
+    #[test]
+    fn mshr_capacity_blocks() {
+        let mut c = L1Cache::new(L1Config {
+            mshr_capacity: 2,
+            ..L1Config::a15()
+        });
+        assert_eq!(c.access(Addr(0x0000), false, 0), L1Access::Miss);
+        assert_eq!(c.access(Addr(0x1000), false, 1), L1Access::Miss);
+        assert_eq!(c.access(Addr(0x2000), false, 2), L1Access::Blocked);
+        assert_eq!(c.blocked.value(), 1);
+        c.fill(Addr(0x0000), false);
+        assert_eq!(c.access(Addr(0x2000), false, 3), L1Access::Miss);
+    }
+
+    #[test]
+    fn store_to_present_line_dirties_it() {
+        let mut c = l1();
+        let a = Addr(0x40);
+        c.access(a, false, 0);
+        c.fill(a, false);
+        assert_eq!(c.access(a, true, 1), L1Access::Hit);
+        let (present, dirty) = c.snoop_invalidate(a);
+        assert!(present && dirty);
+    }
+
+    #[test]
+    fn write_waiter_upgrades_fill_to_dirty() {
+        let mut c = l1();
+        let a = Addr(0x80);
+        assert_eq!(c.access(a, true, 7), L1Access::Miss);
+        c.fill(a, false);
+        let (present, dirty) = c.snoop_invalidate(a);
+        assert!(present && dirty, "store miss must install the line dirty");
+    }
+
+    #[test]
+    fn downgrade_keeps_line() {
+        let mut c = l1();
+        let a = Addr(0xC0);
+        c.access(a, true, 0);
+        c.fill(a, false);
+        assert!(c.snoop_downgrade(a));
+        assert_eq!(c.access(a, false, 1), L1Access::Hit);
+        let (present, dirty) = c.snoop_invalidate(a);
+        assert!(present);
+        assert!(!dirty);
+    }
+
+    #[test]
+    fn capacity_evictions_surface_victims() {
+        let mut c = l1();
+        // 128 sets × 4 ways; fill 5 lines of one set.
+        let set_stride = 128 * 64;
+        let mut evicted = None;
+        for i in 0..5u64 {
+            let a = Addr(i * set_stride as u64);
+            c.access(a, false, i);
+            let (_, ev) = c.fill(a, false);
+            evicted = evicted.or(ev);
+        }
+        assert!(evicted.is_some(), "fifth line in a 4-way set must evict");
+    }
+
+    #[test]
+    fn miss_ratio_tracks() {
+        let mut c = l1();
+        let a = Addr(0x40);
+        c.access(a, false, 0);
+        c.fill(a, false);
+        for _ in 0..9 {
+            c.access(a, false, 0);
+        }
+        assert!((c.miss_ratio() - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1027 @@
+//! LLC tile controller: banked NUCA slice + directory + protocol engine.
+//!
+//! One `LlcTile` models a slice of the shared last-level cache together
+//! with its co-located directory slice. Requests delivered by the network
+//! enter [`LlcTile::submit`]; each cycle [`LlcTile::tick`] grants requests
+//! to free banks (internal banking per §4.3 — NOC-Out uses 2 banks per tile
+//! so bank contention is visible, the effect the paper credits for
+//! NOC-Out's small Data Serving loss); finished work surfaces through
+//! [`LlcTile::pop_ready`] as messages for the chip model to inject.
+
+use crate::addr::Addr;
+use crate::cache::{CacheArray, CacheGeometry, Lookup};
+use crate::directory::{DirState, Directory};
+use crate::protocol::{CoreId, MshrId, RequestKind, TxnId};
+use nocout_sim::stats::Counter;
+use nocout_sim::Cycle;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Configuration of one LLC tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Slice capacity in bytes.
+    pub slice_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Internal banks sharing the tile's network port.
+    pub banks: usize,
+    /// Tag + data access latency in cycles.
+    pub access_latency: u64,
+    /// Cycles a bank stays busy per access (throughput bound).
+    pub bank_occupancy: u64,
+    /// Maximum in-flight memory fetches / invalidation collections.
+    pub mshr_capacity: usize,
+    /// This tile's index within the NUCA interleave (see `tile_stride`).
+    pub tile_index: usize,
+    /// Total number of LLC tiles in the interleave. Lines are distributed
+    /// round-robin by line index, so a slice holds lines with
+    /// `line % tile_stride == tile_index`; set indexing inside the slice
+    /// uses `line / tile_stride` to avoid aliasing all of a tile's lines
+    /// into a fraction of its sets.
+    pub tile_stride: usize,
+}
+
+impl LlcConfig {
+    /// A tiled-CMP slice: 8 MB / 64 tiles = 128 KB, single bank.
+    pub fn tiled_slice() -> Self {
+        LlcConfig {
+            slice_bytes: 128 * 1024,
+            ways: 16,
+            banks: 1,
+            access_latency: 5,
+            bank_occupancy: 2,
+            mshr_capacity: 16,
+            tile_index: 0,
+            tile_stride: 1,
+        }
+    }
+
+    /// Places the tile within the NUCA interleave.
+    pub fn at_position(mut self, tile_index: usize, tile_stride: usize) -> Self {
+        assert!(tile_stride > 0 && tile_index < tile_stride);
+        self.tile_index = tile_index;
+        self.tile_stride = tile_stride;
+        self
+    }
+
+    /// A NOC-Out tile: 1 MB with two internal banks (§5.1).
+    pub fn nocout_tile() -> Self {
+        LlcConfig {
+            slice_bytes: 1024 * 1024,
+            ways: 16,
+            banks: 2,
+            access_latency: 5,
+            // A 512 KB bank cycles slower than a tiled design's 128 KB
+            // slice (CACTI); this occupancy is what surfaces the bank
+            // contention the paper blames for NOC-Out's small Data
+            // Serving loss.
+            bank_occupancy: 4,
+            mshr_capacity: 32,
+            tile_index: 0,
+            tile_stride: 1,
+        }
+    }
+}
+
+/// Work delivered to an LLC tile (after network transit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcInput {
+    /// An L1 miss request from a core.
+    Core {
+        /// Core-side transaction.
+        txn: TxnId,
+        /// Requesting core.
+        core: CoreId,
+        /// Line address.
+        addr: Addr,
+        /// GetS or GetX.
+        kind: RequestKind,
+    },
+    /// A dirty writeback from a core (no reply).
+    WriteBack {
+        /// Writing core.
+        core: CoreId,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Invalidation acknowledgement for a pending collection.
+    InvAck {
+        /// The collection being acknowledged.
+        mshr: MshrId,
+    },
+    /// Line data returning from a memory controller.
+    MemData {
+        /// The fetch being completed.
+        mshr: MshrId,
+    },
+}
+
+/// Messages an LLC tile asks the chip model to send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcOutput {
+    /// Data (or write permission) to a requesting core.
+    Data {
+        /// Transaction completed by this response.
+        txn: TxnId,
+        /// Destination core.
+        to: CoreId,
+    },
+    /// Forward-read snoop to the exclusive owner.
+    FwdGetS {
+        /// Requester's transaction (owner replies directly to it).
+        txn: TxnId,
+        /// Current owner (snoop destination).
+        owner: CoreId,
+        /// Requesting core.
+        requester: CoreId,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Forward-write snoop to the exclusive owner.
+    FwdGetX {
+        /// Requester's transaction.
+        txn: TxnId,
+        /// Current owner (snoop destination).
+        owner: CoreId,
+        /// Requesting core.
+        requester: CoreId,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Invalidation snoop to a sharer; the ack returns to this tile.
+    Inv {
+        /// Collection awaiting this ack.
+        mshr: MshrId,
+        /// Sharer to invalidate.
+        sharer: CoreId,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Fetch a line from memory.
+    MemRead {
+        /// MSHR to resume on [`LlcInput::MemData`].
+        mshr: MshrId,
+        /// Line address.
+        addr: Addr,
+    },
+    /// Write a dirty victim to memory (no reply).
+    MemWrite {
+        /// Line address.
+        addr: Addr,
+    },
+}
+
+#[derive(Debug)]
+struct Mshr {
+    addr: Addr,
+    waiters: Vec<(TxnId, CoreId, RequestKind)>,
+    pending_acks: u32,
+    pending_mem: bool,
+}
+
+/// Statistics for one LLC tile.
+#[derive(Debug, Default)]
+pub struct LlcStats {
+    /// Core requests processed (the denominator of Fig. 4).
+    pub accesses: Counter,
+    /// Requests satisfied from the slice (or by owner forwarding).
+    pub hits: Counter,
+    /// Requests that went to memory.
+    pub misses: Counter,
+    /// Snoop messages sent (FwdGetS + FwdGetX + Inv).
+    pub snoops_sent: Counter,
+    /// Core requests that triggered at least one snoop — Fig. 4's
+    /// numerator ("LLC accesses causing a snoop message to be sent").
+    pub snooping_accesses: Counter,
+    /// Writebacks received from cores.
+    pub writebacks: Counter,
+    /// Dirty victims written to memory.
+    pub mem_writes: Counter,
+    /// Cycles any request waited because all banks were busy, summed.
+    pub bank_wait_cycles: Counter,
+}
+
+impl LlcStats {
+    /// Fraction of LLC accesses that triggered at least one snoop message.
+    pub fn snoop_fraction(&self) -> f64 {
+        if self.accesses.value() == 0 {
+            0.0
+        } else {
+            self.snooping_accesses.value() as f64 / self.accesses.value() as f64
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = LlcStats::default();
+    }
+}
+
+/// One LLC tile: banked cache slice, directory slice and protocol engine.
+///
+/// # Examples
+///
+/// A GetS that misses goes to memory and returns data to the requester:
+///
+/// ```
+/// use nocout_mem::addr::Addr;
+/// use nocout_mem::llc::{LlcConfig, LlcInput, LlcOutput, LlcTile};
+/// use nocout_mem::protocol::{CoreId, RequestKind, TxnId};
+/// use nocout_sim::Cycle;
+///
+/// let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+/// tile.submit(LlcInput::Core {
+///     txn: TxnId(1), core: CoreId(0), addr: Addr(0x40),
+///     kind: RequestKind::GetS,
+/// });
+/// let mut now = Cycle(0);
+/// let mshr = loop {
+///     tile.tick(now);
+///     if let Some(LlcOutput::MemRead { mshr, .. }) = tile.pop_ready(now) {
+///         break mshr;
+///     }
+///     now += 1;
+///     assert!(now.raw() < 100);
+/// };
+/// tile.submit(LlcInput::MemData { mshr });
+/// let data = loop {
+///     tile.tick(now);
+///     if let Some(LlcOutput::Data { txn, to }) = tile.pop_ready(now) {
+///         break (txn, to);
+///     }
+///     now += 1;
+///     assert!(now.raw() < 200);
+/// };
+/// assert_eq!(data, (TxnId(1), CoreId(0)));
+/// ```
+#[derive(Debug)]
+pub struct LlcTile {
+    cfg: LlcConfig,
+    cache: CacheArray,
+    dir: Directory,
+    banks: Vec<Cycle>,
+    queue: VecDeque<LlcInput>,
+    mshrs: HashMap<u32, Mshr>,
+    mshr_by_line: HashMap<u64, u32>,
+    next_mshr: u32,
+    out: BinaryHeap<Reverse<(u64, u64)>>,
+    out_payload: HashMap<u64, LlcOutput>,
+    out_seq: u64,
+    /// Tile statistics.
+    pub stats: LlcStats,
+}
+
+impl LlcTile {
+    /// Creates a tile.
+    pub fn new(cfg: LlcConfig) -> Self {
+        LlcTile {
+            cfg,
+            cache: CacheArray::new(CacheGeometry {
+                capacity_bytes: cfg.slice_bytes,
+                ways: cfg.ways,
+                line_bytes: 64,
+            }),
+            dir: Directory::new(),
+            banks: vec![Cycle::ZERO; cfg.banks],
+            queue: VecDeque::new(),
+            mshrs: HashMap::new(),
+            mshr_by_line: HashMap::new(),
+            next_mshr: 0,
+            out: BinaryHeap::new(),
+            out_payload: HashMap::new(),
+            out_seq: 0,
+            stats: LlcStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> LlcConfig {
+        self.cfg
+    }
+
+    /// Maps a chip address to this slice's local tag-array address.
+    #[inline]
+    fn slice_addr(&self, addr: Addr) -> Addr {
+        Addr::from_line_index(addr.line_index() / self.cfg.tile_stride as u64)
+    }
+
+    /// Maps a slice-local victim address back to the chip address space.
+    #[inline]
+    fn chip_addr(&self, slice: Addr) -> Addr {
+        Addr::from_line_index(
+            slice.line_index() * self.cfg.tile_stride as u64 + self.cfg.tile_index as u64,
+        )
+    }
+
+    /// Installs a line without timing effects or directory state
+    /// (checkpoint-style warming of LLC-resident content such as the
+    /// instruction footprint, mirroring the paper's warmed checkpoints).
+    pub fn warm(&mut self, addr: Addr) {
+        let slice = self.slice_addr(addr);
+        let _ = self.cache.insert(slice, false);
+    }
+
+    /// Queues incoming work (called by the chip model on packet delivery).
+    pub fn submit(&mut self, input: LlcInput) {
+        self.queue.push_back(input);
+    }
+
+    /// Outstanding queued inputs plus in-flight MSHRs (drain check).
+    pub fn inflight(&self) -> usize {
+        self.queue.len() + self.mshrs.len()
+    }
+
+    fn emit(&mut self, at: Cycle, out: LlcOutput) {
+        let seq = self.out_seq;
+        self.out_seq += 1;
+        self.out.push(Reverse((at.raw(), seq)));
+        self.out_payload.insert(seq, out);
+    }
+
+    /// Pops the next output whose latency has elapsed.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<LlcOutput> {
+        if let Some(&Reverse((at, seq))) = self.out.peek() {
+            if at <= now.raw() {
+                self.out.pop();
+                return self.out_payload.remove(&seq);
+            }
+        }
+        None
+    }
+
+    /// Advances the tile: grants queued inputs to free banks.
+    pub fn tick(&mut self, now: Cycle) {
+        // InvAcks and directory-only work bypass the banks; bank-bound work
+        // is granted in order, one per free bank per cycle.
+        let mut grants = 0usize;
+        let mut i = 0;
+        while i < self.queue.len() && grants < self.cfg.banks {
+            let input = self.queue[i];
+            match input {
+                LlcInput::InvAck { mshr } => {
+                    self.queue.remove(i);
+                    self.handle_inv_ack(mshr, now);
+                    continue;
+                }
+                LlcInput::Core { addr, .. }
+                | LlcInput::WriteBack { addr, .. } => {
+                    if let Some(bank) = self.try_grant_bank(addr, now) {
+                        self.queue.remove(i);
+                        grants += 1;
+                        let done = now + self.cfg.access_latency;
+                        let _ = bank;
+                        match input {
+                            LlcInput::Core {
+                                txn,
+                                core,
+                                addr,
+                                kind,
+                            } => self.handle_core(txn, core, addr, kind, done),
+                            LlcInput::WriteBack { core, addr } => {
+                                self.handle_writeback(core, addr, done)
+                            }
+                            _ => unreachable!(),
+                        }
+                        continue;
+                    } else {
+                        self.stats.bank_wait_cycles.incr();
+                        i += 1;
+                    }
+                }
+                LlcInput::MemData { mshr } => {
+                    let addr = match self.mshrs.get(&mshr.0) {
+                        Some(m) => m.addr,
+                        None => {
+                            // Should not happen; drop defensively.
+                            self.queue.remove(i);
+                            continue;
+                        }
+                    };
+                    if self.try_grant_bank(addr, now).is_some() {
+                        self.queue.remove(i);
+                        grants += 1;
+                        let done = now + self.cfg.access_latency;
+                        self.handle_mem_data(mshr, done);
+                        continue;
+                    } else {
+                        self.stats.bank_wait_cycles.incr();
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_grant_bank(&mut self, addr: Addr, now: Cycle) -> Option<usize> {
+        // Bank selection must use the slice-local index: the chip-level
+        // low line bits are constant within a tile (they select the tile).
+        let bank = (self.slice_addr(addr).line_index() as usize) % self.cfg.banks;
+        if self.banks[bank] <= now {
+            self.banks[bank] = now + self.cfg.bank_occupancy;
+            Some(bank)
+        } else {
+            None
+        }
+    }
+
+    fn alloc_mshr(&mut self, addr: Addr) -> u32 {
+        let id = self.next_mshr;
+        self.next_mshr = self.next_mshr.wrapping_add(1);
+        self.mshrs.insert(
+            id,
+            Mshr {
+                addr,
+                waiters: Vec::new(),
+                pending_acks: 0,
+                pending_mem: false,
+            },
+        );
+        self.mshr_by_line.insert(addr.line_index(), id);
+        id
+    }
+
+    fn handle_core(&mut self, txn: TxnId, core: CoreId, addr: Addr, kind: RequestKind, done: Cycle) {
+        self.stats.accesses.incr();
+        let line = addr.line();
+
+        // A fetch/collection already in flight for this line: piggyback.
+        if let Some(&mid) = self.mshr_by_line.get(&line.line_index()) {
+            let m = self.mshrs.get_mut(&mid).expect("mshr map consistent");
+            m.waiters.push((txn, core, kind));
+            return;
+        }
+
+        // Directory first: an exclusive owner elsewhere means forwarding,
+        // regardless of whether our data copy is current.
+        if let Some(DirState::Exclusive(owner)) = self.dir.state(line) {
+            if owner != core {
+                self.stats.snoops_sent.incr();
+                self.stats.snooping_accesses.incr();
+                self.stats.hits.incr();
+                match kind {
+                    RequestKind::GetS => {
+                        self.dir.add_sharer(line, core);
+                        self.emit(
+                            done,
+                            LlcOutput::FwdGetS {
+                                txn,
+                                owner,
+                                requester: core,
+                                addr: line,
+                            },
+                        );
+                    }
+                    RequestKind::GetX => {
+                        self.dir.set_exclusive(line, core);
+                        self.emit(
+                            done,
+                            LlcOutput::FwdGetX {
+                                txn,
+                                owner,
+                                requester: core,
+                                addr: line,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+        }
+
+        // Invalidations needed for a write to a shared line.
+        let mut pending_acks = 0u32;
+        if kind == RequestKind::GetX {
+            if let Some(DirState::Shared(sharers)) = self.dir.state(line) {
+                // Snoops are emitted below, once the MSHR collecting their
+                // acks exists; here we only count them.
+                pending_acks = sharers.iter().filter(|&s| s != core).count() as u32;
+                self.stats.snoops_sent.add(pending_acks as u64);
+            }
+        }
+
+        let slice = self.slice_addr(line);
+        let hit = self.cache.lookup(slice) == Lookup::Hit;
+        if hit && pending_acks == 0 {
+            self.stats.hits.incr();
+            match kind {
+                RequestKind::GetS => self.dir.add_sharer(line, core),
+                RequestKind::GetX => self.dir.set_exclusive(line, core),
+            }
+            self.emit(done, LlcOutput::Data { txn, to: core });
+            return;
+        }
+
+        // Slow path: memory fetch and/or ack collection.
+        if !hit {
+            self.stats.misses.incr();
+        } else {
+            self.stats.hits.incr();
+        }
+        let mid = self.alloc_mshr(line);
+        let m = self.mshrs.get_mut(&mid).expect("just inserted");
+        m.waiters.push((txn, core, kind));
+        m.pending_acks = pending_acks;
+        m.pending_mem = !hit;
+        if pending_acks > 0 {
+            self.stats.snooping_accesses.incr();
+            if let Some(DirState::Shared(sharers)) = self.dir.state(line) {
+                let targets: Vec<CoreId> = sharers.iter().filter(|&s| s != core).collect();
+                for sharer in targets {
+                    self.emit(
+                        done,
+                        LlcOutput::Inv {
+                            mshr: MshrId(mid),
+                            sharer,
+                            addr: line,
+                        },
+                    );
+                }
+            }
+        }
+        if !hit {
+            self.emit(done, LlcOutput::MemRead {
+                mshr: MshrId(mid),
+                addr: line,
+            });
+        }
+    }
+
+    fn handle_writeback(&mut self, core: CoreId, addr: Addr, done: Cycle) {
+        self.stats.writebacks.incr();
+        let line = addr.line();
+        self.dir.remove_core(line, core);
+        let slice = self.slice_addr(line);
+        if self.cache.mark_dirty(slice) {
+            return;
+        }
+        // Line was evicted from the LLC meanwhile: re-install it dirty.
+        if let Some(victim) = self.cache.insert(slice, true) {
+            let victim_addr = self.chip_addr(victim.addr);
+            self.dir.drop_line(victim_addr);
+            if victim.dirty {
+                self.stats.mem_writes.incr();
+                self.emit(done, LlcOutput::MemWrite { addr: victim_addr });
+            }
+        }
+    }
+
+    fn handle_inv_ack(&mut self, mshr: MshrId, now: Cycle) {
+        let finished = {
+            let m = match self.mshrs.get_mut(&mshr.0) {
+                Some(m) => m,
+                None => return,
+            };
+            debug_assert!(m.pending_acks > 0);
+            m.pending_acks -= 1;
+            m.pending_acks == 0 && !m.pending_mem
+        };
+        if finished {
+            self.complete_mshr(mshr, now + 1);
+        }
+    }
+
+    fn handle_mem_data(&mut self, mshr: MshrId, done: Cycle) {
+        let (line, finished) = {
+            let m = match self.mshrs.get_mut(&mshr.0) {
+                Some(m) => m,
+                None => return,
+            };
+            m.pending_mem = false;
+            (m.addr, m.pending_acks == 0)
+        };
+        // Install the fetched line.
+        let slice = self.slice_addr(line);
+        if let Some(victim) = self.cache.insert(slice, false) {
+            let victim_addr = self.chip_addr(victim.addr);
+            self.dir.drop_line(victim_addr);
+            if victim.dirty {
+                self.stats.mem_writes.incr();
+                self.emit(done, LlcOutput::MemWrite { addr: victim_addr });
+            }
+        }
+        if finished {
+            self.complete_mshr(mshr, done);
+        }
+    }
+
+    fn complete_mshr(&mut self, mshr: MshrId, at: Cycle) {
+        let m = match self.mshrs.remove(&mshr.0) {
+            Some(m) => m,
+            None => return,
+        };
+        self.mshr_by_line.remove(&m.addr.line_index());
+        let any_write = m.waiters.iter().any(|&(_, _, k)| k == RequestKind::GetX);
+        for &(txn, core, _) in &m.waiters {
+            self.emit(at, LlcOutput::Data { txn, to: core });
+        }
+        // Final directory state: single writer becomes exclusive; otherwise
+        // everyone is a sharer (mixed waiter sets are treated as shared —
+        // a timing-model simplification, see DESIGN.md).
+        if any_write && m.waiters.len() == 1 {
+            self.dir.set_exclusive(m.addr, m.waiters[0].1);
+        } else {
+            for &(_, core, _) in &m.waiters {
+                self.dir.add_sharer(m.addr, core);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until<F: FnMut(&LlcOutput) -> bool>(
+        tile: &mut LlcTile,
+        now: &mut Cycle,
+        max: u64,
+        mut pred: F,
+    ) -> Vec<LlcOutput> {
+        let mut seen = Vec::new();
+        for _ in 0..max {
+            tile.tick(*now);
+            while let Some(out) = tile.pop_ready(*now) {
+                let done = pred(&out);
+                seen.push(out);
+                if done {
+                    return seen;
+                }
+            }
+            *now += 1;
+        }
+        panic!("predicate not satisfied; saw {seen:?}");
+    }
+
+    fn gets(txn: u32, core: u16, addr: u64) -> LlcInput {
+        LlcInput::Core {
+            txn: TxnId(txn),
+            core: CoreId(core),
+            addr: Addr(addr),
+            kind: RequestKind::GetS,
+        }
+    }
+
+    fn getx(txn: u32, core: u16, addr: u64) -> LlcInput {
+        LlcInput::Core {
+            txn: TxnId(txn),
+            core: CoreId(core),
+            addr: Addr(addr),
+            kind: RequestKind::GetX,
+        }
+    }
+
+    #[test]
+    fn miss_fetches_from_memory_then_replies() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        tile.submit(gets(1, 0, 0x40));
+        let outs = run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::MemRead { .. })
+        });
+        let mshr = match outs.last().unwrap() {
+            LlcOutput::MemRead { mshr, addr } => {
+                assert_eq!(*addr, Addr(0x40));
+                *mshr
+            }
+            _ => unreachable!(),
+        };
+        tile.submit(LlcInput::MemData { mshr });
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::Data { txn: TxnId(1), to } if *to == CoreId(0))
+        });
+        assert_eq!(tile.stats.misses.value(), 1);
+        assert_eq!(tile.inflight(), 0);
+    }
+
+    #[test]
+    fn second_access_hits() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        tile.submit(gets(1, 0, 0x40));
+        let outs = run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::MemRead { .. })
+        });
+        let mshr = match outs.last().unwrap() {
+            LlcOutput::MemRead { mshr, .. } => *mshr,
+            _ => unreachable!(),
+        };
+        tile.submit(LlcInput::MemData { mshr });
+        run_until(&mut tile, &mut now, 100, |o| matches!(o, LlcOutput::Data { .. }));
+        tile.submit(gets(2, 1, 0x40));
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::Data { txn: TxnId(2), .. })
+        });
+        assert_eq!(tile.stats.hits.value(), 1);
+        assert_eq!(tile.stats.snoops_sent.value(), 0, "read sharing is snoop-free");
+    }
+
+    fn prime_line(tile: &mut LlcTile, now: &mut Cycle, addr: u64, input: LlcInput) {
+        tile.submit(input);
+        let outs = run_until(tile, now, 100, |o| {
+            matches!(o, LlcOutput::MemRead { .. } | LlcOutput::Data { .. })
+        });
+        if let LlcOutput::MemRead { mshr, .. } = outs.last().unwrap() {
+            tile.submit(LlcInput::MemData { mshr: *mshr });
+            run_until(tile, now, 100, |o| matches!(o, LlcOutput::Data { .. }));
+        }
+        let _ = addr;
+    }
+
+    #[test]
+    fn write_then_read_forwards_to_owner() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        prime_line(&mut tile, &mut now, 0x40, getx(1, 3, 0x40));
+        // Core 5 reads: directory must forward to owner core 3.
+        tile.submit(gets(2, 5, 0x40));
+        let outs = run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::FwdGetS { .. })
+        });
+        match outs.last().unwrap() {
+            LlcOutput::FwdGetS {
+                txn,
+                owner,
+                requester,
+                addr,
+            } => {
+                assert_eq!(*txn, TxnId(2));
+                assert_eq!(*owner, CoreId(3));
+                assert_eq!(*requester, CoreId(5));
+                assert_eq!(*addr, Addr(0x40));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(tile.stats.snoops_sent.value(), 1);
+    }
+
+    #[test]
+    fn write_to_shared_line_invalidates_sharers() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        prime_line(&mut tile, &mut now, 0x80, gets(1, 0, 0x80));
+        tile.submit(gets(2, 1, 0x80));
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::Data { txn: TxnId(2), .. })
+        });
+        // Core 2 writes: cores 0 and 1 must be invalidated before data.
+        tile.submit(getx(3, 2, 0x80));
+        let outs = run_until(&mut tile, &mut now, 100, |o| matches!(o, LlcOutput::Inv { .. }));
+        let mshr = match outs.last().unwrap() {
+            LlcOutput::Inv { mshr, .. } => *mshr,
+            _ => unreachable!(),
+        };
+        // Exactly two Invs total; drain the second if still queued.
+        let mut inv_count = outs
+            .iter()
+            .filter(|o| matches!(o, LlcOutput::Inv { .. }))
+            .count();
+        for _ in 0..50 {
+            tile.tick(now);
+            if let Some(LlcOutput::Inv { .. }) = tile.pop_ready(now) {
+                inv_count += 1;
+            }
+            now += 1;
+        }
+        assert_eq!(inv_count, 2);
+        // No data until both acks arrive.
+        tile.submit(LlcInput::InvAck { mshr });
+        for _ in 0..20 {
+            tile.tick(now);
+            assert!(tile.pop_ready(now).is_none(), "must wait for second ack");
+            now += 1;
+        }
+        tile.submit(LlcInput::InvAck { mshr });
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::Data { txn: TxnId(3), to } if *to == CoreId(2))
+        });
+        assert_eq!(tile.stats.snoops_sent.value(), 2);
+    }
+
+    #[test]
+    fn writeback_marks_dirty_and_clears_owner() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        prime_line(&mut tile, &mut now, 0xC0, getx(1, 7, 0xC0));
+        tile.submit(LlcInput::WriteBack {
+            core: CoreId(7),
+            addr: Addr(0xC0),
+        });
+        for _ in 0..20 {
+            tile.tick(now);
+            now += 1;
+        }
+        assert_eq!(tile.stats.writebacks.value(), 1);
+        // Next read hits without snoops (owner gone).
+        tile.submit(gets(2, 1, 0xC0));
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::Data { txn: TxnId(2), .. })
+        });
+        assert_eq!(tile.stats.snoops_sent.value(), 0);
+    }
+
+    #[test]
+    fn concurrent_misses_same_line_merge() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        tile.submit(gets(1, 0, 0x40));
+        tile.submit(gets(2, 1, 0x40));
+        let outs = run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::MemRead { .. })
+        });
+        let mshr = match outs.last().unwrap() {
+            LlcOutput::MemRead { mshr, .. } => *mshr,
+            _ => unreachable!(),
+        };
+        // Only one memory read for the two requests.
+        tile.submit(LlcInput::MemData { mshr });
+        let mut data_count = 0;
+        for _ in 0..100 {
+            tile.tick(now);
+            while let Some(out) = tile.pop_ready(now) {
+                match out {
+                    LlcOutput::Data { .. } => data_count += 1,
+                    LlcOutput::MemRead { .. } => panic!("second fetch must merge"),
+                    _ => {}
+                }
+            }
+            now += 1;
+        }
+        assert_eq!(data_count, 2);
+    }
+
+    #[test]
+    fn bank_contention_delays_grants() {
+        // Single bank, occupancy 2: back-to-back same-bank requests grant
+        // one per two cycles.
+        let cfg = LlcConfig {
+            banks: 1,
+            ..LlcConfig::tiled_slice()
+        };
+        let mut tile = LlcTile::new(cfg);
+        let mut now = Cycle(0);
+        // Prime two lines so both hit.
+        prime_line(&mut tile, &mut now, 0x000, gets(1, 0, 0x000));
+        prime_line(&mut tile, &mut now, 0x040, gets(2, 0, 0x040));
+        let start = now;
+        tile.submit(gets(3, 0, 0x000));
+        tile.submit(gets(4, 1, 0x040));
+        let mut deliveries = Vec::new();
+        for _ in 0..50 {
+            tile.tick(now);
+            while let Some(LlcOutput::Data { txn, .. }) = tile.pop_ready(now) {
+                deliveries.push((txn, now.raw() - start.raw()));
+            }
+            now += 1;
+        }
+        assert_eq!(deliveries.len(), 2);
+        // Second grant waited for the bank.
+        assert!(deliveries[1].1 >= deliveries[0].1 + cfg.bank_occupancy);
+        assert!(tile.stats.bank_wait_cycles.value() > 0);
+    }
+
+    #[test]
+    fn getx_while_memory_fetch_pending_merges() {
+        // A write request joining an in-flight read fetch must not issue a
+        // second memory read, and both waiters get data.
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        tile.submit(gets(1, 0, 0x40));
+        let outs = run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::MemRead { .. })
+        });
+        let mshr = match outs.last().unwrap() {
+            LlcOutput::MemRead { mshr, .. } => *mshr,
+            _ => unreachable!(),
+        };
+        tile.submit(getx(2, 1, 0x40));
+        for _ in 0..20 {
+            tile.tick(now);
+            assert!(
+                !matches!(tile.pop_ready(now), Some(LlcOutput::MemRead { .. })),
+                "merged request must not refetch"
+            );
+            now += 1;
+        }
+        tile.submit(LlcInput::MemData { mshr });
+        let mut data = 0;
+        for _ in 0..100 {
+            tile.tick(now);
+            while let Some(out) = tile.pop_ready(now) {
+                if matches!(out, LlcOutput::Data { .. }) {
+                    data += 1;
+                }
+            }
+            now += 1;
+        }
+        assert_eq!(data, 2);
+    }
+
+    #[test]
+    fn writeback_to_evicted_line_reinstalls_dirty() {
+        // Tiny slice: stream enough distinct lines through to evict the
+        // one a core later writes back; the writeback must re-install it
+        // and eventually push a dirty victim toward memory.
+        let cfg = LlcConfig {
+            slice_bytes: 4096, // 4 sets × 16 ways
+            ..LlcConfig::tiled_slice()
+        };
+        let mut tile = LlcTile::new(cfg);
+        let mut now = Cycle(0);
+        prime_line(&mut tile, &mut now, 0, getx(1, 0, 0));
+        // Evict line 0 by filling its set far beyond associativity.
+        for i in 1..=40u32 {
+            let addr = (i as u64) * 4096; // same set in a 4-set slice... stride by sets*64
+            prime_line(&mut tile, &mut now, addr, gets(100 + i, 1, addr));
+        }
+        tile.submit(LlcInput::WriteBack {
+            core: CoreId(0),
+            addr: Addr(0),
+        });
+        let mut mem_write = false;
+        for _ in 0..200 {
+            tile.tick(now);
+            while let Some(out) = tile.pop_ready(now) {
+                if matches!(out, LlcOutput::MemWrite { .. }) {
+                    mem_write = true;
+                }
+            }
+            now += 1;
+        }
+        assert!(
+            tile.stats.writebacks.value() == 1,
+            "writeback must be processed"
+        );
+        // Either the re-install evicted a dirty victim now or will later;
+        // at minimum the line is present dirty again: a subsequent read
+        // hits without memory traffic.
+        tile.submit(gets(999, 2, 0));
+        let outs = run_until(&mut tile, &mut now, 200, |o| {
+            matches!(o, LlcOutput::Data { txn: TxnId(999), .. } | LlcOutput::MemRead { .. })
+        });
+        assert!(
+            matches!(outs.last().unwrap(), LlcOutput::Data { .. }),
+            "re-installed line must hit"
+        );
+        let _ = mem_write;
+    }
+
+    #[test]
+    fn fwd_getx_transfers_exclusive_ownership() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        prime_line(&mut tile, &mut now, 0x40, getx(1, 3, 0x40));
+        // Writer 5 takes the line from writer 3.
+        tile.submit(getx(2, 5, 0x40));
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::FwdGetX { owner, requester, .. }
+                if *owner == CoreId(3) && *requester == CoreId(5))
+        });
+        // A third writer must now be forwarded to 5, not 3.
+        tile.submit(getx(3, 7, 0x40));
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::FwdGetX { owner, .. } if *owner == CoreId(5))
+        });
+    }
+
+    #[test]
+    fn owner_rereading_its_own_line_hits_without_snoop() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        prime_line(&mut tile, &mut now, 0x40, getx(1, 3, 0x40));
+        let before = tile.stats.snoops_sent.value();
+        tile.submit(gets(2, 3, 0x40));
+        run_until(&mut tile, &mut now, 100, |o| {
+            matches!(o, LlcOutput::Data { txn: TxnId(2), .. })
+        });
+        assert_eq!(tile.stats.snoops_sent.value(), before);
+    }
+
+    #[test]
+    fn inv_ack_for_unknown_mshr_is_ignored() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        tile.submit(LlcInput::InvAck { mshr: MshrId(777) });
+        let mut now = Cycle(0);
+        for _ in 0..10 {
+            tile.tick(now);
+            assert!(tile.pop_ready(now).is_none());
+            now += 1;
+        }
+        assert_eq!(tile.inflight(), 0);
+    }
+
+    #[test]
+    fn snoop_fraction_reflects_sharing() {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        let mut now = Cycle(0);
+        prime_line(&mut tile, &mut now, 0x40, gets(1, 0, 0x40));
+        for i in 0..97u32 {
+            tile.submit(gets(10 + i, (i % 8) as u16, 0x40));
+            run_until(&mut tile, &mut now, 100, |o| matches!(o, LlcOutput::Data { .. }));
+        }
+        // Two writes → each snoops the accumulated sharers.
+        tile.submit(getx(200, 9, 0x40));
+        run_until(&mut tile, &mut now, 1000, |o| matches!(o, LlcOutput::Inv { .. }));
+        assert!(tile.stats.snoop_fraction() > 0.0);
+    }
+}

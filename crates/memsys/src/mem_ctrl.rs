@@ -1,0 +1,217 @@
+//! DDR3-1667 memory-channel model.
+//!
+//! The chip has four channels (Table 1), interleaved by line address. Each
+//! channel services one 64-byte access at a time: an access occupies the
+//! channel for [`MemChannelConfig::occupancy`] cycles (data-bus burst,
+//! ≈ 12.8 GB/s per channel at 2 GHz) and completes after
+//! [`MemChannelConfig::latency`] cycles (activate + CAS + transfer,
+//! ≈ 45 ns). Queueing delay emerges from the FIFO.
+
+use nocout_sim::stats::Counter;
+use nocout_sim::Cycle;
+use std::collections::VecDeque;
+
+/// Timing of one DDR3 channel, in core cycles (2 GHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemChannelConfig {
+    /// Cycles from the access starting service until data is available.
+    pub latency: u64,
+    /// Cycles the channel stays busy per access (throughput bound).
+    pub occupancy: u64,
+}
+
+impl Default for MemChannelConfig {
+    /// DDR3-1667 at a 2 GHz core clock: ~45 ns access, 64 B burst at
+    /// ~12.8 GB/s.
+    fn default() -> Self {
+        MemChannelConfig {
+            latency: 90,
+            occupancy: 12,
+        }
+    }
+}
+
+/// A request queued at a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRequest {
+    /// A read that completes with a token handed back via
+    /// [`MemoryChannel::tick`].
+    Read {
+        /// Opaque completion token (the chip model uses the message-slab
+        /// token of the eventual `MemData`).
+        token: u64,
+    },
+    /// A write (fire-and-forget; consumes bandwidth only).
+    Write,
+}
+
+/// One DDR3 channel.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_mem::mem_ctrl::{MemChannelConfig, MemoryChannel, MemRequest};
+/// use nocout_sim::Cycle;
+///
+/// let mut ch = MemoryChannel::new(MemChannelConfig { latency: 10, occupancy: 4 });
+/// ch.push(MemRequest::Read { token: 7 }, Cycle(0));
+/// let mut done = Vec::new();
+/// for t in 0..=10 {
+///     done.extend(ch.tick(Cycle(t)));
+/// }
+/// assert_eq!(done, vec![7]);
+/// ```
+#[derive(Debug)]
+pub struct MemoryChannel {
+    cfg: MemChannelConfig,
+    queue: VecDeque<MemRequest>,
+    busy_until: Cycle,
+    completions: VecDeque<(Cycle, u64)>,
+    /// Reads serviced.
+    pub reads: Counter,
+    /// Writes serviced.
+    pub writes: Counter,
+    /// Total cycles requests spent queued (arrival→service), for
+    /// diagnostics.
+    pub queue_cycles: Counter,
+    arrivals: VecDeque<Cycle>,
+    /// Deepest queue observed.
+    pub peak_queue: usize,
+}
+
+impl MemoryChannel {
+    /// Creates an idle channel.
+    pub fn new(cfg: MemChannelConfig) -> Self {
+        MemoryChannel {
+            cfg,
+            queue: VecDeque::new(),
+            busy_until: Cycle::ZERO,
+            completions: VecDeque::new(),
+            reads: Counter::new(),
+            writes: Counter::new(),
+            queue_cycles: Counter::new(),
+            arrivals: VecDeque::new(),
+            peak_queue: 0,
+        }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> MemChannelConfig {
+        self.cfg
+    }
+
+    /// Enqueues a request at `now`.
+    pub fn push(&mut self, req: MemRequest, now: Cycle) {
+        self.queue.push_back(req);
+        self.arrivals.push_back(now);
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
+
+    /// Requests waiting or in service.
+    pub fn inflight(&self) -> usize {
+        self.queue.len() + self.completions.len()
+    }
+
+    /// Advances one cycle; returns tokens of reads whose data is ready.
+    pub fn tick(&mut self, now: Cycle) -> Vec<u64> {
+        // Start service on the head request if the data bus is free.
+        while self.busy_until <= now {
+            let Some(req) = self.queue.pop_front() else {
+                break;
+            };
+            let arrived = self.arrivals.pop_front().unwrap_or(now);
+            self.queue_cycles.add(now.saturating_since(arrived));
+            self.busy_until = now + self.cfg.occupancy;
+            match req {
+                MemRequest::Read { token } => {
+                    self.reads.incr();
+                    self.completions.push_back((now + self.cfg.latency, token));
+                }
+                MemRequest::Write => {
+                    self.writes.incr();
+                }
+            }
+        }
+        let mut done = Vec::new();
+        while let Some(&(at, token)) = self.completions.front() {
+            if at <= now {
+                self.completions.pop_front();
+                done.push(token);
+            } else {
+                break;
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MemChannelConfig {
+        MemChannelConfig {
+            latency: 20,
+            occupancy: 5,
+        }
+    }
+
+    #[test]
+    fn read_completes_after_latency() {
+        let mut ch = MemoryChannel::new(cfg());
+        ch.push(MemRequest::Read { token: 1 }, Cycle(0));
+        for t in 0..20 {
+            assert!(ch.tick(Cycle(t)).is_empty(), "not ready at {t}");
+        }
+        assert_eq!(ch.tick(Cycle(20)), vec![1]);
+        assert_eq!(ch.inflight(), 0);
+    }
+
+    #[test]
+    fn occupancy_serializes_requests() {
+        let mut ch = MemoryChannel::new(cfg());
+        ch.push(MemRequest::Read { token: 1 }, Cycle(0));
+        ch.push(MemRequest::Read { token: 2 }, Cycle(0));
+        ch.push(MemRequest::Read { token: 3 }, Cycle(0));
+        let mut finish = Vec::new();
+        for t in 0..100 {
+            for tok in ch.tick(Cycle(t)) {
+                finish.push((tok, t));
+            }
+        }
+        assert_eq!(finish, vec![(1, 20), (2, 25), (3, 30)]);
+        assert_eq!(ch.queue_cycles.value(), 0 + 5 + 10);
+    }
+
+    #[test]
+    fn writes_consume_bandwidth_without_completion() {
+        let mut ch = MemoryChannel::new(cfg());
+        ch.push(MemRequest::Write, Cycle(0));
+        ch.push(MemRequest::Read { token: 9 }, Cycle(0));
+        let mut done = Vec::new();
+        for t in 0..100 {
+            done.extend(ch.tick(Cycle(t)));
+        }
+        // Read starts at 5 (after the write's occupancy), data at 25.
+        assert_eq!(done, vec![9]);
+        assert_eq!(ch.writes.value(), 1);
+        assert_eq!(ch.reads.value(), 1);
+    }
+
+    #[test]
+    fn peak_queue_tracked() {
+        let mut ch = MemoryChannel::new(cfg());
+        for i in 0..7 {
+            ch.push(MemRequest::Read { token: i }, Cycle(0));
+        }
+        assert_eq!(ch.peak_queue, 7);
+    }
+
+    #[test]
+    fn default_matches_ddr3_1667() {
+        let c = MemChannelConfig::default();
+        // 90 cycles at 2 GHz = 45 ns; 12 cycles per 64 B ≈ 10.7 GB/s.
+        assert_eq!(c.latency, 90);
+        assert_eq!(c.occupancy, 12);
+    }
+}

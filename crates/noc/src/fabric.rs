@@ -1,0 +1,96 @@
+//! The [`Fabric`] abstraction: anything that can carry protocol packets
+//! between terminals.
+//!
+//! Two implementations exist:
+//!
+//! * [`crate::network::Network`] — the detailed flit-level model used for
+//!   the main evaluation (mesh, flattened butterfly, NOC-Out),
+//! * [`crate::latency::LatencyFabric`] — a contention-free analytic model
+//!   used for Fig. 1's "Ideal" (wire-delay-only) and zero-load mesh
+//!   fabrics, where the paper explicitly does not model contention.
+
+use crate::packet::Delivery;
+use crate::stats::NetStats;
+use crate::types::{MessageClass, TerminalId};
+use nocout_sim::Cycle;
+
+/// A packet transport between terminals, advanced one cycle at a time.
+///
+/// The memory system and cores interact with the interconnect exclusively
+/// through this trait, which is what lets the experiment harness swap
+/// organizations without touching the protocol code.
+pub trait Fabric {
+    /// Queues a packet with `payload_bytes` of data (header is added and
+    /// serialization into flits happens according to the fabric's link
+    /// width).
+    fn inject(
+        &mut self,
+        src: TerminalId,
+        dst: TerminalId,
+        class: MessageClass,
+        payload_bytes: u32,
+        token: u64,
+    );
+
+    /// Advances the fabric by one cycle.
+    fn tick(&mut self);
+
+    /// Takes the next delivered packet at `terminal`, if any.
+    fn poll(&mut self, terminal: TerminalId) -> Option<Delivery>;
+
+    /// Current fabric cycle.
+    fn now(&self) -> Cycle;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &NetStats;
+
+    /// Resets statistics at the warmup/measurement boundary.
+    fn reset_stats(&mut self);
+
+    /// Link width in bits.
+    fn link_width_bits(&self) -> u32;
+
+    /// Packets currently in flight (including injection queues).
+    fn packets_in_flight(&self) -> usize;
+}
+
+impl Fabric for crate::network::Network {
+    fn inject(
+        &mut self,
+        src: TerminalId,
+        dst: TerminalId,
+        class: MessageClass,
+        payload_bytes: u32,
+        token: u64,
+    ) {
+        crate::network::Network::inject(self, src, dst, class, payload_bytes, token);
+    }
+
+    fn tick(&mut self) {
+        crate::network::Network::tick(self);
+    }
+
+    fn poll(&mut self, terminal: TerminalId) -> Option<Delivery> {
+        crate::network::Network::poll(self, terminal)
+    }
+
+    fn now(&self) -> Cycle {
+        crate::network::Network::now(self)
+    }
+
+    fn stats(&self) -> &NetStats {
+        crate::network::Network::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        crate::network::Network::reset_stats(self);
+    }
+
+    fn link_width_bits(&self) -> u32 {
+        crate::network::Network::link_width_bits(self)
+    }
+
+    fn packets_in_flight(&self) -> usize {
+        crate::network::Network::packets_in_flight(self)
+    }
+}

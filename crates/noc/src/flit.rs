@@ -1,0 +1,66 @@
+//! Flits: the unit of link transfer and buffering.
+
+use crate::packet::PacketId;
+use crate::types::{MessageClass, TerminalId};
+
+/// One flit of a packet.
+///
+/// A flit is `Copy` and carries just enough routing state (destination
+/// terminal, class, position within the packet) for the routers to move it
+/// without consulting the packet slab on the fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Parent packet handle.
+    pub packet: PacketId,
+    /// Position within the packet, `0..size`.
+    pub seq: u16,
+    /// Total number of flits in the parent packet.
+    pub size: u16,
+    /// Destination terminal (replicated from the packet header flit; real
+    /// hardware carries it only in the head flit, but the wormhole route
+    /// lock in [`crate::router`] means body flits never consult it).
+    pub dst: TerminalId,
+    /// Message class, which selects the virtual channel at every port.
+    pub class: MessageClass,
+}
+
+impl Flit {
+    /// Whether this is the head flit of its packet.
+    #[inline]
+    pub fn is_head(self) -> bool {
+        self.seq == 0
+    }
+
+    /// Whether this is the tail flit of its packet (a single-flit packet is
+    /// both head and tail).
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        self.seq + 1 == self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(seq: u16, size: u16) -> Flit {
+        Flit {
+            packet: PacketId(0),
+            seq,
+            size,
+            dst: TerminalId(0),
+            class: MessageClass::Request,
+        }
+    }
+
+    #[test]
+    fn head_tail_flags() {
+        assert!(flit(0, 1).is_head());
+        assert!(flit(0, 1).is_tail());
+        assert!(flit(0, 5).is_head());
+        assert!(!flit(0, 5).is_tail());
+        assert!(!flit(3, 5).is_head());
+        assert!(!flit(3, 5).is_tail());
+        assert!(flit(4, 5).is_tail());
+    }
+}

@@ -1,0 +1,1156 @@
+//! The network container: terminals, routers, links, and the per-cycle
+//! engine.
+//!
+//! A [`Network`] is assembled by a [`NetworkBuilder`] (usually through one
+//! of the [`crate::topology`] constructors), after which clients interact
+//! with it only through terminals: [`Network::inject`] queues a packet at a
+//! terminal's network interface and [`Network::poll`] retrieves delivered
+//! packets. [`Network::tick`] advances the whole fabric by one cycle.
+//!
+//! ## Cycle semantics
+//!
+//! * Flits scheduled to arrive at cycle *t* become visible to arbitration at
+//!   *t*.
+//! * A flit granted an output at *t* arrives downstream at
+//!   *t + pipeline_delay + link_delay*; per-hop zero-load latency is
+//!   therefore 3 cycles for the mesh (2-stage router + 1-cycle link) and
+//!   1 cycle for reduction/dispersion tree nodes, as in Table 1.
+//! * Credits are consumed at grant time and returned `credit_delay` cycles
+//!   after the flit departs the downstream buffer.
+
+use crate::flit::Flit;
+use crate::packet::{Delivery, Packet, PacketId, PacketSlab};
+use crate::router::{
+    Feeder, InPort, OutPort, OutTarget, Router, RouterConfig, UNROUTED,
+};
+use crate::stats::NetStats;
+use crate::types::{MessageClass, PortIndex, RouterId, TerminalId, CLASS_COUNT};
+use nocout_sim::Cycle;
+use std::collections::VecDeque;
+
+/// Maximum supported hop delay (pipeline + link) in cycles. The event wheel
+/// is sized to this; topology builders assert their delays fit.
+pub const MAX_HOP_DELAY: u64 = 32;
+
+#[derive(Debug)]
+struct Wheel<T> {
+    slots: Vec<Vec<T>>,
+}
+
+impl<T> Wheel<T> {
+    fn new() -> Self {
+        Wheel {
+            slots: (0..MAX_HOP_DELAY as usize * 2).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, now: Cycle, at: Cycle, ev: T) {
+        debug_assert!(at > now || at == now, "cannot schedule in the past");
+        debug_assert!(at.raw() - now.raw() < self.slots.len() as u64);
+        let idx = (at.raw() as usize) % self.slots.len();
+        self.slots[idx].push(ev);
+    }
+
+    #[inline]
+    fn drain(&mut self, now: Cycle) -> Vec<T> {
+        let idx = (now.raw() as usize) % self.slots.len();
+        std::mem::take(&mut self.slots[idx])
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ArrivalDest {
+    RouterPort { router: RouterId, port: PortIndex },
+    Terminal(TerminalId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArrivalEvent {
+    dest: ArrivalDest,
+    flit: Flit,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CreditDest {
+    RouterPort { router: RouterId, port: PortIndex },
+    Terminal(TerminalId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CreditEvent {
+    dest: CreditDest,
+    class: MessageClass,
+}
+
+#[derive(Debug, Default)]
+struct InjectLane {
+    queue: VecDeque<PacketId>,
+    /// Flits of the head packet already pushed into the router.
+    sent_flits: u16,
+}
+
+#[derive(Debug)]
+struct Terminal {
+    /// Router and input port this terminal injects into.
+    attach_router: RouterId,
+    attach_port: PortIndex,
+    /// Router holding this terminal's ejection port (differs from
+    /// `attach_router` for split terminals such as NOC-Out cores).
+    eject_router: RouterId,
+    lanes: [InjectLane; CLASS_COUNT],
+    /// Credits into the attached input port's VCs.
+    inject_credits: [u8; CLASS_COUNT],
+    /// Round-robin pointer over classes for the single NI link.
+    rr_class: u8,
+    /// Per-class reassembly: flits received of the in-flight packet.
+    rx_progress: [u16; CLASS_COUNT],
+    delivered: VecDeque<Delivery>,
+    queued_packets: u64,
+}
+
+/// Handle returned when attaching a terminal: the terminal id plus the
+/// router ports created for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TerminalAttachment {
+    /// The new terminal.
+    pub terminal: TerminalId,
+    /// Input port allocated on the router (injection side).
+    pub in_port: PortIndex,
+    /// Output port allocated on the router (ejection side).
+    pub out_port: PortIndex,
+}
+
+/// Incrementally builds a [`Network`].
+///
+/// # Examples
+///
+/// Build a two-router network and send a packet across it:
+///
+/// ```
+/// use nocout_noc::network::NetworkBuilder;
+/// use nocout_noc::router::RouterConfig;
+/// use nocout_noc::types::MessageClass;
+///
+/// let mut b = NetworkBuilder::new(128);
+/// let r0 = b.add_router(RouterConfig::mesh());
+/// let r1 = b.add_router(RouterConfig::mesh());
+/// b.add_link(r0, r1, 1, 1.8);
+/// b.add_link(r1, r0, 1, 1.8);
+/// let t0 = b.add_terminal(r0).terminal;
+/// let t1 = b.add_terminal(r1).terminal;
+/// b.compute_routes_bfs();
+/// let mut net = b.build();
+///
+/// net.inject(t0, t1, MessageClass::Request, 0, 42);
+/// let d = loop {
+///     net.tick();
+///     if let Some(d) = net.poll(t1) {
+///         break d;
+///     }
+///     assert!(net.now().raw() < 100, "packet must arrive quickly");
+/// };
+/// assert_eq!(d.packet.token, 42);
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    routers: Vec<Router>,
+    terminals: Vec<Terminal>,
+    link_width_bits: u32,
+    /// Ejection/injection link geometry.
+    terminal_link_delay: u8,
+    terminal_link_mm: f32,
+}
+
+impl NetworkBuilder {
+    /// Starts a network whose links are `link_width_bits` wide (one flit per
+    /// cycle per link; packets are serialized into
+    /// `ceil(bits / link_width_bits)` flits).
+    pub fn new(link_width_bits: u32) -> Self {
+        assert!(link_width_bits > 0);
+        NetworkBuilder {
+            routers: Vec::new(),
+            terminals: Vec::new(),
+            link_width_bits,
+            terminal_link_delay: 1,
+            terminal_link_mm: 0.5,
+        }
+    }
+
+    /// Overrides the delay/length of terminal attachment links.
+    pub fn terminal_link(&mut self, delay: u8, length_mm: f32) -> &mut Self {
+        self.terminal_link_delay = delay;
+        self.terminal_link_mm = length_mm;
+        self
+    }
+
+    /// Adds a router, returning its id.
+    pub fn add_router(&mut self, cfg: RouterConfig) -> RouterId {
+        self.routers.push(Router::new(cfg, 0));
+        RouterId((self.routers.len() - 1) as u16)
+    }
+
+    /// Adds a unidirectional link from `from` to `to`, returning
+    /// `(out_port at from, in_port at to)`. The downstream buffer depth
+    /// (and thus the sender's credit count) is the downstream router's
+    /// configured `vc_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hop delay (downstream pipeline + link) would exceed
+    /// [`MAX_HOP_DELAY`].
+    pub fn add_link(
+        &mut self,
+        from: RouterId,
+        to: RouterId,
+        link_delay: u8,
+        length_mm: f32,
+    ) -> (PortIndex, PortIndex) {
+        let depth = self.routers[to.index()].cfg.vc_depth;
+        self.add_link_with_depth(from, to, link_delay, length_mm, depth)
+    }
+
+    /// Like [`add_link`](Self::add_link) but with an explicit downstream
+    /// buffer depth for this port, used by the flattened butterfly where VC
+    /// depth is sized per link to cover its round-trip credit time
+    /// (Table 1: "variable flits/VC").
+    pub fn add_link_with_depth(
+        &mut self,
+        from: RouterId,
+        to: RouterId,
+        link_delay: u8,
+        length_mm: f32,
+        depth: u8,
+    ) -> (PortIndex, PortIndex) {
+        let from_cfg = self.routers[from.index()].cfg;
+        assert!(
+            (from_cfg.pipeline_delay as u64 + link_delay as u64) < MAX_HOP_DELAY,
+            "hop delay exceeds event-wheel capacity"
+        );
+        let to_depth = depth;
+        let in_port = {
+            let rt = &mut self.routers[to.index()];
+            rt.in_ports.push(InPort {
+                vcs: Default::default(),
+                feeder: Feeder::Router {
+                    router: from,
+                    port: PortIndex::MAX, // patched below
+                },
+                credit_delay: 1 + link_delay,
+            });
+            (rt.in_ports.len() - 1) as PortIndex
+        };
+        let out_port = {
+            let rf = &mut self.routers[from.index()];
+            rf.out_ports.push(OutPort {
+                target: OutTarget::Router {
+                    router: to,
+                    port: in_port,
+                    link_delay,
+                    length_mm,
+                },
+                credits: [to_depth; CLASS_COUNT],
+                max_credits: [to_depth; CLASS_COUNT],
+                owner: [None; CLASS_COUNT],
+                rr_next: 0,
+                flits_sent: 0,
+            });
+            (rf.out_ports.len() - 1) as PortIndex
+        };
+        // Patch the feeder back-reference now that the out port exists.
+        if let Feeder::Router { port, .. } =
+            &mut self.routers[to.index()].in_ports[in_port as usize].feeder
+        {
+            *port = out_port;
+        }
+        (out_port, in_port)
+    }
+
+    /// Adds two links forming a bidirectional channel; returns the
+    /// `(out@a→b, in@b)` and `(out@b→a, in@a)` port pairs.
+    pub fn add_bidi_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        link_delay: u8,
+        length_mm: f32,
+    ) -> ((PortIndex, PortIndex), (PortIndex, PortIndex)) {
+        let ab = self.add_link(a, b, link_delay, length_mm);
+        let ba = self.add_link(b, a, link_delay, length_mm);
+        (ab, ba)
+    }
+
+    /// Attaches a terminal (core, LLC tile, or memory controller) to a
+    /// router, allocating an injection input port and an ejection output
+    /// port on it.
+    pub fn add_terminal(&mut self, router: RouterId) -> TerminalAttachment {
+        self.add_terminal_split(router, router)
+    }
+
+    /// Attaches a terminal whose injection and ejection sides live on
+    /// *different* routers. NOC-Out cores use this: they inject into their
+    /// reduction-tree node but receive from their dispersion-tree node.
+    pub fn add_terminal_split(
+        &mut self,
+        inject_router: RouterId,
+        eject_router: RouterId,
+    ) -> TerminalAttachment {
+        let router = inject_router;
+        let terminal = TerminalId(self.terminals.len() as u16);
+        let depth = self.routers[router.index()].cfg.vc_depth;
+        let in_port = {
+            let r = &mut self.routers[router.index()];
+            r.in_ports.push(InPort {
+                vcs: Default::default(),
+                feeder: Feeder::Terminal(terminal),
+                credit_delay: 1 + self.terminal_link_delay,
+            });
+            (r.in_ports.len() - 1) as PortIndex
+        };
+        let out_port = {
+            let r = &mut self.routers[eject_router.index()];
+            r.out_ports.push(OutPort {
+                target: OutTarget::Terminal {
+                    terminal,
+                    link_delay: self.terminal_link_delay,
+                    length_mm: self.terminal_link_mm,
+                },
+                credits: [u8::MAX; CLASS_COUNT],
+                max_credits: [u8::MAX; CLASS_COUNT],
+                owner: [None; CLASS_COUNT],
+                rr_next: 0,
+                flits_sent: 0,
+            });
+            (r.out_ports.len() - 1) as PortIndex
+        };
+        self.terminals.push(Terminal {
+            attach_router: router,
+            attach_port: in_port,
+            eject_router,
+            lanes: Default::default(),
+            inject_credits: [depth; CLASS_COUNT],
+            rr_class: 0,
+            rx_progress: [0; CLASS_COUNT],
+            delivered: VecDeque::new(),
+            queued_packets: 0,
+        });
+        TerminalAttachment {
+            terminal,
+            in_port,
+            out_port,
+        }
+    }
+
+    /// Sets the routing-table entry at `router` for packets destined to
+    /// `terminal`.
+    pub fn set_route(&mut self, router: RouterId, terminal: TerminalId, out_port: PortIndex) {
+        let r = &mut self.routers[router.index()];
+        if r.route.len() <= terminal.index() {
+            r.route.resize(terminal.index() + 1, UNROUTED);
+        }
+        r.route[terminal.index()] = out_port;
+    }
+
+    /// Computes shortest-path routing tables for every (router, terminal)
+    /// pair by BFS over hop delays, breaking ties by lowest port index.
+    ///
+    /// Suitable for topologies with unique or symmetric shortest paths
+    /// (trees, rings, the 1-D LLC butterfly). The 2-D mesh and flattened
+    /// butterfly builders install explicit dimension-order tables instead,
+    /// which BFS cannot guarantee.
+    pub fn compute_routes_bfs(&mut self) {
+        let nr = self.routers.len();
+        // adjacency: for each router, (out_port, dest router, hop_delay)
+        let mut adj: Vec<Vec<(PortIndex, usize, u64)>> = vec![Vec::new(); nr];
+        for (ri, r) in self.routers.iter().enumerate() {
+            for (pi, o) in r.out_ports.iter().enumerate() {
+                if let OutTarget::Router {
+                    router, link_delay, ..
+                } = o.target
+                {
+                    let hop = r.cfg.pipeline_delay as u64 + link_delay as u64;
+                    adj[ri].push((pi as PortIndex, router.index(), hop.max(1)));
+                }
+            }
+        }
+        for t in 0..self.terminals.len() {
+            let term = TerminalId(t as u16);
+            // Dijkstra from the terminal's router backwards over reversed
+            // edges; distances small, use simple heap.
+            let target_router = self.terminals[t].eject_router.index();
+            let mut dist = vec![u64::MAX; nr];
+            let mut heap = std::collections::BinaryHeap::new();
+            dist[target_router] = 0;
+            heap.push(std::cmp::Reverse((0u64, target_router)));
+            // reversed adjacency
+            let mut radj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); nr];
+            for (ri, edges) in adj.iter().enumerate() {
+                for &(_, to, w) in edges {
+                    radj[to].push((ri, w));
+                }
+            }
+            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for &(v, w) in &radj[u] {
+                    if d + w < dist[v] {
+                        dist[v] = d + w;
+                        heap.push(std::cmp::Reverse((d + w, v)));
+                    }
+                }
+            }
+            // Choose, at each router, the lowest-index out port on a
+            // shortest path.
+            for ri in 0..nr {
+                if ri == target_router {
+                    // Route to the terminal's ejection port.
+                    let eject = self.routers[ri]
+                        .out_ports
+                        .iter()
+                        .position(|o| {
+                            matches!(o.target, OutTarget::Terminal { terminal, .. } if terminal == term)
+                        })
+                        .expect("terminal must have an ejection port") as PortIndex;
+                    self.set_route(RouterId(ri as u16), term, eject);
+                    continue;
+                }
+                if dist[ri] == u64::MAX {
+                    continue; // unreachable; leave UNROUTED
+                }
+                let mut best: Option<PortIndex> = None;
+                for &(pi, to, w) in &adj[ri] {
+                    if dist[to] != u64::MAX && dist[to] + w == dist[ri] && best.is_none() {
+                        best = Some(pi);
+                    }
+                }
+                if let Some(p) = best {
+                    self.set_route(RouterId(ri as u16), term, p);
+                }
+            }
+        }
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any router's route table is shorter than the terminal
+    /// count (routes may still be `UNROUTED` for genuinely unreachable
+    /// pairs; using such a route at runtime panics with a diagnostic).
+    pub fn build(mut self) -> Network {
+        let nt = self.terminals.len();
+        for r in &mut self.routers {
+            if r.route.len() < nt {
+                r.route.resize(nt, UNROUTED);
+            }
+        }
+        Network {
+            routers: self.routers,
+            terminals: self.terminals,
+            slab: PacketSlab::new(),
+            arrivals: Wheel::new(),
+            credits: Wheel::new(),
+            stats: NetStats::new(),
+            now: Cycle::ZERO,
+            link_width_bits: self.link_width_bits,
+            active_terminals: 0,
+        }
+    }
+}
+
+/// A flit-level network-on-chip instance.
+///
+/// See the [module documentation](crate::network) for cycle semantics and
+/// the [`NetworkBuilder`] example for usage.
+#[derive(Debug)]
+pub struct Network {
+    routers: Vec<Router>,
+    terminals: Vec<Terminal>,
+    slab: PacketSlab,
+    arrivals: Wheel<ArrivalEvent>,
+    credits: Wheel<CreditEvent>,
+    stats: NetStats,
+    now: Cycle,
+    link_width_bits: u32,
+    /// Count of terminals with non-empty injection lanes (fast-path skip).
+    active_terminals: usize,
+}
+
+impl Network {
+    /// Current network cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Link width in bits (flit size).
+    pub fn link_width_bits(&self) -> u32 {
+        self.link_width_bits
+    }
+
+    /// Number of terminals.
+    pub fn num_terminals(&self) -> usize {
+        self.terminals.len()
+    }
+
+    /// Number of routers (including tree nodes).
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Read-only access to a router (topology inspection, tests).
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets statistics at the warmup/measurement boundary.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Packets currently anywhere in the network (injection queues,
+    /// buffers, links).
+    pub fn packets_in_flight(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Queues a packet for injection at terminal `src`. The payload is
+    /// serialized into flits according to the network's link width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn inject(
+        &mut self,
+        src: TerminalId,
+        dst: TerminalId,
+        class: MessageClass,
+        payload_bytes: u32,
+        token: u64,
+    ) {
+        assert!(dst.index() < self.terminals.len(), "dst out of range");
+        let packet = Packet::new(
+            src,
+            dst,
+            class,
+            payload_bytes,
+            self.link_width_bits,
+            token,
+            self.now,
+        );
+        let id = self.slab.insert(packet);
+        let term = &mut self.terminals[src.index()];
+        let was_idle = term.queued_packets == 0;
+        term.lanes[class.vc()].queue.push_back(id);
+        term.queued_packets += 1;
+        if was_idle {
+            self.active_terminals += 1;
+        }
+        self.stats.packets_injected.incr();
+        let depth: u64 = term.lanes.iter().map(|l| l.queue.len() as u64).sum();
+        if depth > self.stats.peak_inject_queue {
+            self.stats.peak_inject_queue = depth;
+        }
+    }
+
+    /// Takes the next delivered packet at `terminal`, if any.
+    pub fn poll(&mut self, terminal: TerminalId) -> Option<Delivery> {
+        self.terminals[terminal.index()].delivered.pop_front()
+    }
+
+    /// Advances the network by one cycle.
+    pub fn tick(&mut self) {
+        self.deliver_credits();
+        self.deliver_arrivals();
+        self.inject_flits();
+        self.switch_flits();
+        self.now.0 += 1;
+    }
+
+    /// Runs until all in-flight packets are delivered or `max_cycles`
+    /// elapse; returns `true` if the network drained.
+    pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.slab.is_empty() {
+                return true;
+            }
+            self.tick();
+        }
+        self.slab.is_empty()
+    }
+
+    fn deliver_credits(&mut self) {
+        for ev in self.credits.drain(self.now) {
+            match ev.dest {
+                CreditDest::RouterPort { router, port } => {
+                    let o = &mut self.routers[router.index()].out_ports[port as usize];
+                    let c = &mut o.credits[ev.class.vc()];
+                    debug_assert!(*c < o.max_credits[ev.class.vc()]);
+                    *c += 1;
+                }
+                CreditDest::Terminal(t) => {
+                    self.terminals[t.index()].inject_credits[ev.class.vc()] += 1;
+                }
+            }
+        }
+    }
+
+    fn deliver_arrivals(&mut self) {
+        for ev in self.arrivals.drain(self.now) {
+            match ev.dest {
+                ArrivalDest::RouterPort { router, port } => {
+                    let r = &mut self.routers[router.index()];
+                    r.in_ports[port as usize].vcs[ev.flit.class.vc()]
+                        .queue
+                        .push_back(ev.flit);
+                    r.buffered += 1;
+                    self.stats.buffer_writes.incr();
+                }
+                ArrivalDest::Terminal(t) => {
+                    let flit = ev.flit;
+                    let term = &mut self.terminals[t.index()];
+                    let prog = &mut term.rx_progress[flit.class.vc()];
+                    debug_assert_eq!(
+                        *prog, flit.seq,
+                        "per-class wormhole delivery must be in order"
+                    );
+                    *prog += 1;
+                    if flit.is_tail() {
+                        *prog = 0;
+                        let packet = self.slab.remove(flit.packet);
+                        let latency = self.now.saturating_since(packet.injected_at);
+                        self.stats
+                            .record_delivery(packet.class, latency, packet.size_flits);
+                        term.delivered.push_back(Delivery {
+                            packet,
+                            delivered_at: self.now,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject_flits(&mut self) {
+        if self.active_terminals == 0 {
+            return;
+        }
+        for ti in 0..self.terminals.len() {
+            let term = &mut self.terminals[ti];
+            if term.queued_packets == 0 {
+                continue;
+            }
+            // One flit per cycle over the NI link; round-robin over classes
+            // with queued traffic and available credits.
+            let mut sent = false;
+            for k in 0..CLASS_COUNT {
+                let c = (term.rr_class as usize + k) % CLASS_COUNT;
+                let lane_has_work = !term.lanes[c].queue.is_empty();
+                if !lane_has_work || term.inject_credits[c] == 0 {
+                    continue;
+                }
+                let pid = term.lanes[c].queue[0];
+                let packet = self.slab.get(pid);
+                let flit = Flit {
+                    packet: pid,
+                    seq: term.lanes[c].sent_flits,
+                    size: packet.size_flits,
+                    dst: packet.dst,
+                    class: packet.class,
+                };
+                let router = term.attach_router;
+                let port = term.attach_port;
+                term.inject_credits[c] -= 1;
+                term.lanes[c].sent_flits += 1;
+                if term.lanes[c].sent_flits == packet.size_flits {
+                    term.lanes[c].queue.pop_front();
+                    term.lanes[c].sent_flits = 0;
+                    term.queued_packets -= 1;
+                    if term.queued_packets == 0 {
+                        self.active_terminals -= 1;
+                    }
+                }
+                term.rr_class = ((c + 1) % CLASS_COUNT) as u8;
+                // The NI link is modelled as immediate visibility this
+                // cycle; the first hop's arbitration applies the usual
+                // router + link delay.
+                let r = &mut self.routers[router.index()];
+                r.in_ports[port as usize].vcs[flit.class.vc()]
+                    .queue
+                    .push_back(flit);
+                r.buffered += 1;
+                self.stats.buffer_writes.incr();
+                sent = true;
+                break;
+            }
+            let _ = sent;
+        }
+    }
+
+    fn switch_flits(&mut self) {
+        let now = self.now;
+        for ri in 0..self.routers.len() {
+            if self.routers[ri].buffered == 0 {
+                continue;
+            }
+            let num_out = self.routers[ri].out_ports.len();
+            for out in 0..num_out {
+                // Gather candidates: queue-front flits routed to this out
+                // port that satisfy wormhole ownership and credits.
+                let mut candidates: Vec<(PortIndex, MessageClass)> = Vec::new();
+                {
+                    let r = &self.routers[ri];
+                    let o = &r.out_ports[out];
+                    let is_terminal_target =
+                        matches!(o.target, OutTarget::Terminal { .. });
+                    for (ipi, ip) in r.in_ports.iter().enumerate() {
+                        for class in MessageClass::ALL {
+                            let vc = &ip.vcs[class.vc()];
+                            let Some(&flit) = vc.queue.front() else {
+                                continue;
+                            };
+                            let desired = match vc.current_out {
+                                Some(p) => p,
+                                None => {
+                                    debug_assert!(flit.is_head());
+                                    let p = r.route[flit.dst.index()];
+                                    assert!(
+                                        p != UNROUTED,
+                                        "router {ri} has no route to {}",
+                                        flit.dst
+                                    );
+                                    p
+                                }
+                            };
+                            if desired as usize != out {
+                                continue;
+                            }
+                            let cv = class.vc();
+                            // Ownership: heads need a free downstream VC,
+                            // bodies must own it.
+                            match o.owner[cv] {
+                                None if !flit.is_head() => continue,
+                                Some(owner) if owner != ipi as PortIndex => continue,
+                                _ => {}
+                            }
+                            if !is_terminal_target && o.credits[cv] == 0 {
+                                continue;
+                            }
+                            candidates.push((ipi as PortIndex, class));
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                let (win_port, win_class) =
+                    self.routers[ri].arbitrate(out as PortIndex, &candidates);
+                self.send_flit(ri, out as PortIndex, win_port, win_class, now);
+            }
+        }
+    }
+
+    fn send_flit(
+        &mut self,
+        router: usize,
+        out: PortIndex,
+        in_port: PortIndex,
+        class: MessageClass,
+        now: Cycle,
+    ) {
+        let cv = class.vc();
+        let (flit, feeder, credit_delay, target, pipeline_delay);
+        {
+            let r = &mut self.routers[router];
+            let ip = &mut r.in_ports[in_port as usize];
+            let vc = &mut ip.vcs[cv];
+            let f = vc.queue.pop_front().expect("winner queue non-empty");
+            r.buffered -= 1;
+            flit = f;
+            feeder = ip.feeder;
+            credit_delay = ip.credit_delay;
+            if f.is_head() {
+                vc.current_out = Some(out);
+            }
+            if f.is_tail() {
+                vc.current_out = None;
+            }
+            let o = &mut r.out_ports[out as usize];
+            if f.is_head() {
+                o.owner[cv] = Some(in_port);
+            }
+            if f.is_tail() {
+                o.owner[cv] = None;
+            }
+            if let OutTarget::Router { .. } = o.target {
+                debug_assert!(o.credits[cv] > 0);
+                o.credits[cv] -= 1;
+            }
+            o.flits_sent += 1;
+            target = o.target;
+            pipeline_delay = r.cfg.pipeline_delay;
+        }
+        self.stats.buffer_reads.incr();
+        self.stats.xbar_traversals.incr();
+        self.stats.flit_hops.incr();
+        self.stats.flit_mm += target.length_mm() as f64;
+        // Schedule the arrival downstream.
+        let hop = (pipeline_delay + target.link_delay()).max(1) as u64;
+        let dest = match target {
+            OutTarget::Router { router, port, .. } => ArrivalDest::RouterPort { router, port },
+            OutTarget::Terminal { terminal, .. } => ArrivalDest::Terminal(terminal),
+        };
+        self.arrivals
+            .push(now, now + hop, ArrivalEvent { dest, flit });
+        // Return the credit upstream once this buffer slot is free.
+        let cdest = match feeder {
+            Feeder::Router { router, port } => CreditDest::RouterPort { router, port },
+            Feeder::Terminal(t) => CreditDest::Terminal(t),
+        };
+        self.credits.push(
+            now,
+            now + credit_delay.max(1) as u64,
+            CreditEvent { dest: cdest, class },
+        );
+    }
+
+    /// Walks the routing tables and verifies that every terminal can reach
+    /// every other terminal without loops, returning the hop count matrix
+    /// indexed `[src][dst]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic if any route is missing, leads through a
+    /// dangling port, or loops.
+    pub fn validate_routes(&self) -> Vec<Vec<u32>> {
+        let nt = self.terminals.len();
+        let mut hops = vec![vec![0u32; nt]; nt];
+        for (s, term) in self.terminals.iter().enumerate() {
+            for d in 0..nt {
+                let dst = TerminalId(d as u16);
+                let mut router = term.attach_router;
+                let mut count = 0u32;
+                loop {
+                    assert!(
+                        count as usize <= self.routers.len(),
+                        "routing loop from t{s} to t{d}"
+                    );
+                    let r = &self.routers[router.index()];
+                    let port = r.route[dst.index()];
+                    assert!(
+                        port != UNROUTED,
+                        "router {} has no route from t{s} to t{d}",
+                        router
+                    );
+                    match r.out_ports[port as usize].target {
+                        OutTarget::Terminal { terminal, .. } => {
+                            assert_eq!(terminal, dst, "route from t{s} ejects at wrong terminal");
+                            break;
+                        }
+                        OutTarget::Router { router: next, .. } => {
+                            router = next;
+                            count += 1;
+                        }
+                    }
+                }
+                hops[s][d] = count;
+            }
+        }
+        hops
+    }
+
+    /// Validates internal invariants (used by tests): credit counters never
+    /// exceed their maxima and buffered-flit counters match queue contents.
+    pub fn check_invariants(&self) {
+        for (ri, r) in self.routers.iter().enumerate() {
+            let total: u32 = r
+                .in_ports
+                .iter()
+                .flat_map(|ip| ip.vcs.iter())
+                .map(|vc| vc.queue.len() as u32)
+                .sum();
+            assert_eq!(total, r.buffered, "router {ri} buffered count drifted");
+            for o in &r.out_ports {
+                for c in 0..CLASS_COUNT {
+                    assert!(o.credits[c] <= o.max_credits[c], "router {ri} credit overflow");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ArbiterKind;
+
+    fn two_router_net(link_delay: u8, pipeline: u8) -> (Network, TerminalId, TerminalId) {
+        let mut b = NetworkBuilder::new(128);
+        let cfg = RouterConfig {
+            pipeline_delay: pipeline,
+            vc_depth: 5,
+            arbiter: ArbiterKind::RoundRobin,
+        };
+        let r0 = b.add_router(cfg);
+        let r1 = b.add_router(cfg);
+        b.add_bidi_link(r0, r1, link_delay, 2.0);
+        let t0 = b.add_terminal(r0).terminal;
+        let t1 = b.add_terminal(r1).terminal;
+        b.compute_routes_bfs();
+        (b.build(), t0, t1)
+    }
+
+    #[test]
+    fn single_packet_crosses_one_hop() {
+        let (mut net, t0, t1) = two_router_net(1, 2);
+        net.inject(t0, t1, MessageClass::Request, 0, 7);
+        let mut delivered = None;
+        for _ in 0..50 {
+            net.tick();
+            if let Some(d) = net.poll(t1) {
+                delivered = Some(d);
+                break;
+            }
+        }
+        let d = delivered.expect("packet must be delivered");
+        assert_eq!(d.packet.token, 7);
+        assert_eq!(d.packet.src, t0);
+        // Zero-load: inject(visible t=0) + hop (2+1) + eject (2+1) = 6.
+        assert_eq!(d.latency(), 6);
+        net.check_invariants();
+    }
+
+    #[test]
+    fn multi_flit_packet_serializes() {
+        let (mut net, t0, t1) = two_router_net(1, 2);
+        // 64B payload on 128-bit links = 5 flits.
+        net.inject(t0, t1, MessageClass::Response, 64, 1);
+        let mut latency = None;
+        for _ in 0..60 {
+            net.tick();
+            if let Some(d) = net.poll(t1) {
+                latency = Some(d.latency());
+                break;
+            }
+        }
+        // Head takes 6 cycles; 4 more flits drain at 1/cycle behind it.
+        assert_eq!(latency, Some(10));
+    }
+
+    #[test]
+    fn packets_same_class_do_not_interleave() {
+        let (mut net, t0, t1) = two_router_net(1, 0);
+        for i in 0..4 {
+            net.inject(t0, t1, MessageClass::Response, 64, i);
+        }
+        let mut tokens = Vec::new();
+        for _ in 0..200 {
+            net.tick();
+            while let Some(d) = net.poll(t1) {
+                tokens.push(d.packet.token);
+            }
+        }
+        assert_eq!(tokens, vec![0, 1, 2, 3], "wormhole must deliver in order");
+        net.check_invariants();
+    }
+
+    #[test]
+    fn classes_share_link_fairly() {
+        let (mut net, t0, t1) = two_router_net(1, 2);
+        net.inject(t0, t1, MessageClass::Request, 0, 10);
+        net.inject(t0, t1, MessageClass::Response, 0, 20);
+        net.inject(t0, t1, MessageClass::Snoop, 0, 30);
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            net.tick();
+            while let Some(d) = net.poll(t1) {
+                got.push(d.packet.token);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn backpressure_does_not_lose_flits() {
+        // Tiny buffers, long stream: credits must throttle without loss.
+        let mut b = NetworkBuilder::new(128);
+        let cfg = RouterConfig {
+            pipeline_delay: 2,
+            vc_depth: 2,
+            arbiter: ArbiterKind::RoundRobin,
+        };
+        let r0 = b.add_router(cfg);
+        let r1 = b.add_router(cfg);
+        let r2 = b.add_router(cfg);
+        b.add_bidi_link(r0, r1, 1, 2.0);
+        b.add_bidi_link(r1, r2, 1, 2.0);
+        let t0 = b.add_terminal(r0).terminal;
+        let t2 = b.add_terminal(r2).terminal;
+        b.compute_routes_bfs();
+        let mut net = b.build();
+        for i in 0..20 {
+            net.inject(t0, t2, MessageClass::Response, 64, i);
+        }
+        let mut count = 0;
+        for _ in 0..2000 {
+            net.tick();
+            while net.poll(t2).is_some() {
+                count += 1;
+            }
+            net.check_invariants();
+        }
+        assert_eq!(count, 20);
+        assert!(net.packets_in_flight() == 0);
+    }
+
+    #[test]
+    fn contention_two_sources_one_sink() {
+        let mut b = NetworkBuilder::new(128);
+        let cfg = RouterConfig::mesh();
+        let rs: Vec<_> = (0..3).map(|_| b.add_router(cfg)).collect();
+        b.add_bidi_link(rs[0], rs[2], 1, 2.0);
+        b.add_bidi_link(rs[1], rs[2], 1, 2.0);
+        let ta = b.add_terminal(rs[0]).terminal;
+        let tb = b.add_terminal(rs[1]).terminal;
+        let tc = b.add_terminal(rs[2]).terminal;
+        b.compute_routes_bfs();
+        let mut net = b.build();
+        for i in 0..10 {
+            net.inject(ta, tc, MessageClass::Response, 64, 100 + i);
+            net.inject(tb, tc, MessageClass::Response, 64, 200 + i);
+        }
+        let mut from_a = 0;
+        let mut from_b = 0;
+        for _ in 0..2000 {
+            net.tick();
+            while let Some(d) = net.poll(tc) {
+                if d.packet.token >= 200 {
+                    from_b += 1;
+                } else {
+                    from_a += 1;
+                }
+            }
+        }
+        assert_eq!(from_a, 10);
+        assert_eq!(from_b, 10);
+        // Throughput shared: the sink saw 20 * 5 = 100 flits over one
+        // ejection port, so at least 100 cycles must have elapsed — always
+        // true here; the real check is that round-robin served both.
+        net.check_invariants();
+    }
+
+    #[test]
+    fn stats_track_flit_activity() {
+        let (mut net, t0, t1) = two_router_net(1, 2);
+        net.inject(t0, t1, MessageClass::Request, 0, 1);
+        net.run_until_drained(100);
+        let s = net.stats();
+        assert_eq!(s.packets_injected.value(), 1);
+        assert_eq!(s.packets_delivered.value(), 1);
+        // 1 flit crosses two out-ports (r0->r1, r1->terminal).
+        assert_eq!(s.flit_hops.value(), 2);
+        assert_eq!(s.buffer_reads.value(), 2);
+        assert!(s.flit_mm > 0.0);
+    }
+
+    #[test]
+    fn run_until_drained_reports_failure_when_stuck() {
+        let (mut net, t0, t1) = two_router_net(1, 2);
+        net.inject(t0, t1, MessageClass::Request, 0, 1);
+        // 2 cycles is not enough to deliver.
+        assert!(!net.run_until_drained(2));
+        assert!(net.run_until_drained(100));
+    }
+
+    #[test]
+    fn route_validation_walks_cleanly() {
+        let (net, _t0, _t1) = two_router_net(1, 2);
+        let hops = net.validate_routes();
+        // Cross-router pairs take one inter-router hop; self pairs zero.
+        assert_eq!(hops[0][0], 0);
+        assert_eq!(hops[0][1], 1);
+        assert_eq!(hops[1][0], 1);
+    }
+
+    #[test]
+    fn response_class_unimpeded_by_request_congestion() {
+        // Saturate the request VC with a long burst, then inject a single
+        // response: with per-class VCs it must not wait for the backlog.
+        let (mut net, t0, t1) = two_router_net(1, 2);
+        for i in 0..50 {
+            net.inject(t0, t1, MessageClass::Request, 64, i);
+        }
+        // Let the request backlog form.
+        for _ in 0..10 {
+            net.tick();
+        }
+        let start = net.now();
+        net.inject(t0, t1, MessageClass::Response, 0, 999);
+        let mut resp_latency = None;
+        for _ in 0..2000 {
+            net.tick();
+            while let Some(d) = net.poll(t1) {
+                if d.packet.token == 999 {
+                    resp_latency = Some(d.delivered_at.saturating_since(start));
+                }
+            }
+            if resp_latency.is_some() {
+                break;
+            }
+        }
+        let lat = resp_latency.expect("response delivered");
+        // 50 five-flit requests need 250+ cycles of link time; the
+        // response must cut far ahead of that on its own VC.
+        assert!(lat < 40, "response waited {lat} cycles behind requests");
+    }
+
+    #[test]
+    fn wormhole_keeps_packets_atomic_per_class() {
+        // Two sources streaming multi-flit responses to one sink: flits of
+        // different packets must never interleave at the ejection port
+        // (checked internally by the reassembly debug assertion; here we
+        // also verify both streams complete).
+        let mut b = NetworkBuilder::new(64); // 9-flit responses
+        let cfg = RouterConfig::mesh();
+        let r0 = b.add_router(cfg);
+        let r1 = b.add_router(cfg);
+        let r2 = b.add_router(cfg);
+        b.add_bidi_link(r0, r2, 1, 2.0);
+        b.add_bidi_link(r1, r2, 1, 2.0);
+        let ta = b.add_terminal(r0).terminal;
+        let tb = b.add_terminal(r1).terminal;
+        let tc = b.add_terminal(r2).terminal;
+        b.compute_routes_bfs();
+        let mut net = b.build();
+        for i in 0..8 {
+            net.inject(ta, tc, MessageClass::Response, 64, 100 + i);
+            net.inject(tb, tc, MessageClass::Response, 64, 200 + i);
+        }
+        assert!(net.run_until_drained(5_000));
+        let mut count = 0;
+        while net.poll(tc).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn self_send_round_trips_through_router() {
+        let (mut net, t0, _t1) = two_router_net(1, 2);
+        net.inject(t0, t0, MessageClass::Request, 0, 5);
+        assert!(net.run_until_drained(50));
+        // poll own terminal
+        let mut found = false;
+        while let Some(d) = net.poll(t0) {
+            assert_eq!(d.packet.token, 5);
+            found = true;
+        }
+        assert!(found);
+    }
+}

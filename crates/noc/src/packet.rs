@@ -1,0 +1,244 @@
+//! Packets and the packet slab.
+//!
+//! Flits are tiny `Copy` values that reference their parent packet through a
+//! [`PacketId`]; the packet bodies live in a [`PacketSlab`] owned by the
+//! network. This keeps the per-cycle data movement cheap while preserving
+//! full packet metadata for latency accounting and protocol resumption.
+
+use crate::types::{flits_for_payload, MessageClass, TerminalId};
+use nocout_sim::Cycle;
+
+/// Slab handle for a packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A network packet.
+///
+/// `token` is an opaque value chosen by the client (the memory system uses
+/// it to find the protocol transaction to resume on delivery). The network
+/// never interprets it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Injecting terminal.
+    pub src: TerminalId,
+    /// Destination terminal.
+    pub dst: TerminalId,
+    /// Message class (selects the virtual channel).
+    pub class: MessageClass,
+    /// Length in flits (≥ 1), already serialized for the link width.
+    pub size_flits: u16,
+    /// Client-defined correlation token.
+    pub token: u64,
+    /// Cycle at which the packet entered the injection queue.
+    pub injected_at: Cycle,
+}
+
+impl Packet {
+    /// Builds a packet, deriving its flit count from the payload size and
+    /// link width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nocout_noc::packet::Packet;
+    /// use nocout_noc::types::{MessageClass, TerminalId};
+    /// use nocout_sim::Cycle;
+    ///
+    /// let p = Packet::new(
+    ///     TerminalId(0),
+    ///     TerminalId(5),
+    ///     MessageClass::Response,
+    ///     64,   // one cache line of payload
+    ///     128,  // 128-bit links
+    ///     7,
+    ///     Cycle(100),
+    /// );
+    /// assert_eq!(p.size_flits, 5);
+    /// ```
+    pub fn new(
+        src: TerminalId,
+        dst: TerminalId,
+        class: MessageClass,
+        payload_bytes: u32,
+        link_width_bits: u32,
+        token: u64,
+        injected_at: Cycle,
+    ) -> Self {
+        Packet {
+            src,
+            dst,
+            class,
+            size_flits: flits_for_payload(payload_bytes, link_width_bits),
+            token,
+            injected_at,
+        }
+    }
+}
+
+/// A delivered packet together with its measured network latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The packet as injected.
+    pub packet: Packet,
+    /// Cycle at which the tail flit was ejected.
+    pub delivered_at: Cycle,
+}
+
+impl Delivery {
+    /// End-to-end latency in cycles (injection-queue entry to tail
+    /// ejection).
+    pub fn latency(&self) -> u64 {
+        self.delivered_at.saturating_since(self.packet.injected_at)
+    }
+}
+
+/// Free-list slab of in-flight packets.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_noc::packet::{Packet, PacketSlab};
+/// use nocout_noc::types::{MessageClass, TerminalId};
+/// use nocout_sim::Cycle;
+///
+/// let mut slab = PacketSlab::new();
+/// let p = Packet::new(TerminalId(0), TerminalId(1), MessageClass::Request,
+///                     0, 128, 0, Cycle(0));
+/// let id = slab.insert(p.clone());
+/// assert_eq!(slab.get(id), &p);
+/// assert_eq!(slab.remove(id), p);
+/// assert_eq!(slab.len(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct PacketSlab {
+    entries: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketSlab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        PacketSlab::default()
+    }
+
+    /// Number of packets currently in flight.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a packet, returning its handle.
+    pub fn insert(&mut self, packet: Packet) -> PacketId {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.entries[idx as usize] = Some(packet);
+            PacketId(idx)
+        } else {
+            self.entries.push(Some(packet));
+            PacketId((self.entries.len() - 1) as u32)
+        }
+    }
+
+    /// Borrows a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.entries[id.index()]
+            .as_ref()
+            .expect("packet id must be live")
+    }
+
+    /// Removes a packet, releasing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn remove(&mut self, id: PacketId) -> Packet {
+        let p = self.entries[id.index()]
+            .take()
+            .expect("packet id must be live");
+        self.free.push(id.0);
+        self.live -= 1;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(n: u64) -> Packet {
+        Packet::new(
+            TerminalId(0),
+            TerminalId(1),
+            MessageClass::Request,
+            0,
+            128,
+            n,
+            Cycle(n),
+        )
+    }
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(packet(1));
+        let b = slab.insert(packet(2));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).token, 1);
+        assert_eq!(slab.get(b).token, 2);
+        assert_eq!(slab.remove(a).token, 1);
+        assert_eq!(slab.len(), 1);
+        // Slot reuse.
+        let c = slab.insert(packet(3));
+        assert_eq!(c, a);
+        assert_eq!(slab.get(c).token, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "live")]
+    fn slab_get_after_remove_panics() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(packet(1));
+        slab.remove(a);
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    fn delivery_latency() {
+        let p = packet(10);
+        let d = Delivery {
+            packet: p,
+            delivered_at: Cycle(35),
+        };
+        assert_eq!(d.latency(), 25);
+    }
+
+    #[test]
+    fn packet_flit_count_from_width() {
+        let p = Packet::new(
+            TerminalId(0),
+            TerminalId(1),
+            MessageClass::Response,
+            64,
+            32,
+            0,
+            Cycle(0),
+        );
+        assert_eq!(p.size_flits, 18);
+    }
+}

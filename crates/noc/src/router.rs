@@ -1,0 +1,344 @@
+//! Table-routed, input-buffered, credit-flow-controlled routers.
+//!
+//! One `Router` type models every switching element in the study:
+//!
+//! * a **mesh router** is 5×5 with a 2-stage speculative pipeline
+//!   (`pipeline_delay = 2`) and round-robin arbitration,
+//! * a **flattened-butterfly router** is 15×15 with a 3-stage pipeline,
+//! * a **reduction-tree node** is 2×1 with a zero-stage pipeline (the
+//!   arbitrated mux and the outgoing link together take one cycle) and
+//!   static-priority arbitration that favours the network port over the
+//!   local port, exactly as §4.1 of the paper,
+//! * a **dispersion-tree node** is 1×2 with a zero-stage pipeline (§4.2).
+//!
+//! Wormhole switching with one virtual channel per message class: a packet
+//! holds its downstream VC from head to tail, bodies follow the head's
+//! route, and credits are returned when flits depart the downstream buffer.
+
+use crate::flit::Flit;
+use crate::types::{MessageClass, PortIndex, RouterId, TerminalId, CLASS_COUNT};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Output arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbiterKind {
+    /// Rotating fair arbitration over (input port, VC) pairs — the policy of
+    /// the mesh and flattened-butterfly routers.
+    RoundRobin,
+    /// Fixed priority: higher message class first (responses > snoops >
+    /// requests), then lower input-port index first. Topology builders place
+    /// the network port at index 0 and the local port at index 1 on tree
+    /// nodes, which yields the paper's ordering: network responses, local
+    /// responses, network requests, local requests (§4.1).
+    StaticPriority,
+}
+
+/// Per-router microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Cycles spent in the router pipeline before the flit enters the link.
+    /// Per-hop zero-load latency is `pipeline_delay + link delay`.
+    pub pipeline_delay: u8,
+    /// Buffer depth, in flits, of each virtual channel at each input port.
+    pub vc_depth: u8,
+    /// Output arbitration policy.
+    pub arbiter: ArbiterKind,
+}
+
+impl RouterConfig {
+    /// Mesh router per Table 1: 2-stage speculative pipeline, 5-flit VCs.
+    pub fn mesh() -> Self {
+        RouterConfig {
+            pipeline_delay: 2,
+            vc_depth: 5,
+            arbiter: ArbiterKind::RoundRobin,
+        }
+    }
+
+    /// Flattened-butterfly router per Table 1: 3-stage non-speculative
+    /// pipeline; VC depth is set per-port by the builder to cover the
+    /// round-trip credit time of its longest link.
+    pub fn fbfly(vc_depth: u8) -> Self {
+        RouterConfig {
+            pipeline_delay: 3,
+            vc_depth,
+            arbiter: ArbiterKind::RoundRobin,
+        }
+    }
+
+    /// Reduction/dispersion tree node: buffered two-port mux/demux with a
+    /// single-cycle per-hop delay (mux + link) and a couple of flits of
+    /// buffering per VC (§4.4: "a few flits per VC").
+    pub fn tree_node() -> Self {
+        RouterConfig {
+            pipeline_delay: 0,
+            vc_depth: 3,
+            arbiter: ArbiterKind::StaticPriority,
+        }
+    }
+}
+
+/// Where credits for a departed flit are returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feeder {
+    /// Input port is fed by another router's output port.
+    Router { router: RouterId, port: PortIndex },
+    /// Input port is fed by a terminal's network interface.
+    Terminal(TerminalId),
+}
+
+/// What an output port drives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutTarget {
+    /// A link to another router's input port.
+    Router {
+        /// Downstream router.
+        router: RouterId,
+        /// Input port at the downstream router.
+        port: PortIndex,
+        /// Link traversal delay in cycles.
+        link_delay: u8,
+        /// Physical link length in millimetres (for the energy model).
+        length_mm: f32,
+    },
+    /// Ejection to a terminal (the terminal side is an uncongested sink;
+    /// throughput is still limited to one flit per cycle by arbitration).
+    Terminal {
+        /// The terminal served by this port.
+        terminal: TerminalId,
+        /// Ejection-link delay in cycles.
+        link_delay: u8,
+        /// Physical link length in millimetres.
+        length_mm: f32,
+    },
+}
+
+impl OutTarget {
+    /// The link delay of this output.
+    pub fn link_delay(&self) -> u8 {
+        match *self {
+            OutTarget::Router { link_delay, .. } => link_delay,
+            OutTarget::Terminal { link_delay, .. } => link_delay,
+        }
+    }
+
+    /// Link length in millimetres.
+    pub fn length_mm(&self) -> f32 {
+        match *self {
+            OutTarget::Router { length_mm, .. } => length_mm,
+            OutTarget::Terminal { length_mm, .. } => length_mm,
+        }
+    }
+}
+
+/// One virtual-channel FIFO at an input port.
+#[derive(Debug, Default)]
+pub(crate) struct VcQueue {
+    pub(crate) queue: VecDeque<Flit>,
+    /// Output port locked by the packet currently flowing through this VC
+    /// (set when its head departs, cleared when its tail departs).
+    pub(crate) current_out: Option<PortIndex>,
+}
+
+/// An input port: one VC per message class plus credit-return bookkeeping.
+#[derive(Debug)]
+pub(crate) struct InPort {
+    pub(crate) vcs: [VcQueue; CLASS_COUNT],
+    pub(crate) feeder: Feeder,
+    /// Delay after a flit departs this buffer until the upstream sender can
+    /// reuse the credit (credit wire + update).
+    pub(crate) credit_delay: u8,
+}
+
+/// An output port: target, per-VC credits, and the wormhole owner lock.
+#[derive(Debug)]
+pub(crate) struct OutPort {
+    pub(crate) target: OutTarget,
+    /// Remaining downstream buffer slots per VC. Terminal targets are
+    /// credit-exempt sinks.
+    pub(crate) credits: [u8; CLASS_COUNT],
+    pub(crate) max_credits: [u8; CLASS_COUNT],
+    /// Which input port currently owns the downstream VC (head sent, tail
+    /// not yet sent).
+    pub(crate) owner: [Option<PortIndex>; CLASS_COUNT],
+    /// Round-robin pointer over (input port × class) candidates.
+    pub(crate) rr_next: u16,
+    /// Flits sent through this port (for utilization/energy accounting).
+    pub(crate) flits_sent: u64,
+}
+
+/// A router (or tree node) in the network.
+///
+/// Routers are constructed through
+/// [`NetworkBuilder`](crate::network::NetworkBuilder); the per-cycle logic
+/// lives in [`Network::tick`](crate::network::Network::tick).
+#[derive(Debug)]
+pub struct Router {
+    pub(crate) cfg: RouterConfig,
+    pub(crate) in_ports: Vec<InPort>,
+    pub(crate) out_ports: Vec<OutPort>,
+    /// Route table: output port per destination terminal. `UNROUTED` marks
+    /// terminals this router can never see.
+    pub(crate) route: Vec<PortIndex>,
+    /// Number of flits currently buffered anywhere in this router, used to
+    /// skip idle routers on the fast path.
+    pub(crate) buffered: u32,
+}
+
+/// Sentinel for "no route from this router to that terminal".
+pub(crate) const UNROUTED: PortIndex = PortIndex::MAX;
+
+impl Router {
+    pub(crate) fn new(cfg: RouterConfig, num_terminals: usize) -> Self {
+        Router {
+            cfg,
+            in_ports: Vec::new(),
+            out_ports: Vec::new(),
+            route: vec![UNROUTED; num_terminals],
+            buffered: 0,
+        }
+    }
+
+    /// The configured microarchitecture of this router.
+    pub fn config(&self) -> RouterConfig {
+        self.cfg
+    }
+
+    /// Number of input ports.
+    pub fn num_in_ports(&self) -> usize {
+        self.in_ports.len()
+    }
+
+    /// Number of output ports.
+    pub fn num_out_ports(&self) -> usize {
+        self.out_ports.len()
+    }
+
+    /// The routing-table entry for `terminal`, if routed.
+    pub fn route_to(&self, terminal: TerminalId) -> Option<PortIndex> {
+        let p = self.route[terminal.index()];
+        (p != UNROUTED).then_some(p)
+    }
+
+    /// Total flits currently buffered in this router's input VCs.
+    pub fn buffered_flits(&self) -> u32 {
+        self.buffered
+    }
+
+    /// Flits sent per output port since construction.
+    pub fn flits_sent_per_port(&self) -> Vec<u64> {
+        self.out_ports.iter().map(|o| o.flits_sent).collect()
+    }
+
+    /// Picks the winning candidate for output port `out` among `(in_port,
+    /// class)` pairs, according to the configured arbitration policy.
+    ///
+    /// `candidates` must be non-empty.
+    pub(crate) fn arbitrate(
+        &mut self,
+        out: PortIndex,
+        candidates: &[(PortIndex, MessageClass)],
+    ) -> (PortIndex, MessageClass) {
+        debug_assert!(!candidates.is_empty());
+        match self.cfg.arbiter {
+            ArbiterKind::StaticPriority => *candidates
+                .iter()
+                .max_by_key(|(port, class)| (class.priority(), std::cmp::Reverse(*port)))
+                .expect("candidates non-empty"),
+            ArbiterKind::RoundRobin => {
+                let slots = (self.in_ports.len() * CLASS_COUNT) as u16;
+                let o = &mut self.out_ports[out as usize];
+                let key = |(p, c): (PortIndex, MessageClass)| p as u16 * CLASS_COUNT as u16 + c.vc() as u16;
+                let winner = *candidates
+                    .iter()
+                    .min_by_key(|&&cand| (key(cand) + slots - o.rr_next) % slots)
+                    .expect("candidates non-empty");
+                o.rr_next = (key(winner) + 1) % slots;
+                winner
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router_with_ports(arbiter: ArbiterKind, in_ports: usize) -> Router {
+        let mut r = Router::new(
+            RouterConfig {
+                pipeline_delay: 1,
+                vc_depth: 4,
+                arbiter,
+            },
+            4,
+        );
+        for _ in 0..in_ports {
+            r.in_ports.push(InPort {
+                vcs: Default::default(),
+                feeder: Feeder::Terminal(TerminalId(0)),
+                credit_delay: 2,
+            });
+        }
+        r.out_ports.push(OutPort {
+            target: OutTarget::Terminal {
+                terminal: TerminalId(0),
+                link_delay: 1,
+                length_mm: 0.5,
+            },
+            credits: [4; CLASS_COUNT],
+            max_credits: [4; CLASS_COUNT],
+            owner: [None; CLASS_COUNT],
+            rr_next: 0,
+            flits_sent: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn static_priority_prefers_response_then_network_port() {
+        let mut r = router_with_ports(ArbiterKind::StaticPriority, 2);
+        // network responses beat local responses beat network requests.
+        let cands = [
+            (1, MessageClass::Request),
+            (0, MessageClass::Request),
+            (1, MessageClass::Response),
+            (0, MessageClass::Response),
+        ];
+        assert_eq!(r.arbitrate(0, &cands), (0, MessageClass::Response));
+        let cands = [(1, MessageClass::Request), (0, MessageClass::Request)];
+        assert_eq!(r.arbitrate(0, &cands), (0, MessageClass::Request));
+        let cands = [(1, MessageClass::Response), (0, MessageClass::Request)];
+        assert_eq!(r.arbitrate(0, &cands), (1, MessageClass::Response));
+    }
+
+    #[test]
+    fn round_robin_rotates_fairly() {
+        let mut r = router_with_ports(ArbiterKind::RoundRobin, 2);
+        let cands = [(0, MessageClass::Request), (1, MessageClass::Request)];
+        let first = r.arbitrate(0, &cands);
+        let second = r.arbitrate(0, &cands);
+        assert_ne!(first, second, "round robin must alternate between equals");
+        let third = r.arbitrate(0, &cands);
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn route_table_lookup() {
+        let mut r = router_with_ports(ArbiterKind::RoundRobin, 1);
+        assert_eq!(r.route_to(TerminalId(2)), None);
+        r.route[2] = 0;
+        assert_eq!(r.route_to(TerminalId(2)), Some(0));
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(RouterConfig::mesh().pipeline_delay, 2);
+        assert_eq!(RouterConfig::mesh().vc_depth, 5);
+        assert_eq!(RouterConfig::fbfly(8).pipeline_delay, 3);
+        let t = RouterConfig::tree_node();
+        assert_eq!(t.pipeline_delay, 0);
+        assert_eq!(t.arbiter, ArbiterKind::StaticPriority);
+    }
+}

@@ -1,0 +1,119 @@
+//! Topology constructors for the three evaluated organizations plus the
+//! analytic fabrics of Fig. 1.
+//!
+//! * [`mesh`] — the tiled 8×8 mesh baseline (Fig. 2),
+//! * [`fbfly`] — the tiled 2-D flattened butterfly (Fig. 3),
+//! * [`nocout`] — the NOC-Out organization: reduction/dispersion trees into
+//!   a centralized LLC row linked by a 1-D flattened butterfly (Fig. 5),
+//! * [`ideal`] — contention-free wire-only and zero-load-mesh fabrics
+//!   (Fig. 1).
+//!
+//! All builders share the geometry model in this module: 32nm tiles with
+//! semi-global wires at 125 ps/mm and a 2 GHz clock, so a signal covers
+//! 4 mm per cycle and link delays derive from physical tile pitch.
+
+pub mod fbfly;
+pub mod ideal;
+pub mod mesh;
+pub mod nocout;
+
+/// Wire latency of repeated semi-global links, in cycles per millimetre
+/// (125 ps/mm at a 500 ps clock — §5.2).
+pub const WIRE_CYCLES_PER_MM: f64 = 0.25;
+
+/// Edge length of a tile in the tiled (mesh / flattened butterfly)
+/// organizations, in millimetres.
+///
+/// A tile holds an ARM Cortex-A15-like core (2.9 mm²), a 128 KB LLC slice
+/// (8 MB / 64 tiles at 3.2 mm²/MB = 0.4 mm²) and a router: ≈ 3.4 mm², or
+/// about 1.85 mm on a side.
+pub const TILED_TILE_MM: f64 = 1.85;
+
+/// Pitch of NOC-Out core tiles (2.9 mm² core + tree nodes ≈ 3.0 mm²,
+/// ≈ 1.75 mm on a side).
+pub const NOCOUT_TILE_MM: f64 = 1.75;
+
+/// Converts a physical distance into a link delay in cycles (at least 1).
+///
+/// # Examples
+///
+/// ```
+/// use nocout_noc::topology::{link_delay_for_mm, TILED_TILE_MM};
+///
+/// // One tile: under half a cycle of wire, still one pipelined cycle.
+/// assert_eq!(link_delay_for_mm(TILED_TILE_MM), 1);
+/// // Paper: an FBfly flit covers up to two tiles per cycle.
+/// assert_eq!(link_delay_for_mm(2.0 * TILED_TILE_MM), 1);
+/// assert_eq!(link_delay_for_mm(4.0 * TILED_TILE_MM), 2);
+/// ```
+pub fn link_delay_for_mm(length_mm: f64) -> u8 {
+    ((length_mm * WIRE_CYCLES_PER_MM).ceil() as u8).max(1)
+}
+
+/// Buffer depth required to stream at full rate over a link with the given
+/// hop delay: downstream pipeline + link there + credit back, with margin.
+/// Matches Table 1's "variable flits/VC" sizing note for the flattened
+/// butterfly.
+pub fn credit_round_trip_depth(pipeline_delay: u8, link_delay: u8) -> u8 {
+    pipeline_delay + 2 * link_delay + 2
+}
+
+/// Grid dimensions (columns, rows) used for a given tile count in the
+/// core-count sweep of Fig. 1. Powers of two up to 64.
+///
+/// # Panics
+///
+/// Panics if `tiles` is not a power of two in `1..=64`.
+pub fn grid_for_tiles(tiles: usize) -> (usize, usize) {
+    match tiles {
+        1 => (1, 1),
+        2 => (2, 1),
+        4 => (2, 2),
+        8 => (4, 2),
+        16 => (4, 4),
+        32 => (8, 4),
+        64 => (8, 8),
+        _ => panic!("unsupported tile count {tiles}; use a power of two ≤ 64"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_delay_rounds_up() {
+        assert_eq!(link_delay_for_mm(0.1), 1);
+        assert_eq!(link_delay_for_mm(3.9), 1);
+        assert_eq!(link_delay_for_mm(4.1), 2);
+        assert_eq!(link_delay_for_mm(8.0), 2);
+        assert_eq!(link_delay_for_mm(12.9), 4);
+    }
+
+    #[test]
+    fn fbfly_covers_two_tiles_per_cycle() {
+        for d in 1..=7usize {
+            let delay = link_delay_for_mm(d as f64 * TILED_TILE_MM);
+            assert_eq!(delay as usize, d.div_ceil(2), "distance {d}");
+        }
+    }
+
+    #[test]
+    fn grid_dims() {
+        assert_eq!(grid_for_tiles(1), (1, 1));
+        assert_eq!(grid_for_tiles(8), (4, 2));
+        assert_eq!(grid_for_tiles(64), (8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn grid_rejects_odd_sizes() {
+        let _ = grid_for_tiles(3);
+    }
+
+    #[test]
+    fn credit_depth_covers_round_trip() {
+        // Mesh: 2-stage pipeline + 1-cycle link → 5 flits, Table 1's value.
+        assert!(credit_round_trip_depth(2, 1) >= 5);
+    }
+}

@@ -1,0 +1,464 @@
+//! Statistics primitives used across the simulator.
+//!
+//! The NoC, memory-system and core models record events through these types;
+//! the experiment harness reads them back to produce the paper's tables and
+//! figures. Everything is plain-old-data and cheap to update on the
+//! simulation fast path.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_sim::stats::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds a single event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero (used at the warmup/measurement boundary).
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean/variance/min/max over `f64` samples (Welford's method).
+///
+/// Used for end-to-end packet latencies, queue depths, and the per-seed
+/// aggregation in the harness.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_sim::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Half-width of the ~95% confidence interval of the mean, using the
+    /// normal approximation (the paper reports 95% confidence with <4%
+    /// error; the harness reports the same interval).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Resets the accumulator.
+    pub fn reset(&mut self) {
+        *self = RunningStats::new();
+    }
+
+    /// Merges another accumulator into this one (parallel Welford update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)` except bucket 0 which holds
+/// zero/one. Used for latency distributions where tail shape matters (the
+/// paper's serialization-latency argument in Fig. 9 shows up as tail
+/// movement here).
+///
+/// # Examples
+///
+/// ```
+/// use nocout_sim::stats::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// h.record(1);
+/// h.record(10);
+/// h.record(1000);
+/// assert_eq!(h.total(), 3);
+/// assert!(h.percentile(0.5) >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 64],
+    total: u64,
+    sum: u128,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; 64],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, x: u64) {
+        let idx = (64 - x.leading_zeros()) as usize;
+        self.buckets[idx.min(63)] += 1;
+        self.total += 1;
+        self.sum += x as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate percentile (`q` in `[0,1]`): upper bound of the bucket
+    /// containing the q-quantile sample. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank.max(1) {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterates over `(bucket_upper_bound, count)` pairs for non-empty
+    /// buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 1 } else { 1u64 << i }, c))
+    }
+
+    /// Resets the histogram.
+    pub fn reset(&mut self) {
+        *self = Log2Histogram::new();
+    }
+}
+
+/// Tracks the utilization of a resource: the fraction of observed cycles in
+/// which the resource was busy.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_sim::stats::Utilization;
+///
+/// let mut u = Utilization::new();
+/// u.observe(true);
+/// u.observe(false);
+/// assert!((u.fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Utilization {
+    busy: u64,
+    observed: u64,
+}
+
+impl Utilization {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Utilization::default()
+    }
+
+    /// Records one cycle of observation.
+    #[inline]
+    pub fn observe(&mut self, busy: bool) {
+        self.observed += 1;
+        if busy {
+            self.busy += 1;
+        }
+    }
+
+    /// Busy fraction in `[0,1]` (0 when nothing observed).
+    pub fn fraction(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.observed as f64
+        }
+    }
+
+    /// Number of busy cycles.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy
+    }
+
+    /// Number of observed cycles.
+    pub fn observed_cycles(&self) -> u64 {
+        self.observed
+    }
+
+    /// Resets the tracker.
+    pub fn reset(&mut self) {
+        *self = Utilization::default();
+    }
+}
+
+/// Geometric mean of a slice of positive values, the aggregation the paper
+/// uses for Fig. 7 and Fig. 9 ("GMean").
+///
+/// Returns 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_sim::stats::geometric_mean;
+///
+/// let g = geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn running_stats_mean_variance() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Log2Histogram::new();
+        for x in [0, 1, 2, 3, 4, 8, 16, 1024] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 8);
+        assert!((h.mean() - 1058.0 / 8.0).abs() < 1e-12);
+        assert!(h.iter().count() > 3);
+    }
+
+    #[test]
+    fn histogram_percentiles_monotone() {
+        let mut h = Log2Histogram::new();
+        for x in 1..=1000u64 {
+            h.record(x);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99);
+        assert!(p50 >= 256 && p50 <= 1024);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut u = Utilization::new();
+        for i in 0..10 {
+            u.observe(i % 4 == 0);
+        }
+        assert!((u.fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(u.busy_cycles(), 3);
+        assert_eq!(u.observed_cycles(), 10);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

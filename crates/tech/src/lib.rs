@@ -1,0 +1,71 @@
+//! 32 nm technology models: wires, buffers, crossbars, SRAM, and the
+//! NoC area/energy models built from them.
+//!
+//! The paper estimates area and energy with custom wire models (125 ps/mm,
+//! 50 fJ/bit/mm semi-global wires), ORION 2.0 buffer models (flip-flops
+//! for the mesh and NOC-Out, SRAM for the flattened butterfly's deep
+//! buffers) and CACTI 6.5 for caches (§5.2). This crate implements
+//! analytic equivalents with constants chosen so the three published area
+//! anchors emerge: mesh ≈ 3.5 mm², flattened butterfly ≈ 23 mm², NOC-Out ≈
+//! 2.5 mm² (Fig. 8). The same models are then used *predictively* for the
+//! area-normalized link-width search of Fig. 9 and the power analysis of
+//! §6.4.
+
+pub mod area;
+pub mod chip;
+pub mod energy;
+pub mod wire;
+
+pub use area::{NocAreaModel, NocAreaReport, OrganizationArea};
+pub use chip::ChipPowerModel;
+pub use energy::NocEnergyModel;
+pub use wire::WireModel;
+
+/// Buffer implementation technology (§5.2: flip-flops for shallow mesh and
+/// NOC-Out buffers, SRAM for the flattened butterfly's deep buffers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferTech {
+    /// Flip-flop storage: fast, area-hungry; used when ports hold only a
+    /// few flits.
+    FlipFlop,
+    /// SRAM storage: denser per bit but with periphery overhead; pays off
+    /// for the butterfly's deep per-port buffers.
+    Sram,
+}
+
+impl BufferTech {
+    /// Storage area per bit in mm².
+    pub fn area_per_bit_mm2(self) -> f64 {
+        match self {
+            // ~3 µm²/bit flip-flop cell + mux at 32 nm.
+            BufferTech::FlipFlop => 3.0e-6,
+            // ~1.6 µm²/bit SRAM including periphery at buffer-scale arrays.
+            BufferTech::Sram => 1.6e-6,
+        }
+    }
+
+    /// Energy per bit for one write+read pass, in femtojoules. Clocked
+    /// flip-flop buffers pay clock and mux energy on every access; SRAM
+    /// buffer arrays amortize periphery across the row.
+    pub fn energy_per_bit_fj(self) -> f64 {
+        match self {
+            BufferTech::FlipFlop => 90.0,
+            BufferTech::Sram => 30.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_denser_than_flipflop() {
+        assert!(BufferTech::Sram.area_per_bit_mm2() < BufferTech::FlipFlop.area_per_bit_mm2());
+    }
+
+    #[test]
+    fn flipflop_costs_more_energy() {
+        assert!(BufferTech::FlipFlop.energy_per_bit_fj() > BufferTech::Sram.energy_per_bit_fj());
+    }
+}

@@ -1,0 +1,95 @@
+//! Semi-global wire model (§5.2).
+
+/// Repeated semi-global wires at 32 nm: 200 nm pitch, power-delay-optimized
+/// repeaters.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_tech::wire::WireModel;
+///
+/// let w = WireModel::paper_32nm();
+/// // A 4 mm link takes one 2 GHz cycle.
+/// assert!((w.delay_cycles(4.0, 2.0e9) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Signal propagation delay in picoseconds per millimetre.
+    pub delay_ps_per_mm: f64,
+    /// Switching energy per bit per millimetre, in femtojoules (random
+    /// data).
+    pub energy_fj_per_bit_mm: f64,
+    /// Fraction of link energy dissipated in the repeaters.
+    pub repeater_energy_fraction: f64,
+    /// Repeater (and driver) area per bit per millimetre of link, in mm².
+    /// Wires route over logic/SRAM and contribute no area themselves; only
+    /// repeaters count (§5.2).
+    pub repeater_area_mm2_per_bit_mm: f64,
+    /// Wire pitch in millimetres (sets crossbar matrix dimensions).
+    pub pitch_mm: f64,
+}
+
+impl WireModel {
+    /// The paper's 32 nm parameters: 125 ps/mm, 50 fJ/bit/mm, 19% repeater
+    /// energy, 200 nm pitch.
+    pub fn paper_32nm() -> Self {
+        WireModel {
+            delay_ps_per_mm: 125.0,
+            energy_fj_per_bit_mm: 50.0,
+            repeater_energy_fraction: 0.19,
+            repeater_area_mm2_per_bit_mm: 1.15e-5,
+            pitch_mm: 200.0e-6,
+        }
+    }
+
+    /// Wire delay of a link in clock cycles (fractional).
+    pub fn delay_cycles(&self, length_mm: f64, frequency_hz: f64) -> f64 {
+        let cycle_ps = 1.0e12 / frequency_hz;
+        self.delay_ps_per_mm * length_mm / cycle_ps
+    }
+
+    /// Energy to move `bits` across `length_mm`, in joules.
+    pub fn transfer_energy_j(&self, bits: f64, length_mm: f64) -> f64 {
+        bits * length_mm * self.energy_fj_per_bit_mm * 1.0e-15
+    }
+
+    /// Repeater area of a `width_bits`-wide link of `length_mm`, in mm².
+    pub fn repeater_area_mm2(&self, width_bits: u32, length_mm: f64) -> f64 {
+        width_bits as f64 * length_mm * self.repeater_area_mm2_per_bit_mm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let w = WireModel::paper_32nm();
+        assert_eq!(w.delay_ps_per_mm, 125.0);
+        assert_eq!(w.energy_fj_per_bit_mm, 50.0);
+    }
+
+    #[test]
+    fn delay_scales_linearly() {
+        let w = WireModel::paper_32nm();
+        assert!((w.delay_cycles(8.0, 2.0e9) - 2.0).abs() < 1e-9);
+        assert!((w.delay_cycles(1.85, 2.0e9) - 0.4625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_matches_headline_number() {
+        let w = WireModel::paper_32nm();
+        // 128 bits over 1 mm = 6.4 pJ.
+        let e = w.transfer_energy_j(128.0, 1.0);
+        assert!((e - 6.4e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn repeater_area_scales_with_width_and_length() {
+        let w = WireModel::paper_32nm();
+        let a1 = w.repeater_area_mm2(128, 1.85);
+        let a2 = w.repeater_area_mm2(64, 1.85);
+        assert!((a1 / a2 - 2.0).abs() < 1e-9);
+    }
+}

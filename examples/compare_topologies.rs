@@ -1,0 +1,58 @@
+//! Head-to-head: the same scale-out workload on all three organizations,
+//! plus the contention-free ideal — a miniature of the paper's Fig. 7.
+//!
+//! Run with `cargo run --release --example compare_topologies`.
+//! Pass a workload name to change the workload:
+//! `cargo run --release --example compare_topologies -- data-serving`.
+
+use nocout_repro::prelude::*;
+
+fn parse_workload(arg: Option<&str>) -> Workload {
+    match arg {
+        Some("data-serving") => Workload::DataServing,
+        Some("mapreduce-c") => Workload::MapReduceC,
+        Some("mapreduce-w") => Workload::MapReduceW,
+        Some("sat-solver") => Workload::SatSolver,
+        Some("web-frontend") => Workload::WebFrontend,
+        Some("web-search") | None => Workload::WebSearch,
+        Some(other) => {
+            eprintln!("unknown workload `{other}`; using web-search");
+            Workload::WebSearch
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = parse_workload(args.get(1).map(|s| s.as_str()));
+    let window = MeasurementWindow::new(10_000, 20_000);
+
+    println!("{workload} across organizations (normalized to the mesh):\n");
+    let mut mesh_ipc = None;
+    for org in [
+        Organization::Mesh,
+        Organization::FlattenedButterfly,
+        Organization::NocOut,
+        Organization::IdealWire,
+    ] {
+        let metrics = run(&RunSpec {
+            chip: ChipConfig::paper(org),
+            workload,
+            window,
+            seed: 7,
+        });
+        let ipc = metrics.aggregate_ipc();
+        let base = *mesh_ipc.get_or_insert(ipc);
+        println!(
+            "  {:<22} IPC {:>6.3}  vs mesh {:>5.3}  net latency {:>5.1} cycles",
+            org.name(),
+            ipc,
+            ipc / base,
+            metrics.network.mean_latency
+        );
+    }
+    println!(
+        "\nExpect the order the paper reports: mesh slowest, flattened butterfly\n\
+         and NOC-Out close together near the ideal."
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build the paper's 64-core NOC-Out chip, run a scale-out
+//! workload, and inspect what the interconnect did.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use nocout_repro::prelude::*;
+
+fn main() {
+    // The paper's Table 1 configuration with the NOC-Out organization:
+    // 64 cores, 8 MB NUCA LLC in a central row of 8 tiles (2 banks each),
+    // reduction/dispersion trees, 128-bit links, 4 DDR3-1667 channels.
+    let chip = ChipConfig::paper(Organization::NocOut);
+
+    // Run Web Search for a short warmup + measurement window.
+    let spec = RunSpec {
+        chip,
+        workload: Workload::WebSearch,
+        window: MeasurementWindow::new(10_000, 20_000),
+        seed: 42,
+    };
+    let metrics = run(&spec);
+
+    println!("NOC-Out running {}:", spec.workload);
+    println!(
+        "  {} active cores retired {} instructions over {} cycles",
+        metrics.active_cores, metrics.instructions, metrics.cycles
+    );
+    println!("  aggregate IPC          {:.3}", metrics.aggregate_ipc());
+    println!(
+        "  fetch-stall fraction   {:.1}%  (L1-I misses exposed to the NoC)",
+        metrics.fetch_stall_fraction * 100.0
+    );
+    println!(
+        "  LLC: {} accesses, hit ratio {:.2}, snoop rate {:.2}% (the paper's ~2%)",
+        metrics.llc.accesses,
+        metrics.llc.hit_ratio(),
+        metrics.llc.snoop_percent()
+    );
+    println!(
+        "  NoC: {} packets, mean latency {:.1} cycles (requests {:.1}, responses {:.1})",
+        metrics.network.packets,
+        metrics.network.mean_latency,
+        metrics.network.mean_request_latency,
+        metrics.network.mean_response_latency
+    );
+    println!(
+        "  memory: {} line reads, {} writes over 4 channels",
+        metrics.memory.reads, metrics.memory.writes
+    );
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the NOC-Out reproduction.
+//!
+//! This root package ties the workspace together: it re-exports the main
+//! public API (`nocout`) and hosts the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use nocout::*;
+
+/// The individual substrate crates, re-exported for examples and tests that
+/// want to reach below the top-level API.
+pub mod substrates {
+    pub use nocout_cpu as cpu;
+    pub use nocout_mem as mem;
+    pub use nocout_noc as noc;
+    pub use nocout_sim as sim;
+    pub use nocout_tech as tech;
+    pub use nocout_workloads as workloads;
+}
