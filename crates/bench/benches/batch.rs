@@ -1,0 +1,127 @@
+//! Batch-engine benchmark: single-thread tick throughput per organization
+//! plus serial-vs-parallel wall clock on a sweep-style grid, recorded as a
+//! trajectory in `BENCH_batch.json` at the workspace root so the speedup
+//! is tracked across PRs.
+//!
+//! Run with `cargo bench -p nocout-bench --bench batch`; `-- --test` runs
+//! a seconds-scale smoke version (used by CI) that still verifies the
+//! parallel/serial outputs are bit-identical but records nothing.
+
+use nocout::prelude::*;
+use nocout::runner::BatchRunner;
+use nocout::ScaleOutChip;
+use nocout_sim::config::MeasurementWindow;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Single-thread end-to-end tick throughput (simulated cycles per second).
+fn tick_throughput(org: Organization, cycles: u64) -> f64 {
+    let mut chip = ScaleOutChip::new(ChipConfig::paper(org), Workload::MapReduceC, 1);
+    // Warm the caches and the allocator's steady state.
+    for _ in 0..2_000 {
+        chip.tick();
+    }
+    let t = Instant::now();
+    for _ in 0..cycles {
+        chip.tick();
+    }
+    cycles as f64 / t.elapsed().as_secs_f64()
+}
+
+/// The sweep binary's 12-point grid (4 widths × 3 organizations) at a
+/// reduced window, as one batch.
+fn sweep_grid(window: MeasurementWindow) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for w in [128u32, 64, 32, 16] {
+        for org in Organization::EVALUATED {
+            specs.push(RunSpec {
+                chip: ChipConfig::paper(org).with_link_width(w),
+                workload: Workload::MapReduceW,
+                window,
+                seed: 1,
+            });
+        }
+    }
+    specs
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (tick_cycles, window) = if smoke {
+        (5_000, MeasurementWindow::new(500, 1_000))
+    } else {
+        (50_000, MeasurementWindow::new(5_000, 10_000))
+    };
+
+    let orgs = [
+        Organization::Mesh,
+        Organization::FlattenedButterfly,
+        Organization::NocOut,
+    ];
+    let mut tick_rates = Vec::new();
+    for org in orgs {
+        let rate = tick_throughput(org, tick_cycles);
+        println!("chip_tick/{org:<20} {rate:>12.0} cycles/s (single thread)");
+        tick_rates.push((org, rate));
+    }
+
+    let specs = sweep_grid(window);
+    let t = Instant::now();
+    let serial = BatchRunner::serial().run_batch(&specs);
+    let serial_s = t.elapsed().as_secs_f64();
+
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let parallel_runner = BatchRunner::new(jobs.clamp(2, 4));
+    let t = Instant::now();
+    let parallel = parallel_runner.run_batch(&specs);
+    let parallel_s = t.elapsed().as_secs_f64();
+
+    // The engine's contract: scheduling never changes results.
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a.instructions, b.instructions, "spec {i} diverged");
+        assert_eq!(a.network.packets, b.network.packets, "spec {i} diverged");
+    }
+    let speedup = serial_s / parallel_s;
+    println!(
+        "batch sweep grid: serial {serial_s:.2}s, {}-way parallel {parallel_s:.2}s \
+         ({speedup:.2}x, {jobs} hardware thread(s)) — outputs bit-identical",
+        parallel_runner.jobs()
+    );
+
+    if smoke {
+        println!("smoke mode: not recording BENCH_batch.json");
+        return;
+    }
+
+    // Append one record to the cross-PR trajectory.
+    let mut record = String::from("  {");
+    let _ = write!(
+        record,
+        "\"unix_time\": {}, \"hardware_threads\": {jobs}, \"parallel_jobs\": {}, \
+         \"sweep_serial_s\": {serial_s:.3}, \"sweep_parallel_s\": {parallel_s:.3}, \
+         \"sweep_speedup\": {speedup:.3}",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        parallel_runner.jobs()
+    );
+    for (org, rate) in &tick_rates {
+        let key = format!("{org}").to_lowercase().replace([' ', '-'], "_");
+        let _ = write!(record, ", \"tick_rate_{key}\": {rate:.0}");
+    }
+    record.push('}');
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let body = existing.trim_end().trim_end_matches(']').trim_end();
+    let out = if body.is_empty() || body == "[" {
+        format!("[\n{record}\n]\n")
+    } else {
+        format!("{},\n{record}\n]\n", body.trim_end_matches(','))
+    };
+    match std::fs::write(path, out) {
+        Ok(()) => println!("recorded trajectory point in BENCH_batch.json"),
+        Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
+    }
+}

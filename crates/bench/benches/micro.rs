@@ -63,12 +63,21 @@ fn bench_mesh_tick(c: &mut Criterion) {
     g.finish();
 }
 
-/// Full-system cycle cost.
+/// Full-system cycle cost: end-to-end `chip.tick()` for every
+/// organization (the detailed flit-level fabrics and both analytic
+/// fabrics), so a hot-path regression in any organization's tick loop is
+/// visible in `cargo bench` output.
 fn bench_chip_tick(c: &mut Criterion) {
     use nocout::prelude::*;
     let mut g = c.benchmark_group("chip");
     g.throughput(Throughput::Elements(1000));
-    for org in [Organization::Mesh, Organization::NocOut] {
+    for org in [
+        Organization::Mesh,
+        Organization::FlattenedButterfly,
+        Organization::NocOut,
+        Organization::IdealWire,
+        Organization::ZeroLoadMesh,
+    ] {
         g.bench_function(format!("{org}_tick_1k_cycles"), |b| {
             let mut chip = nocout::ScaleOutChip::new(
                 ChipConfig::paper(org),

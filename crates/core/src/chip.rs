@@ -21,6 +21,17 @@ use nocout_noc::types::{MessageClass, TerminalId};
 use nocout_sim::Cycle;
 use nocout_workloads::{Workload, WorkloadGen};
 
+/// What an organization's topology builder hands back: the fabric plus
+/// the terminal ids for cores, LLC tiles and memory channels, and the
+/// preferred core-activation order.
+type BuiltFabric = (
+    Box<dyn Fabric>,
+    Vec<TerminalId>,
+    Vec<TerminalId>,
+    Vec<TerminalId>,
+    Vec<usize>,
+);
+
 #[derive(Debug, Clone, Copy, Default)]
 struct TermInfo {
     core: Option<usize>,
@@ -103,6 +114,9 @@ pub struct ScaleOutChip {
     term_info: Vec<TermInfo>,
     now: Cycle,
     req_buf: Vec<MissRequest>,
+    /// Reusable staging buffer for messages injected during `tick` (hoisted
+    /// out of the per-cycle hot path so steady state allocates nothing).
+    inject_buf: Vec<(TerminalId, TerminalId, Msg)>,
 }
 
 impl std::fmt::Debug for ScaleOutChip {
@@ -126,13 +140,7 @@ impl ScaleOutChip {
     /// organization cannot lay out).
     pub fn new(cfg: ChipConfig, workload: Workload, seed: u64) -> Self {
         let profile = workload.profile();
-        let (fabric, core_term, llc_term, mc_term, active_order): (
-            Box<dyn Fabric>,
-            Vec<TerminalId>,
-            Vec<TerminalId>,
-            Vec<TerminalId>,
-            Vec<usize>,
-        ) = match cfg.organization {
+        let (fabric, core_term, llc_term, mc_term, active_order): BuiltFabric = match cfg.organization {
             Organization::Mesh => {
                 let built = build_mesh(&cfg.mesh_spec());
                 let order = center_first_order(built.cols, built.rows);
@@ -261,6 +269,7 @@ impl ScaleOutChip {
             term_info,
             now: Cycle::ZERO,
             req_buf: Vec::new(),
+            inject_buf: Vec::new(),
         };
         chip.warm_caches();
         chip
@@ -340,7 +349,7 @@ impl ScaleOutChip {
         let now = self.now;
 
         // 1. Cores execute and emit miss requests.
-        let mut injections: Vec<(TerminalId, TerminalId, Msg)> = Vec::new();
+        let mut injections = std::mem::take(&mut self.inject_buf);
         for ai in 0..self.active.len() {
             let (c, _) = self.active[ai];
             let (core_idx, source) = {
@@ -400,13 +409,17 @@ impl ScaleOutChip {
         // 4. The interconnect moves flits.
         self.fabric.tick();
 
-        // 5. Deliveries resume protocol FSMs.
-        for t in 0..self.term_info.len() {
-            while let Some(delivery) = self.fabric.poll(TerminalId(t as u16)) {
-                self.dispatch(t, delivery.packet.token, now);
+        // 5. Deliveries resume protocol FSMs. The fabric hands back only
+        // terminals that actually received packets this cycle — on a
+        // 64-core chip most terminals are idle most cycles, so scanning
+        // all of them was the dominant cost of this step.
+        while let Some(t) = self.fabric.take_ready_terminal() {
+            while let Some(delivery) = self.fabric.poll(t) {
+                self.dispatch(t.index(), delivery.packet.token, now);
             }
         }
 
+        self.inject_buf = injections;
         self.now.0 += 1;
     }
 

@@ -143,7 +143,7 @@ impl ChipConfig {
     pub fn nocout_spec(&self) -> NocOutSpec {
         let per_column_pair = 2 * self.concentration;
         assert!(
-            self.cores % (8 * per_column_pair) == 0 || self.cores <= 16,
+            self.cores.is_multiple_of(8 * per_column_pair) || self.cores <= 16,
             "NOC-Out requires cores divisible across 8 columns and 2 sides"
         );
         let columns = 8;

@@ -1,6 +1,41 @@
 //! Warmup + measurement run orchestration (the SimFlex-style methodology
 //! of §5.4, minus the statistical sampling we replace with fixed windows
 //! over deterministic seeds).
+//!
+//! ## Serial and batch execution
+//!
+//! [`run`] executes a single [`RunSpec`]; [`run_replicated`] repeats it
+//! over a seed set. Simulation points are fully independent (each builds
+//! its own chip from its spec and seed), so experiment campaigns — the
+//! chip × workload × seed grids behind every figure — parallelize
+//! trivially. [`BatchRunner`] exploits that with a worker pool over OS
+//! threads:
+//!
+//! * [`BatchRunner::run_batch`] executes a slice of specs and returns
+//!   metrics **keyed by spec index**, bit-identical to running each spec
+//!   through [`run`] serially (each point's determinism depends only on
+//!   its spec and seed, never on scheduling),
+//! * [`BatchRunner::run_replicated`] parallelizes across seeds while
+//!   accumulating the replication statistics in seed order, so
+//!   `mean_ipc`/`ci95` match the serial [`run_replicated`] exactly.
+//!
+//! Every experiment binary exposes the pool width as `--jobs N`
+//! (`0`/unset = all hardware threads, honouring the `NOCOUT_JOBS`
+//! environment variable as the default); see `nocout_experiments::cli`.
+//!
+//! ```
+//! use nocout::config::{ChipConfig, Organization};
+//! use nocout::runner::{run, BatchRunner, RunSpec};
+//! use nocout_workloads::Workload;
+//!
+//! let specs: Vec<RunSpec> = [Workload::WebSearch, Workload::DataServing]
+//!     .into_iter()
+//!     .map(|w| RunSpec::new(ChipConfig::with_cores(Organization::Mesh, 16), w).fast())
+//!     .collect();
+//! let batch = BatchRunner::new(2).run_batch(&specs);
+//! // Identical to the serial path, point for point.
+//! assert_eq!(batch[0].instructions, run(&specs[0]).instructions);
+//! ```
 
 use crate::chip::ScaleOutChip;
 use crate::config::ChipConfig;
@@ -9,6 +44,7 @@ use nocout_sim::config::{MeasurementWindow, SeedSet};
 use nocout_sim::stats::RunningStats;
 use nocout_workloads::Workload;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One simulation point: chip × workload × window × seed.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,6 +145,142 @@ pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
     }
 }
 
+/// A worker pool executing independent simulation points in parallel.
+///
+/// Results are keyed by spec index and bit-identical to the serial
+/// [`run`]/[`run_replicated`] paths: every simulation point is
+/// deterministic in its spec and seed alone, and the pool only changes
+/// *when* points execute, never *what* they compute.
+///
+/// # Examples
+///
+/// ```
+/// use nocout::config::{ChipConfig, Organization};
+/// use nocout::runner::{BatchRunner, RunSpec};
+/// use nocout_sim::config::SeedSet;
+/// use nocout_workloads::Workload;
+///
+/// let spec = RunSpec::new(
+///     ChipConfig::with_cores(Organization::Mesh, 16),
+///     Workload::MapReduceC,
+/// )
+/// .fast();
+/// let runner = BatchRunner::new(2);
+/// let r = runner.run_replicated(&spec, &SeedSet::consecutive(1, 3));
+/// assert!(r.mean_ipc > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    jobs: usize,
+}
+
+impl Default for BatchRunner {
+    /// A pool over all hardware threads.
+    fn default() -> Self {
+        BatchRunner::new(0)
+    }
+}
+
+impl BatchRunner {
+    /// Creates a pool of `jobs` workers; `0` means one worker per
+    /// hardware thread.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        BatchRunner { jobs }
+    }
+
+    /// A single-worker pool (runs everything on the calling thread).
+    pub fn serial() -> Self {
+        BatchRunner { jobs: 1 }
+    }
+
+    /// Pool width from the `NOCOUT_JOBS` environment variable: unset (or
+    /// `0`) means all hardware threads; a set-but-unparsable value also
+    /// falls back to that, with a warning on stderr so a typo cannot
+    /// silently change the worker count.
+    pub fn from_env() -> Self {
+        let jobs = match std::env::var("NOCOUT_JOBS") {
+            Err(_) => 0,
+            Ok(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!(
+                    "warning: ignoring unparsable NOCOUT_JOBS=`{v}` \
+                     (expected a count); using all hardware threads"
+                );
+                0
+            }),
+        };
+        BatchRunner::new(jobs)
+    }
+
+    /// Number of worker threads this pool uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every spec and returns their metrics keyed by spec index,
+    /// identical to mapping [`run`] over the slice.
+    pub fn run_batch(&self, specs: &[RunSpec]) -> Vec<SystemMetrics> {
+        if self.jobs == 1 || specs.len() <= 1 {
+            return specs.iter().map(run).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(specs.len()) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let metrics = run(&specs[i]);
+                    if tx.send((i, metrics)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<SystemMetrics>> =
+                (0..specs.len()).map(|_| None).collect();
+            for (i, metrics) in rx {
+                out[i] = Some(metrics);
+            }
+            out.into_iter()
+                .map(|m| m.expect("every spec produces metrics"))
+                .collect()
+        })
+    }
+
+    /// Parallel [`run_replicated`]: seeds execute on the pool, but the
+    /// replication statistics accumulate in seed order, so the result
+    /// matches the serial path bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn run_replicated(&self, spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let specs: Vec<RunSpec> = seeds.iter().map(|s| spec.with_seed(s)).collect();
+        let all = self.run_batch(&specs);
+        let mut stats = RunningStats::new();
+        for m in &all {
+            stats.record(m.aggregate_ipc());
+        }
+        ReplicatedResult {
+            mean_ipc: stats.mean(),
+            ci95: stats.ci95_half_width(),
+            last: all.into_iter().last().expect("at least one seed ran"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +322,43 @@ mod tests {
         let a = run(&spec.with_seed(1));
         let b = run(&spec.with_seed(2));
         assert_ne!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn batch_matches_serial_per_spec() {
+        let specs: Vec<RunSpec> = [Workload::MapReduceC, Workload::WebSearch]
+            .into_iter()
+            .map(|w| {
+                RunSpec::new(ChipConfig::with_cores(Organization::Mesh, 16), w).fast()
+            })
+            .collect();
+        let batch = BatchRunner::new(2).run_batch(&specs);
+        for (spec, m) in specs.iter().zip(&batch) {
+            let serial = run(spec);
+            assert_eq!(m.instructions, serial.instructions);
+            assert_eq!(m.network.packets, serial.network.packets);
+        }
+    }
+
+    #[test]
+    fn parallel_replication_matches_serial() {
+        let spec = RunSpec::new(
+            ChipConfig::with_cores(Organization::Mesh, 16),
+            Workload::SatSolver,
+        )
+        .fast();
+        let seeds = nocout_sim::config::SeedSet::consecutive(5, 3);
+        let serial = run_replicated(&spec, &seeds);
+        let parallel = BatchRunner::new(3).run_replicated(&spec, &seeds);
+        assert_eq!(serial.mean_ipc.to_bits(), parallel.mean_ipc.to_bits());
+        assert_eq!(serial.ci95.to_bits(), parallel.ci95.to_bits());
+        assert_eq!(serial.last.instructions, parallel.last.instructions);
+    }
+
+    #[test]
+    fn zero_jobs_means_hardware_threads() {
+        assert!(BatchRunner::new(0).jobs() >= 1);
+        assert_eq!(BatchRunner::serial().jobs(), 1);
     }
 
     #[test]

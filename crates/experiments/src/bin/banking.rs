@@ -5,13 +5,21 @@
 //! pressure; (b) two banks per NOC-Out tile achieve the throughput of
 //! higher banking degrees at lower cost.
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin banking`.
+//! Run with `cargo run --release -p nocout-experiments --bin banking`
+//! (add `--jobs N` to spread the 9-point grid over N workers).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("banking", "");
+    let runner = cli.runner();
+    cli.finish();
+
+    let workloads = [Workload::DataServing, Workload::MapReduceW, Workload::WebSearch];
+    let bank_counts = [1usize, 2, 4];
     let mut table = Table::new(
         "§4.3 — NOC-Out LLC banking sweep (aggregate IPC, normalized to 2 banks/tile)",
         vec![
@@ -21,13 +29,22 @@ fn main() {
             "4 banks/tile".into(),
         ],
     );
-    for w in [Workload::DataServing, Workload::MapReduceW, Workload::WebSearch] {
-        let mut vals = Vec::new();
-        for banks in [1usize, 2, 4] {
-            let mut cfg = ChipConfig::paper(Organization::NocOut);
-            cfg.banks_per_llc_tile = banks;
-            vals.push(perf_point(cfg, w).ipc);
-        }
+    let points: Vec<(ChipConfig, Workload)> = workloads
+        .iter()
+        .flat_map(|&w| {
+            bank_counts.map(|banks| {
+                let mut cfg = ChipConfig::paper(Organization::NocOut);
+                cfg.banks_per_llc_tile = banks;
+                (cfg, w)
+            })
+        })
+        .collect();
+    let results = perf_points(&runner, &points);
+
+    for (wi, w) in workloads.iter().enumerate() {
+        let vals: Vec<f64> = (0..bank_counts.len())
+            .map(|bi| results[wi * bank_counts.len() + bi].ipc)
+            .collect();
         let base = vals[1];
         table.row(vec![
             w.name().into(),

@@ -4,24 +4,20 @@
 //! ```text
 //! cargo run --release -p nocout-experiments --bin explorer -- \
 //!     --org nocout --workload data-serving --cores 64 --width 128 \
-//!     --seeds 3 --banks 2
+//!     --seeds 3 --banks 2 --jobs 4
 //! ```
 
 use nocout::prelude::*;
+use nocout_experiments::cli::Cli;
 use nocout_experiments::measurement_window;
 use nocout_sim::config::SeedSet;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: explorer [--org mesh|fbfly|nocout|ideal|zeromesh] \
-         [--workload NAME] [--cores N] [--width BITS] [--banks N] \
-         [--concentration N] [--express] [--llc-rows N] [--seeds N]"
-    );
-    std::process::exit(2)
-}
+const USAGE: &str = "[--org mesh|fbfly|nocout|ideal|zeromesh] [--workload NAME] \
+     [--cores N] [--width BITS] [--banks N] [--concentration N] [--express] \
+     [--llc-rows N] [--seeds N]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli::parse("explorer", USAGE);
     let mut org = Organization::NocOut;
     let mut workload = Workload::DataServing;
     let mut cores = 64usize;
@@ -32,41 +28,35 @@ fn main() {
     let mut llc_rows = 1usize;
     let mut seeds = 1usize;
 
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+    while let Some(flag) = cli.next_flag() {
         match flag.as_str() {
             "--org" => {
-                org = match val().as_str() {
+                let v = cli.value(&flag);
+                org = match v.as_str() {
                     "mesh" => Organization::Mesh,
                     "fbfly" => Organization::FlattenedButterfly,
                     "nocout" => Organization::NocOut,
                     "ideal" => Organization::IdealWire,
                     "zeromesh" => Organization::ZeroLoadMesh,
-                    _ => usage(),
+                    _ => cli.fail(&format!(
+                        "invalid value for `--org`: `{v}` \
+                         (expected mesh|fbfly|nocout|ideal|zeromesh)"
+                    )),
                 }
             }
-            "--workload" => {
-                workload = match val().as_str() {
-                    "data-serving" => Workload::DataServing,
-                    "mapreduce-c" => Workload::MapReduceC,
-                    "mapreduce-w" => Workload::MapReduceW,
-                    "sat-solver" => Workload::SatSolver,
-                    "web-frontend" => Workload::WebFrontend,
-                    "web-search" => Workload::WebSearch,
-                    _ => usage(),
-                }
-            }
-            "--cores" => cores = val().parse().unwrap_or_else(|_| usage()),
-            "--width" => width = val().parse().unwrap_or_else(|_| usage()),
-            "--banks" => banks = val().parse().unwrap_or_else(|_| usage()),
-            "--concentration" => concentration = val().parse().unwrap_or_else(|_| usage()),
+            "--workload" => workload = cli.workload(&flag),
+            "--cores" => cores = cli.parsed(&flag),
+            "--width" => width = cli.parsed(&flag),
+            "--banks" => banks = cli.parsed(&flag),
+            "--concentration" => concentration = cli.parsed(&flag),
             "--express" => express = true,
-            "--llc-rows" => llc_rows = val().parse().unwrap_or_else(|_| usage()),
-            "--seeds" => seeds = val().parse().unwrap_or_else(|_| usage()),
-            _ => usage(),
+            "--llc-rows" => llc_rows = cli.parsed(&flag),
+            "--seeds" => seeds = cli.parsed(&flag),
+            _ => cli.unknown(&flag),
         }
     }
+    let runner = cli.runner();
+    cli.finish();
 
     let mut chip = ChipConfig::with_cores(org, cores).with_link_width(width);
     chip.banks_per_llc_tile = banks;
@@ -80,7 +70,7 @@ fn main() {
         window: measurement_window(),
         seed: 1,
     };
-    let result = nocout::run_replicated(&spec, &SeedSet::consecutive(1, seeds.max(1)));
+    let result = runner.run_replicated(&spec, &SeedSet::consecutive(1, seeds.max(1)));
     let m = &result.last;
 
     println!("configuration : {org} / {workload} / {cores} cores / {width}-bit links");

@@ -6,14 +6,20 @@
 //! nodes and let performance approach a wire-only network, at some channel
 //! expense but with the same trivially simple node design.
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin express`.
+//! Run with `cargo run --release -p nocout-experiments --bin express`
+//! (add `--jobs N` to run both configurations in parallel).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("express", "");
+    let runner = cli.runner();
+    cli.finish();
+
     let model = NocAreaModel::paper_32nm();
     let mut table = Table::new(
         "§7.1 — Express links in 128-core (8-row) trees, MapReduce-C",
@@ -24,20 +30,31 @@ fn main() {
             "NOC area (mm²)".into(),
         ],
     );
-    let mut base = None;
-    for (label, express) in [("Chains only", false), ("With express links", true)] {
-        let mut cfg = ChipConfig::with_cores(Organization::NocOut, 128);
-        cfg.express_links = express;
-        cfg.active_core_override = Some(128);
-        cfg.mem_channels = 8;
-        let p = perf_point(cfg, Workload::MapReduceC);
-        let b = *base.get_or_insert(p.ipc);
+    let variants = [("Chains only", false), ("With express links", true)];
+    let configs: Vec<ChipConfig> = variants
+        .iter()
+        .map(|&(_, express)| {
+            let mut cfg = ChipConfig::with_cores(Organization::NocOut, 128);
+            cfg.express_links = express;
+            cfg.active_core_override = Some(128);
+            cfg.mem_channels = 8;
+            cfg
+        })
+        .collect();
+    let points: Vec<(ChipConfig, Workload)> = configs
+        .iter()
+        .map(|&cfg| (cfg, Workload::MapReduceC))
+        .collect();
+    let results = perf_points(&runner, &points);
+
+    let base = results[0].ipc;
+    for ((label, _), (cfg, p)) in variants.iter().zip(configs.iter().zip(&results)) {
         let area = model
             .area(&OrganizationArea::nocout(&cfg.nocout_spec()))
             .total_mm2();
         table.row(vec![
-            label.into(),
-            format!("{:.3}", p.ipc / b),
+            (*label).into(),
+            format!("{:.3}", p.ipc / base),
             format!("{:.1}", p.metrics.network.mean_latency),
             format!("{area:.2}"),
         ]);

@@ -6,15 +6,22 @@
 //! the die grows and the LLC moves farther away; at 64 cores the mesh
 //! trails the ideal (wire-only) fabric by ~22% on average.
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin fig1`.
+//! Run with `cargo run --release -p nocout-experiments --bin fig1`
+//! (add `--jobs N` to spread the 28-point grid over N workers).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("fig1", "");
+    let runner = cli.runner();
+    cli.finish();
+
     let core_counts = [1usize, 2, 4, 8, 16, 32, 64];
     let workloads = [Workload::DataServing, Workload::MapReduceW];
+    let fabrics = [Organization::IdealWire, Organization::ZeroLoadMesh];
 
     let mut table = Table::new(
         "Figure 1 — Per-core performance vs core count (normalized to 1 core), contention-free",
@@ -29,19 +36,31 @@ fn main() {
 
     // Per-core performance for every (workload, fabric, cores) point,
     // normalized to the same workload at 1 core on the same fabric kind's
-    // 1-core value (the paper normalizes to one core).
-    let mut series: Vec<Vec<f64>> = Vec::new();
-    for w in workloads {
-        for org in [Organization::IdealWire, Organization::ZeroLoadMesh] {
-            let mut vals = Vec::new();
+    // 1-core value (the paper normalizes to one core). The whole grid
+    // executes as one parallel batch.
+    let mut points: Vec<(ChipConfig, Workload)> = Vec::new();
+    for &w in &workloads {
+        for &org in &fabrics {
             for &n in &core_counts {
-                let p = perf_point(ChipConfig::with_cores(org, n), w);
-                vals.push(p.metrics.per_core_performance());
-                eprintln!("  [{w} / {org} / {n} cores] per-core {:.4}", vals.last().unwrap());
+                points.push((ChipConfig::with_cores(org, n), w));
             }
-            let base = vals[0];
-            series.push(vals.iter().map(|v| v / base).collect());
         }
+    }
+    let results = perf_points(&runner, &points);
+
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    for (si, chunk) in results.chunks(core_counts.len()).enumerate() {
+        let w = workloads[si / fabrics.len()];
+        let org = fabrics[si % fabrics.len()];
+        let vals: Vec<f64> = chunk
+            .iter()
+            .map(|p| p.metrics.per_core_performance())
+            .collect();
+        for (n, v) in core_counts.iter().zip(&vals) {
+            eprintln!("  [{w} / {org} / {n} cores] per-core {v:.4}");
+        }
+        let base = vals[0];
+        series.push(vals.iter().map(|v| v / base).collect());
     }
     let mut gap_at_64 = Vec::new();
     for (i, &n) in core_counts.iter().enumerate() {

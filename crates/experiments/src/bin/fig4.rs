@@ -6,13 +6,19 @@
 //! ~4% (SAT Solver). This is the observation NOC-Out's bilateral-traffic
 //! specialization rests on.
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin fig4`.
+//! Run with `cargo run --release -p nocout-experiments --bin fig4`
+//! (add `--jobs N` to run the six workloads in parallel).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("fig4", "");
+    let runner = cli.runner();
+    cli.finish();
+
     let paper = [1.2, 2.2, 2.8, 4.2, 1.8, 0.8];
     let mut table = Table::new(
         "Figure 4 — % of LLC accesses triggering a snoop",
@@ -22,12 +28,17 @@ fn main() {
             "Snoop % (paper, approx.)".into(),
         ],
     );
+    // Measured on the mesh baseline; the traffic mix is an application
+    // property and is organization-independent.
+    let points: Vec<(ChipConfig, Workload)> = Workload::ALL
+        .iter()
+        .map(|&w| (ChipConfig::paper(Organization::Mesh), w))
+        .collect();
+    let results = perf_points(&runner, &points);
+
     let mut sum = 0.0;
     for (i, w) in Workload::ALL.iter().enumerate() {
-        // Measured on the mesh baseline; the traffic mix is an application
-        // property and is organization-independent.
-        let p = perf_point(ChipConfig::paper(Organization::Mesh), *w);
-        let pct = p.metrics.llc.snoop_percent();
+        let pct = results[i].metrics.llc.snoop_percent();
         sum += pct;
         table.row(vec![
             w.name().into(),

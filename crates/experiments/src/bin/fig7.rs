@@ -6,14 +6,20 @@
 //! contention), above it on Web Search (16 cores adjacent to the LLC).
 //!
 //! Run with `cargo run --release -p nocout-experiments --bin fig7`
-//! (set `NOCOUT_FAST=1` for a quick smoke run).
+//! (set `NOCOUT_FAST=1` for a quick smoke run, `--jobs N` to spread the
+//! 18-point grid over N workers).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use nocout_sim::stats::geometric_mean;
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("fig7", "");
+    let runner = cli.runner();
+    cli.finish();
+
     let paper_fbfly = [1.31, 1.15, 1.20, 1.12, 1.16, 1.07];
     let paper_nocout = [1.27, 1.15, 1.21, 1.12, 1.16, 1.12];
 
@@ -28,12 +34,24 @@ fn main() {
             "NOC-Out(paper)".into(),
         ],
     );
+    // All workload × organization points execute as one parallel batch.
+    let points: Vec<(ChipConfig, Workload)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| {
+            Organization::EVALUATED
+                .iter()
+                .map(move |&org| (ChipConfig::paper(org), w))
+        })
+        .collect();
+    let results = perf_points(&runner, &points);
+
     let mut fb_norm = Vec::new();
     let mut no_norm = Vec::new();
+    let orgs = Organization::EVALUATED.len();
     for (i, w) in Workload::ALL.iter().enumerate() {
-        let mesh = perf_point(ChipConfig::paper(Organization::Mesh), *w);
-        let fb = perf_point(ChipConfig::paper(Organization::FlattenedButterfly), *w);
-        let no = perf_point(ChipConfig::paper(Organization::NocOut), *w);
+        let mesh = &results[i * orgs];
+        let fb = &results[i * orgs + 1];
+        let no = &results[i * orgs + 2];
         let fbn = fb.ipc / mesh.ipc;
         let non = no.ipc / mesh.ipc;
         fb_norm.push(fbn);

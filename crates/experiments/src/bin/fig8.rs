@@ -7,6 +7,7 @@
 //!
 //! Run with `cargo run --release -p nocout-experiments --bin fig8`.
 
+use nocout_experiments::cli::Cli;
 use nocout_experiments::{write_csv, Table};
 use nocout_noc::topology::fbfly::FbflySpec;
 use nocout_noc::topology::mesh::MeshSpec;
@@ -15,6 +16,10 @@ use nocout_tech::area::{NocAreaModel, OrganizationArea};
 use std::path::Path;
 
 fn main() {
+    // Analytic models only — no simulation, so `--jobs` has nothing to
+    // parallelize, but the shared CLI keeps flag handling uniform.
+    let cli = Cli::parse("fig8", "");
+    cli.finish();
     let model = NocAreaModel::paper_32nm();
     let orgs = [
         (OrganizationArea::mesh(&MeshSpec::paper_64()), 3.5),

@@ -6,15 +6,21 @@
 //! width collapses ~7× and serialization delay spikes. At equal area,
 //! NOC-Out outperforms the mesh by ~19% and the butterfly by ~65%.
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin fig9`.
+//! Run with `cargo run --release -p nocout-experiments --bin fig9`
+//! (add `--jobs N` to spread the 18-point grid over N workers).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use nocout_sim::stats::geometric_mean;
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("fig9", "");
+    let runner = cli.runner();
+    cli.finish();
+
     let model = NocAreaModel::paper_32nm();
     let nocout_cfg = ChipConfig::paper(Organization::NocOut);
     let budget = model
@@ -47,12 +53,19 @@ fn main() {
             "NOC-Out".into(),
         ],
     );
+    // All workload × configuration points execute as one parallel batch.
+    let points: Vec<(ChipConfig, Workload)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| [(mesh_cfg, w), (fb_cfg, w), (nocout_cfg, w)])
+        .collect();
+    let results = perf_points(&runner, &points);
+
     let mut fb_norm = Vec::new();
     let mut no_norm = Vec::new();
-    for w in Workload::ALL {
-        let mesh = perf_point(mesh_cfg, w);
-        let fb = perf_point(fb_cfg, w);
-        let no = perf_point(nocout_cfg, w);
+    for (i, w) in Workload::ALL.iter().enumerate() {
+        let mesh = &results[i * 3];
+        let fb = &results[i * 3 + 1];
+        let no = &results[i * 3 + 2];
         fb_norm.push(fb.ipc / mesh.ipc);
         no_norm.push(no.ipc / mesh.ipc);
         table.row(vec![

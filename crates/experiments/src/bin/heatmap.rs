@@ -5,12 +5,17 @@
 //!
 //! Run with `cargo run --release -p nocout-experiments --bin heatmap`.
 
+use nocout_experiments::cli::Cli;
 use nocout_experiments::Table;
 use nocout_noc::rng_traffic::run_bilateral_traffic;
 use nocout_noc::topology::nocout::{build_nocout, NocOutSpec};
 use nocout_noc::RouterId;
 
 fn main() {
+    // Single network-level traffic run — nothing to fan out, but the
+    // shared CLI keeps `--jobs`/`--help` handling uniform across bins.
+    let cli = Cli::parse("heatmap", "");
+    cli.finish();
     let spec = NocOutSpec::paper_64();
     let mut built = build_nocout(&spec);
     let report = run_bilateral_traffic(&mut built, 0.5, 50_000, 1);

@@ -5,14 +5,20 @@
 //! links; the ordering is NOC-Out (1.3 W) < FBfly (1.6 W) < Mesh (1.8 W),
 //! because NOC-Out's traffic travels shorter distances.
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin power`.
+//! Run with `cargo run --release -p nocout-experiments --bin power`
+//! (add `--jobs N` to spread the 18-point grid over N workers).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use nocout_tech::{BufferTech, ChipPowerModel, NocEnergyModel};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("power", "");
+    let runner = cli.runner();
+    cli.finish();
+
     // (organization, buffer tech, average switch radix, paper watts)
     let orgs = [
         (Organization::Mesh, BufferTech::FlipFlop, 5.0, 1.8),
@@ -31,11 +37,23 @@ fn main() {
             "Paper (W)".into(),
         ],
     );
-    for (org, buffer_tech, radix, paper) in orgs {
+    // Every organization × workload activity measurement runs as one
+    // parallel batch; the energy models then price each result.
+    let points: Vec<(ChipConfig, Workload)> = orgs
+        .iter()
+        .flat_map(|&(org, ..)| {
+            Workload::ALL
+                .iter()
+                .map(move |&w| (ChipConfig::paper(org), w))
+        })
+        .collect();
+    let results = perf_points(&runner, &points);
+
+    for (oi, (org, buffer_tech, radix, paper)) in orgs.into_iter().enumerate() {
         let model = NocEnergyModel::paper_32nm(128, buffer_tech).with_radix(radix);
         let mut totals = [0.0f64; 5];
-        for w in Workload::ALL {
-            let p = perf_point(ChipConfig::paper(org), w);
+        for wi in 0..Workload::ALL.len() {
+            let p = &results[oi * Workload::ALL.len() + wi];
             let r = model.energy(&p.metrics.noc_activity());
             let secs = r.seconds;
             totals[0] += r.links_j / secs;

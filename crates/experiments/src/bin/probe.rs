@@ -1,18 +1,35 @@
 //! Diagnostic probe: stall composition and miss rates per organization.
 //! Not part of the paper's figures; used to calibrate the workload models.
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin probe -- \
+//! [--workload NAME] [--jobs N]` (legacy positional `ws`/`sat` accepted).
 
 use nocout::prelude::*;
-use nocout_experiments::perf_point;
+use nocout_experiments::cli::Cli;
+use nocout_experiments::perf_points;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let workload = match args.get(1).map(|s| s.as_str()) {
-        Some("ws") => Workload::WebSearch,
-        Some("sat") => Workload::SatSolver,
-        _ => Workload::DataServing,
-    };
-    for org in [Organization::Mesh, Organization::NocOut] {
-        let p = perf_point(ChipConfig::paper(org), workload);
+    let mut cli = Cli::parse("probe", "[--workload NAME | ws|sat]");
+    let mut workload = Workload::DataServing;
+    while let Some(flag) = cli.next_flag() {
+        match flag.as_str() {
+            "--workload" => workload = cli.workload(&flag),
+            // Legacy positional shorthands.
+            "ws" => workload = Workload::WebSearch,
+            "sat" => workload = Workload::SatSolver,
+            _ => cli.unknown(&flag),
+        }
+    }
+    let runner = cli.runner();
+    cli.finish();
+
+    let orgs = [Organization::Mesh, Organization::NocOut];
+    let points: Vec<(ChipConfig, Workload)> = orgs
+        .iter()
+        .map(|&org| (ChipConfig::paper(org), workload))
+        .collect();
+    let results = perf_points(&runner, &points);
+    for (org, p) in orgs.iter().zip(&results) {
         let m = &p.metrics;
         let instr = m.instructions as f64;
         println!(

@@ -5,14 +5,20 @@
 //! same network area cost; with concentration four, the 16-byte tree links
 //! become a bandwidth bottleneck.
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin scalability`.
+//! Run with `cargo run --release -p nocout-experiments --bin scalability`
+//! (add `--jobs N` to run the three configurations in parallel).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("scalability", "");
+    let runner = cli.runner();
+    cli.finish();
+
     let model = NocAreaModel::paper_32nm();
     let workload = Workload::MapReduceC;
 
@@ -27,32 +33,41 @@ fn main() {
         ],
     );
 
-    let mut base_per_core = None;
-    for (label, cores, concentration) in [
+    let variants = [
         ("Baseline (c=1)", 64usize, 1usize),
         ("Concentration 2", 128, 2),
         ("Concentration 4", 256, 4),
-    ] {
-        let mut cfg = ChipConfig::with_cores(Organization::NocOut, cores);
-        cfg.concentration = concentration;
-        cfg.active_core_override = Some(cores);
-        // Memory bandwidth scales with the socket (the paper's §7.1 claim
-        // concerns the on-die trees, not DRAM starvation); the LLC stays
-        // at 8 MB per the paper's observation that added cores do not
-        // mandate added LLC capacity.
-        cfg.mem_channels = 4 * (cores / 64).max(1);
-        let p = perf_point(cfg, workload);
+    ];
+    let configs: Vec<ChipConfig> = variants
+        .iter()
+        .map(|&(_, cores, concentration)| {
+            let mut cfg = ChipConfig::with_cores(Organization::NocOut, cores);
+            cfg.concentration = concentration;
+            cfg.active_core_override = Some(cores);
+            // Memory bandwidth scales with the socket (the paper's §7.1 claim
+            // concerns the on-die trees, not DRAM starvation); the LLC stays
+            // at 8 MB per the paper's observation that added cores do not
+            // mandate added LLC capacity.
+            cfg.mem_channels = 4 * (cores / 64).max(1);
+            cfg
+        })
+        .collect();
+    let points: Vec<(ChipConfig, Workload)> =
+        configs.iter().map(|&cfg| (cfg, workload)).collect();
+    let results = perf_points(&runner, &points);
+
+    let base_per_core = results[0].metrics.per_core_performance();
+    for ((label, cores, _), (cfg, p)) in variants.iter().zip(configs.iter().zip(&results)) {
         let per_core = p.metrics.per_core_performance();
-        let base = *base_per_core.get_or_insert(per_core);
         let area = model
             .area(&OrganizationArea::nocout(&cfg.nocout_spec()))
             .total_mm2();
         table.row(vec![
-            label.into(),
+            (*label).into(),
             cores.to_string(),
-            format!("{:.3}", per_core / base),
+            format!("{:.3}", per_core / base_per_core),
             format!("{area:.2}"),
-            format!("{:.4}", area / cores as f64),
+            format!("{:.4}", area / *cores as f64),
         ]);
         eprintln!(
             "  [{label}] per-core {per_core:.4}  net latency {:.1}",

@@ -9,13 +9,19 @@
 //! precisely why its ability to keep full-width links inside a mesh-class
 //! area budget is the winning move in Fig. 9).
 //!
-//! Run with `cargo run --release -p nocout-experiments --bin sweep`.
+//! Run with `cargo run --release -p nocout-experiments --bin sweep`
+//! (add `--jobs N` to spread the 12-point grid over N workers).
 
 use nocout::prelude::*;
-use nocout_experiments::{perf_point, write_csv, Table};
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{perf_points, write_csv, Table};
 use std::path::Path;
 
 fn main() {
+    let cli = Cli::parse("sweep", "");
+    let runner = cli.runner();
+    cli.finish();
+
     let widths = [128u32, 64, 32, 16];
     let workload = Workload::MapReduceW;
     let mut table = Table::new(
@@ -30,13 +36,25 @@ fn main() {
             "NOC-Out resp lat".into(),
         ],
     );
-    let mut bases: Vec<Option<f64>> = vec![None; 3];
-    for &w in &widths {
+    // The whole width × organization grid runs as one parallel batch.
+    let points: Vec<(ChipConfig, Workload)> = widths
+        .iter()
+        .flat_map(|&w| {
+            Organization::EVALUATED
+                .iter()
+                .map(move |org| (ChipConfig::paper(*org).with_link_width(w), workload))
+        })
+        .collect();
+    let results = perf_points(&runner, &points);
+
+    let orgs = Organization::EVALUATED.len();
+    let mut bases: Vec<Option<f64>> = vec![None; orgs];
+    for (wi, &w) in widths.iter().enumerate() {
         let mut cells = vec![w.to_string()];
         let mut lats = Vec::new();
-        for (i, org) in Organization::EVALUATED.iter().enumerate() {
-            let p = perf_point(ChipConfig::paper(*org).with_link_width(w), workload);
-            let base = *bases[i].get_or_insert(p.ipc);
+        for (i, base) in bases.iter_mut().enumerate() {
+            let p = &results[wi * orgs + i];
+            let base = *base.get_or_insert(p.ipc);
             cells.push(format!("{:.3}", p.ipc / base));
             lats.push(format!("{:.1}", p.metrics.network.mean_response_latency));
         }

@@ -5,6 +5,7 @@
 //! Run with `cargo run -p nocout-experiments --bin table1`.
 
 use nocout::prelude::*;
+use nocout_experiments::cli::Cli;
 use nocout_experiments::Table;
 use nocout_mem::llc::LlcConfig;
 use nocout_mem::mem_ctrl::MemChannelConfig;
@@ -12,6 +13,10 @@ use nocout_noc::RouterConfig;
 use nocout_tech::ChipPowerModel;
 
 fn main() {
+    // Prints live configuration structs — no simulation, but the shared
+    // CLI keeps `--jobs`/`--help` handling uniform across bins.
+    let cli = Cli::parse("table1", "");
+    cli.finish();
     let chip = ChipConfig::paper(Organization::NocOut);
     let tech = ChipPowerModel::paper_32nm();
     let mem = MemChannelConfig::default();

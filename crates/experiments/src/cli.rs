@@ -1,0 +1,213 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! Every binary accepts `--jobs N` (parallel simulation workers; `0` or
+//! unset means all hardware threads, with the `NOCOUT_JOBS` environment
+//! variable as the default) and `--help`. Binary-specific flags are
+//! consumed through [`Cli::next_flag`]/[`Cli::value`]/[`Cli::parsed`],
+//! which — unlike the hand-rolled loops these replaced — name the
+//! offending flag and value in every error instead of silently printing
+//! the generic usage line.
+//!
+//! ```no_run
+//! use nocout_experiments::cli::Cli;
+//!
+//! let mut cli = Cli::parse("sweep", "[--workload NAME]");
+//! let mut workload = String::from("mapreduce-w");
+//! while let Some(flag) = cli.next_flag() {
+//!     match flag.as_str() {
+//!         "--workload" => workload = cli.value(&flag),
+//!         _ => cli.unknown(&flag),
+//!     }
+//! }
+//! let runner = cli.runner();
+//! ```
+
+use nocout::runner::BatchRunner;
+use nocout_workloads::Workload;
+use std::collections::VecDeque;
+
+/// Parsed common flags plus the binary-specific remainder.
+#[derive(Debug)]
+pub struct Cli {
+    bin: String,
+    usage_tail: String,
+    /// Explicit `--jobs` value; `None` defers to `BatchRunner::from_env`.
+    jobs: Option<usize>,
+    rest: VecDeque<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`: extracts `--jobs`/`--help`, keeps every
+    /// other token (in order) for the binary to consume.
+    pub fn parse(bin: &str, usage_tail: &str) -> Cli {
+        Cli::parse_from(bin, usage_tail, std::env::args().skip(1).collect())
+    }
+
+    /// Like [`Cli::parse`] but over an explicit token list (tests).
+    pub fn parse_from(bin: &str, usage_tail: &str, tokens: Vec<String>) -> Cli {
+        let mut cli = Cli {
+            bin: bin.to_string(),
+            usage_tail: usage_tail.to_string(),
+            jobs: None,
+            rest: VecDeque::new(),
+        };
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            match tok.as_str() {
+                "--jobs" | "-j" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| cli.fail(&format!("missing value for `{tok}`")));
+                    cli.jobs = Some(v.parse().unwrap_or_else(|_| {
+                        cli.fail(&format!("invalid value for `{tok}`: `{v}` (expected a count)"))
+                    }));
+                }
+                "--help" | "-h" => {
+                    println!("{}", cli.usage_line());
+                    std::process::exit(0);
+                }
+                _ => cli.rest.push_back(tok),
+            }
+        }
+        cli
+    }
+
+    fn usage_line(&self) -> String {
+        let tail = if self.usage_tail.is_empty() {
+            String::new()
+        } else {
+            format!(" {}", self.usage_tail)
+        };
+        format!("usage: {} [--jobs N]{tail}", self.bin)
+    }
+
+    /// Prints an error naming the offending input, then the usage line,
+    /// and exits with status 2.
+    pub fn fail(&self, msg: &str) -> ! {
+        eprintln!("{}: error: {msg}", self.bin);
+        eprintln!("{}", self.usage_line());
+        std::process::exit(2)
+    }
+
+    /// Rejects an unrecognized flag (with its name in the message).
+    pub fn unknown(&self, flag: &str) -> ! {
+        self.fail(&format!("unknown flag `{flag}`"))
+    }
+
+    /// The worker pool sized from `--jobs`, falling back to the
+    /// `NOCOUT_JOBS` environment variable (and then all hardware threads).
+    pub fn runner(&self) -> BatchRunner {
+        match self.jobs {
+            Some(jobs) => BatchRunner::new(jobs),
+            None => BatchRunner::from_env(),
+        }
+    }
+
+    /// Next unconsumed token, if any.
+    pub fn next_flag(&mut self) -> Option<String> {
+        self.rest.pop_front()
+    }
+
+    /// The value following `flag`; errors (naming `flag`) if missing.
+    pub fn value(&mut self, flag: &str) -> String {
+        self.rest
+            .pop_front()
+            .unwrap_or_else(|| self.fail(&format!("missing value for `{flag}`")))
+    }
+
+    /// Parses the value following `flag`; errors name the flag and the
+    /// offending value.
+    pub fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> T {
+        let v = self.value(flag);
+        v.parse().unwrap_or_else(|_| {
+            self.fail(&format!("invalid value for `{flag}`: `{v}`"))
+        })
+    }
+
+    /// Parses the value following `flag` as a workload name.
+    pub fn workload(&mut self, flag: &str) -> Workload {
+        let v = self.value(flag);
+        parse_workload(&v).unwrap_or_else(|| {
+            self.fail(&format!(
+                "invalid value for `{flag}`: `{v}` (expected one of {})",
+                workload_names().join("|")
+            ))
+        })
+    }
+
+    /// Errors if any token is left unconsumed (call after the flag loop
+    /// in binaries without positional arguments).
+    pub fn finish(mut self) {
+        if let Some(tok) = self.rest.pop_front() {
+            self.unknown(&tok);
+        }
+    }
+}
+
+/// Parses a workload CLI name (`data-serving`, `web-search`, ...).
+pub fn parse_workload(name: &str) -> Option<Workload> {
+    Some(match name {
+        "data-serving" => Workload::DataServing,
+        "mapreduce-c" => Workload::MapReduceC,
+        "mapreduce-w" => Workload::MapReduceW,
+        "sat-solver" => Workload::SatSolver,
+        "web-frontend" => Workload::WebFrontend,
+        "web-search" => Workload::WebSearch,
+        _ => return None,
+    })
+}
+
+/// The CLI names accepted by [`parse_workload`].
+pub fn workload_names() -> Vec<&'static str> {
+    vec![
+        "data-serving",
+        "mapreduce-c",
+        "mapreduce-w",
+        "sat-solver",
+        "web-frontend",
+        "web-search",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(tokens: &[&str]) -> Cli {
+        Cli::parse_from(
+            "test-bin",
+            "",
+            tokens.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn jobs_flag_sets_pool_width() {
+        let c = cli(&["--jobs", "3"]);
+        assert_eq!(c.runner().jobs(), 3);
+    }
+
+    #[test]
+    fn zero_jobs_means_all_threads() {
+        let c = cli(&["--jobs", "0"]);
+        assert!(c.runner().jobs() >= 1);
+    }
+
+    #[test]
+    fn leftover_tokens_preserved_in_order() {
+        let mut c = cli(&["--org", "mesh", "--jobs", "2", "--cores", "16"]);
+        assert_eq!(c.next_flag().as_deref(), Some("--org"));
+        assert_eq!(c.value("--org"), "mesh");
+        assert_eq!(c.next_flag().as_deref(), Some("--cores"));
+        assert_eq!(c.parsed::<usize>("--cores"), 16);
+        assert!(c.next_flag().is_none());
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for name in workload_names() {
+            assert!(parse_workload(name).is_some(), "{name}");
+        }
+        assert!(parse_workload("nope").is_none());
+    }
+}

@@ -2,12 +2,18 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper's evaluation and prints it as an aligned text table (optionally
-//! CSV). This library holds the pieces they share: run-point helpers,
-//! normalization, table rendering, and the measurement window handling
-//! (honouring `NOCOUT_FAST=1` for quick smoke runs).
+//! CSV). This library holds the pieces they share: command-line parsing
+//! ([`cli`], including the `--jobs N` worker-pool flag every binary
+//! accepts), run-point helpers (serial [`perf_point`] and the batched
+//! [`perf_points`] that fans a figure's whole point × seed grid across a
+//! `nocout::runner::BatchRunner`), normalization, table rendering, and
+//! the measurement window handling (honouring `NOCOUT_FAST=1` for quick
+//! smoke runs).
 
+pub mod cli;
 pub mod report;
 pub mod table;
 
-pub use report::{measurement_window, perf_point, seeds, PerfPoint};
+pub use cli::Cli;
+pub use report::{measurement_window, perf_point, perf_points, seeds, PerfPoint};
 pub use table::{write_csv, Table};

@@ -1,7 +1,9 @@
 //! Run-point helpers shared by the experiment binaries.
 
 use nocout::prelude::*;
+use nocout::runner::BatchRunner;
 use nocout_sim::config::{MeasurementWindow, SeedSet};
+use nocout_sim::stats::RunningStats;
 
 /// The measurement window the binaries use: paper-like by default,
 /// shortened when `NOCOUT_FAST=1` is set (CI smoke runs).
@@ -47,6 +49,44 @@ pub fn perf_point(chip: ChipConfig, workload: Workload) -> PerfPoint {
         ci95: r.ci95,
         metrics: r.last,
     }
+}
+
+/// Runs every `(chip, workload)` point over the standard window and seed
+/// set on `runner`'s worker pool, returning results keyed by point index.
+///
+/// The whole point × seed grid is flattened into one batch, so a
+/// multi-point figure parallelizes across *all* its runs, not just the
+/// seeds of one point. Per point the replication statistics accumulate in
+/// seed order — results are bit-identical to calling [`perf_point`] in a
+/// loop, at any worker count.
+pub fn perf_points(runner: &BatchRunner, points: &[(ChipConfig, Workload)]) -> Vec<PerfPoint> {
+    let window = measurement_window();
+    let seed_set = seeds();
+    let specs: Vec<RunSpec> = points
+        .iter()
+        .flat_map(|&(chip, workload)| {
+            seed_set.iter().map(move |seed| RunSpec {
+                chip,
+                workload,
+                window,
+                seed,
+            })
+        })
+        .collect();
+    let all = runner.run_batch(&specs);
+    all.chunks(seed_set.len())
+        .map(|per_seed| {
+            let mut stats = RunningStats::new();
+            for m in per_seed {
+                stats.record(m.aggregate_ipc());
+            }
+            PerfPoint {
+                ipc: stats.mean(),
+                ci95: stats.ci95_half_width(),
+                metrics: per_seed.last().expect("non-empty seed set").clone(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn interleave_covers_all_tiles() {
         let map = AddressMap::new(8, 2, 4);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for i in 0..64 {
             seen[map.home_tile(Addr::from_line_index(i))] = true;
         }

@@ -146,14 +146,11 @@ impl Directory {
         let idx = addr.line_index();
         match self.lines.get_mut(&idx) {
             None => false,
-            Some(DirState::Exclusive(owner)) => {
-                if *owner == core {
-                    self.lines.remove(&idx);
-                    true
-                } else {
-                    false
-                }
+            Some(DirState::Exclusive(owner)) if *owner == core => {
+                self.lines.remove(&idx);
+                true
             }
+            Some(DirState::Exclusive(_)) => false,
             Some(DirState::Shared(s)) => {
                 let had = s.contains(core);
                 s.remove(core);

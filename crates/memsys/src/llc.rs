@@ -1001,11 +1001,10 @@ mod tests {
     fn inv_ack_for_unknown_mshr_is_ignored() {
         let mut tile = LlcTile::new(LlcConfig::nocout_tile());
         tile.submit(LlcInput::InvAck { mshr: MshrId(777) });
-        let mut now = Cycle(0);
-        for _ in 0..10 {
+        for t in 0..10 {
+            let now = Cycle(t);
             tile.tick(now);
             assert!(tile.pop_ready(now).is_none());
-            now += 1;
         }
         assert_eq!(tile.inflight(), 0);
     }

@@ -180,7 +180,7 @@ mod tests {
             }
         }
         assert_eq!(finish, vec![(1, 20), (2, 25), (3, 30)]);
-        assert_eq!(ch.queue_cycles.value(), 0 + 5 + 10);
+        assert_eq!(ch.queue_cycles.value(), 5 + 10);
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub trait Fabric {
     /// Takes the next delivered packet at `terminal`, if any.
     fn poll(&mut self, terminal: TerminalId) -> Option<Delivery>;
 
+    /// Pops a terminal that has undelivered packets, if any. The caller
+    /// is expected to drain it with [`Fabric::poll`]; the terminal
+    /// reappears when a later packet arrives for it. Lets clients visit
+    /// only busy terminals instead of scanning all of them every cycle.
+    fn take_ready_terminal(&mut self) -> Option<TerminalId>;
+
     /// Current fabric cycle.
     fn now(&self) -> Cycle;
 
@@ -72,6 +78,10 @@ impl Fabric for crate::network::Network {
 
     fn poll(&mut self, terminal: TerminalId) -> Option<Delivery> {
         crate::network::Network::poll(self, terminal)
+    }
+
+    fn take_ready_terminal(&mut self) -> Option<TerminalId> {
+        crate::network::Network::take_ready_terminal(self)
     }
 
     fn now(&self) -> Cycle {

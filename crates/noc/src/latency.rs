@@ -47,6 +47,9 @@ pub struct LatencyFabric {
     /// (deliver_at, slot) keyed heap entries point into `payload`; `seq`
     /// disambiguation is folded into the slot ordering.
     delivered: Vec<VecDeque<Delivery>>,
+    /// Terminals with undelivered packets, in arrival order.
+    ready: VecDeque<u16>,
+    in_ready: Vec<bool>,
     stats: NetStats,
     now: Cycle,
 }
@@ -73,6 +76,8 @@ impl LatencyFabric {
             payload: Vec::new(),
             free: Vec::new(),
             delivered: (0..num_terminals).map(|_| VecDeque::new()).collect(),
+            ready: VecDeque::new(),
+            in_ready: vec![false; num_terminals],
             stats: NetStats::new(),
             now: Cycle::ZERO,
         }
@@ -136,11 +141,25 @@ impl Fabric for LatencyFabric {
                 packet,
                 delivered_at: self.now,
             });
+            if !self.in_ready[dst] {
+                self.in_ready[dst] = true;
+                self.ready.push_back(dst as u16);
+            }
         }
     }
 
     fn poll(&mut self, terminal: TerminalId) -> Option<Delivery> {
         self.delivered[terminal.index()].pop_front()
+    }
+
+    fn take_ready_terminal(&mut self) -> Option<TerminalId> {
+        while let Some(t) = self.ready.pop_front() {
+            self.in_ready[t as usize] = false;
+            if !self.delivered[t as usize].is_empty() {
+                return Some(TerminalId(t));
+            }
+        }
+        None
     }
 
     fn now(&self) -> Cycle {

@@ -35,27 +35,47 @@ pub const MAX_HOP_DELAY: u64 = 32;
 #[derive(Debug)]
 struct Wheel<T> {
     slots: Vec<Vec<T>>,
+    /// Events currently scheduled anywhere in the wheel.
+    pending: usize,
 }
 
 impl<T> Wheel<T> {
     fn new() -> Self {
         Wheel {
             slots: (0..MAX_HOP_DELAY as usize * 2).map(|_| Vec::new()).collect(),
+            pending: 0,
         }
     }
 
     #[inline]
     fn push(&mut self, now: Cycle, at: Cycle, ev: T) {
-        debug_assert!(at > now || at == now, "cannot schedule in the past");
+        debug_assert!(at >= now, "cannot schedule in the past");
         debug_assert!(at.raw() - now.raw() < self.slots.len() as u64);
         let idx = (at.raw() as usize) % self.slots.len();
         self.slots[idx].push(ev);
+        self.pending += 1;
     }
 
+    /// Moves the events due at `now` into `out` (cleared first), swapping
+    /// buffers so slot capacity is recycled instead of reallocated every
+    /// cycle.
     #[inline]
-    fn drain(&mut self, now: Cycle) -> Vec<T> {
+    fn drain_into(&mut self, now: Cycle, out: &mut Vec<T>) {
         let idx = (now.raw() as usize) % self.slots.len();
-        std::mem::take(&mut self.slots[idx])
+        out.clear();
+        std::mem::swap(&mut self.slots[idx], out);
+        self.pending -= out.len();
+    }
+
+    /// Cycles until the earliest scheduled event at or after `now` (0 =
+    /// the next `drain(now)` will yield events), or `None` when the wheel
+    /// is empty.
+    fn next_occupied_delta(&self, now: Cycle) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        let len = self.slots.len();
+        (0..len as u64).find(|dt| !self.slots[((now.raw() + dt) as usize) % len].is_empty())
     }
 }
 
@@ -107,6 +127,8 @@ struct Terminal {
     rx_progress: [u16; CLASS_COUNT],
     delivered: VecDeque<Delivery>,
     queued_packets: u64,
+    /// Whether this terminal sits in the network's ready list.
+    in_ready: bool,
 }
 
 /// Handle returned when attaching a terminal: the terminal id plus the
@@ -333,6 +355,7 @@ impl NetworkBuilder {
             rx_progress: [0; CLASS_COUNT],
             delivered: VecDeque::new(),
             queued_packets: 0,
+            in_ready: false,
         });
         TerminalAttachment {
             terminal,
@@ -454,7 +477,13 @@ impl NetworkBuilder {
             stats: NetStats::new(),
             now: Cycle::ZERO,
             link_width_bits: self.link_width_bits,
-            active_terminals: 0,
+            active_terms: Vec::new(),
+            ready_terms: VecDeque::new(),
+            buffered_flits: 0,
+            arrival_scratch: Vec::new(),
+            credit_scratch: Vec::new(),
+            candidate_scratch: Vec::new(),
+            per_out_scratch: Vec::new(),
         }
     }
 }
@@ -473,8 +502,23 @@ pub struct Network {
     stats: NetStats,
     now: Cycle,
     link_width_bits: u32,
-    /// Count of terminals with non-empty injection lanes (fast-path skip).
-    active_terminals: usize,
+    /// Terminals with non-empty injection lanes (dirty list: only these
+    /// are visited by `inject_flits`).
+    active_terms: Vec<u16>,
+    /// Terminals with undelivered packets, in arrival order (dirty list
+    /// consumed by `take_ready_terminal`).
+    ready_terms: VecDeque<u16>,
+    /// Flits currently buffered in router input VCs (sum of per-router
+    /// `buffered`), maintained for the drained-network fast path.
+    buffered_flits: u64,
+    /// Reusable per-cycle scratch buffers (hoisted out of the hot path so
+    /// steady state allocates nothing).
+    arrival_scratch: Vec<ArrivalEvent>,
+    credit_scratch: Vec<CreditEvent>,
+    /// `(desired out port, in port, class)` triples gathered per router.
+    candidate_scratch: Vec<(PortIndex, PortIndex, MessageClass)>,
+    /// Per-out-port candidate list handed to the arbiter.
+    per_out_scratch: Vec<(PortIndex, MessageClass)>,
 }
 
 impl Network {
@@ -549,7 +593,7 @@ impl Network {
         term.lanes[class.vc()].queue.push_back(id);
         term.queued_packets += 1;
         if was_idle {
-            self.active_terminals += 1;
+            self.active_terms.push(src.0);
         }
         self.stats.packets_injected.incr();
         let depth: u64 = term.lanes.iter().map(|l| l.queue.len() as u64).sum();
@@ -563,6 +607,25 @@ impl Network {
         self.terminals[terminal.index()].delivered.pop_front()
     }
 
+    /// Pops a terminal that has undelivered packets, in arrival order.
+    ///
+    /// The caller is expected to drain the terminal with [`Network::poll`]
+    /// before the next call; a terminal reappears in the ready list when a
+    /// later packet arrives for it. This lets clients visit only busy
+    /// terminals instead of scanning every terminal every cycle (on big
+    /// chips most terminals are idle in most cycles).
+    pub fn take_ready_terminal(&mut self) -> Option<TerminalId> {
+        while let Some(t) = self.ready_terms.pop_front() {
+            let term = &mut self.terminals[t as usize];
+            term.in_ready = false;
+            // Skip entries made stale by direct `poll` calls.
+            if !term.delivered.is_empty() {
+                return Some(TerminalId(t));
+            }
+        }
+        None
+    }
+
     /// Advances the network by one cycle.
     pub fn tick(&mut self) {
         self.deliver_credits();
@@ -574,18 +637,50 @@ impl Network {
 
     /// Runs until all in-flight packets are delivered or `max_cycles`
     /// elapse; returns `true` if the network drained.
+    ///
+    /// When nothing is buffered in any router and no terminal has queued
+    /// injections, the only pending work lives in the event wheels; the
+    /// clock then fast-forwards to the next scheduled event instead of
+    /// burning full no-op ticks (the skipped cycles still count against
+    /// `max_cycles`).
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
+        let mut budget = max_cycles;
+        while budget > 0 {
             if self.slab.is_empty() {
                 return true;
             }
+            if self.buffered_flits == 0 && self.active_terms.is_empty() {
+                let next = match (
+                    self.arrivals.next_occupied_delta(self.now),
+                    self.credits.next_occupied_delta(self.now),
+                ) {
+                    (Some(a), Some(c)) => a.min(c),
+                    (Some(a), None) => a,
+                    (None, Some(c)) => c,
+                    // Packets in flight but no buffered flits and no
+                    // events: nothing can ever progress.
+                    (None, None) => return false,
+                };
+                // Jump to the cycle *of* the event; its tick runs below
+                // (`next == 0` means this very tick drains it).
+                let skip = next.saturating_sub(1);
+                if skip >= budget {
+                    self.now.0 += budget;
+                    return self.slab.is_empty();
+                }
+                self.now.0 += skip;
+                budget -= skip;
+            }
             self.tick();
+            budget -= 1;
         }
         self.slab.is_empty()
     }
 
     fn deliver_credits(&mut self) {
-        for ev in self.credits.drain(self.now) {
+        let mut scratch = std::mem::take(&mut self.credit_scratch);
+        self.credits.drain_into(self.now, &mut scratch);
+        for ev in scratch.drain(..) {
             match ev.dest {
                 CreditDest::RouterPort { router, port } => {
                     let o = &mut self.routers[router.index()].out_ports[port as usize];
@@ -598,10 +693,13 @@ impl Network {
                 }
             }
         }
+        self.credit_scratch = scratch;
     }
 
     fn deliver_arrivals(&mut self) {
-        for ev in self.arrivals.drain(self.now) {
+        let mut scratch = std::mem::take(&mut self.arrival_scratch);
+        self.arrivals.drain_into(self.now, &mut scratch);
+        for ev in scratch.drain(..) {
             match ev.dest {
                 ArrivalDest::RouterPort { router, port } => {
                     let r = &mut self.routers[router.index()];
@@ -609,6 +707,7 @@ impl Network {
                         .queue
                         .push_back(ev.flit);
                     r.buffered += 1;
+                    self.buffered_flits += 1;
                     self.stats.buffer_writes.incr();
                 }
                 ArrivalDest::Terminal(t) => {
@@ -630,6 +729,10 @@ impl Network {
                             packet,
                             delivered_at: self.now,
                         });
+                        if !term.in_ready {
+                            term.in_ready = true;
+                            self.ready_terms.push_back(t.0);
+                        }
                     }
                 }
             }
@@ -637,17 +740,17 @@ impl Network {
     }
 
     fn inject_flits(&mut self) {
-        if self.active_terminals == 0 {
-            return;
-        }
-        for ti in 0..self.terminals.len() {
+        // Dirty list: visit only terminals with queued packets. A terminal
+        // leaves the list the cycle its last queued packet finishes
+        // serializing (order within the list is irrelevant — each terminal
+        // feeds its own private router input port).
+        let mut i = 0;
+        while i < self.active_terms.len() {
+            let ti = self.active_terms[i] as usize;
             let term = &mut self.terminals[ti];
-            if term.queued_packets == 0 {
-                continue;
-            }
+            debug_assert!(term.queued_packets > 0, "stale active-terminal entry");
             // One flit per cycle over the NI link; round-robin over classes
             // with queued traffic and available credits.
-            let mut sent = false;
             for k in 0..CLASS_COUNT {
                 let c = (term.rr_class as usize + k) % CLASS_COUNT;
                 let lane_has_work = !term.lanes[c].queue.is_empty();
@@ -671,9 +774,6 @@ impl Network {
                     term.lanes[c].queue.pop_front();
                     term.lanes[c].sent_flits = 0;
                     term.queued_packets -= 1;
-                    if term.queued_packets == 0 {
-                        self.active_terminals -= 1;
-                    }
                 }
                 term.rr_class = ((c + 1) % CLASS_COUNT) as u8;
                 // The NI link is modelled as immediate visibility this
@@ -684,75 +784,92 @@ impl Network {
                     .queue
                     .push_back(flit);
                 r.buffered += 1;
+                self.buffered_flits += 1;
                 self.stats.buffer_writes.incr();
-                sent = true;
                 break;
             }
-            let _ = sent;
+            if self.terminals[ti].queued_packets == 0 {
+                self.active_terms.swap_remove(i);
+            } else {
+                i += 1;
+            }
         }
     }
 
     fn switch_flits(&mut self) {
         let now = self.now;
+        // Reusable scratch buffers (per-cycle allocation here used to
+        // dominate the tick's allocator traffic).
+        let mut candidates = std::mem::take(&mut self.candidate_scratch);
+        let mut per_out = std::mem::take(&mut self.per_out_scratch);
         for ri in 0..self.routers.len() {
             if self.routers[ri].buffered == 0 {
                 continue;
             }
-            let num_out = self.routers[ri].out_ports.len();
-            for out in 0..num_out {
-                // Gather candidates: queue-front flits routed to this out
-                // port that satisfy wormhole ownership and credits.
-                let mut candidates: Vec<(PortIndex, MessageClass)> = Vec::new();
-                {
-                    let r = &self.routers[ri];
-                    let o = &r.out_ports[out];
-                    let is_terminal_target =
-                        matches!(o.target, OutTarget::Terminal { .. });
-                    for (ipi, ip) in r.in_ports.iter().enumerate() {
-                        for class in MessageClass::ALL {
-                            let vc = &ip.vcs[class.vc()];
-                            let Some(&flit) = vc.queue.front() else {
-                                continue;
-                            };
-                            let desired = match vc.current_out {
-                                Some(p) => p,
-                                None => {
-                                    debug_assert!(flit.is_head());
-                                    let p = r.route[flit.dst.index()];
-                                    assert!(
-                                        p != UNROUTED,
-                                        "router {ri} has no route to {}",
-                                        flit.dst
-                                    );
-                                    p
-                                }
-                            };
-                            if desired as usize != out {
-                                continue;
+            // One pass over the input VCs: each queue-front flit that
+            // satisfies routing, wormhole ownership and credits becomes a
+            // `(desired out, in port, class)` candidate. (A VC therefore
+            // offers at most one flit per cycle — one crossbar input per
+            // input VC — where the per-out-port rescan this replaced could
+            // let a VC follow a tail flit with a fresh head in the same
+            // cycle through a higher-numbered out port.)
+            candidates.clear();
+            {
+                let r = &self.routers[ri];
+                for (ipi, ip) in r.in_ports.iter().enumerate() {
+                    for class in MessageClass::ALL {
+                        let cv = class.vc();
+                        let vc = &ip.vcs[cv];
+                        let Some(&flit) = vc.queue.front() else {
+                            continue;
+                        };
+                        let desired = match vc.current_out {
+                            Some(p) => p,
+                            None => {
+                                debug_assert!(flit.is_head());
+                                let p = r.route[flit.dst.index()];
+                                assert!(
+                                    p != UNROUTED,
+                                    "router {ri} has no route to {}",
+                                    flit.dst
+                                );
+                                p
                             }
-                            let cv = class.vc();
-                            // Ownership: heads need a free downstream VC,
-                            // bodies must own it.
-                            match o.owner[cv] {
-                                None if !flit.is_head() => continue,
-                                Some(owner) if owner != ipi as PortIndex => continue,
-                                _ => {}
-                            }
-                            if !is_terminal_target && o.credits[cv] == 0 {
-                                continue;
-                            }
-                            candidates.push((ipi as PortIndex, class));
+                        };
+                        let o = &r.out_ports[desired as usize];
+                        // Ownership: heads need a free downstream VC,
+                        // bodies must own it.
+                        match o.owner[cv] {
+                            None if !flit.is_head() => continue,
+                            Some(owner) if owner != ipi as PortIndex => continue,
+                            _ => {}
                         }
+                        let is_terminal_target =
+                            matches!(o.target, OutTarget::Terminal { .. });
+                        if !is_terminal_target && o.credits[cv] == 0 {
+                            continue;
+                        }
+                        candidates.push((desired, ipi as PortIndex, class));
                     }
                 }
-                if candidates.is_empty() {
-                    continue;
-                }
-                let (win_port, win_class) =
-                    self.routers[ri].arbitrate(out as PortIndex, &candidates);
-                self.send_flit(ri, out as PortIndex, win_port, win_class, now);
+            }
+            // Grant one flit per out port among its gathered candidates.
+            while let Some(&(out, _, _)) = candidates.first() {
+                per_out.clear();
+                candidates.retain(|&(o, p, c)| {
+                    if o == out {
+                        per_out.push((p, c));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let (win_port, win_class) = self.routers[ri].arbitrate(out, &per_out);
+                self.send_flit(ri, out, win_port, win_class, now);
             }
         }
+        self.candidate_scratch = candidates;
+        self.per_out_scratch = per_out;
     }
 
     fn send_flit(
@@ -795,6 +912,7 @@ impl Network {
             target = o.target;
             pipeline_delay = r.cfg.pipeline_delay;
         }
+        self.buffered_flits -= 1;
         self.stats.buffer_reads.incr();
         self.stats.xbar_traversals.incr();
         self.stats.flit_hops.incr();
@@ -831,7 +949,7 @@ impl Network {
         let nt = self.terminals.len();
         let mut hops = vec![vec![0u32; nt]; nt];
         for (s, term) in self.terminals.iter().enumerate() {
-            for d in 0..nt {
+            for (d, row) in hops[s].iter_mut().enumerate() {
                 let dst = TerminalId(d as u16);
                 let mut router = term.attach_router;
                 let mut count = 0u32;
@@ -858,7 +976,7 @@ impl Network {
                         }
                     }
                 }
-                hops[s][d] = count;
+                *row = count;
             }
         }
         hops
@@ -867,6 +985,7 @@ impl Network {
     /// Validates internal invariants (used by tests): credit counters never
     /// exceed their maxima and buffered-flit counters match queue contents.
     pub fn check_invariants(&self) {
+        let mut grand_total = 0u64;
         for (ri, r) in self.routers.iter().enumerate() {
             let total: u32 = r
                 .in_ports
@@ -875,11 +994,25 @@ impl Network {
                 .map(|vc| vc.queue.len() as u32)
                 .sum();
             assert_eq!(total, r.buffered, "router {ri} buffered count drifted");
+            grand_total += u64::from(r.buffered);
             for o in &r.out_ports {
                 for c in 0..CLASS_COUNT {
                     assert!(o.credits[c] <= o.max_credits[c], "router {ri} credit overflow");
                 }
             }
+        }
+        assert_eq!(
+            grand_total, self.buffered_flits,
+            "network buffered-flit counter drifted"
+        );
+        for (ti, term) in self.terminals.iter().enumerate() {
+            let queued: u64 = term.lanes.iter().map(|l| l.queue.len() as u64).sum();
+            assert_eq!(queued, term.queued_packets, "terminal {ti} queue count drifted");
+            assert_eq!(
+                queued > 0,
+                self.active_terms.contains(&(ti as u16)),
+                "terminal {ti} active-list membership drifted"
+            );
         }
     }
 }

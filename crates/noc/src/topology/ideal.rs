@@ -165,7 +165,7 @@ mod tests {
     fn mc_terminals_present() {
         let spec = AnalyticSpec::for_tiles(16, AnalyticKind::ZeroLoadMesh);
         let mut fab = build_analytic(&spec);
-        let mc = (16) as u16; // first MC terminal
+        let mc = 16_u16; // first MC terminal
         let lat = one_latency(&mut fab, 5, mc, 0);
         assert!(lat >= 3);
     }

@@ -441,7 +441,7 @@ mod tests {
         let p50 = h.percentile(0.5);
         let p99 = h.percentile(0.99);
         assert!(p50 <= p99);
-        assert!(p50 >= 256 && p50 <= 1024);
+        assert!((256..=1024).contains(&p50));
     }
 
     #[test]

@@ -1,53 +1,60 @@
 //! Head-to-head: the same scale-out workload on all three organizations,
 //! plus the contention-free ideal — a miniature of the paper's Fig. 7.
 //!
+//! The four organizations run as one parallel batch on a
+//! `BatchRunner` worker pool (results are bit-identical to running them
+//! serially — per-seed determinism is independent of scheduling).
+//!
 //! Run with `cargo run --release --example compare_topologies`.
-//! Pass a workload name to change the workload:
-//! `cargo run --release --example compare_topologies -- data-serving`.
+//! Pass a workload name and/or `--jobs N`:
+//! `cargo run --release --example compare_topologies -- data-serving --jobs 4`.
 
+use nocout_experiments::cli::{parse_workload, Cli};
 use nocout_repro::prelude::*;
-
-fn parse_workload(arg: Option<&str>) -> Workload {
-    match arg {
-        Some("data-serving") => Workload::DataServing,
-        Some("mapreduce-c") => Workload::MapReduceC,
-        Some("mapreduce-w") => Workload::MapReduceW,
-        Some("sat-solver") => Workload::SatSolver,
-        Some("web-frontend") => Workload::WebFrontend,
-        Some("web-search") | None => Workload::WebSearch,
-        Some(other) => {
-            eprintln!("unknown workload `{other}`; using web-search");
-            Workload::WebSearch
-        }
-    }
-}
+use nocout_repro::runner::BatchRunner;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let workload = parse_workload(args.get(1).map(|s| s.as_str()));
-    let window = MeasurementWindow::new(10_000, 20_000);
+    let mut cli = Cli::parse("compare_topologies", "[WORKLOAD]");
+    let mut workload = Workload::WebSearch;
+    while let Some(tok) = cli.next_flag() {
+        match parse_workload(&tok) {
+            Some(w) => workload = w,
+            None => cli.fail(&format!("unknown workload `{tok}`")),
+        }
+    }
+    let runner: BatchRunner = cli.runner();
+    cli.finish();
 
-    println!("{workload} across organizations (normalized to the mesh):\n");
-    let mut mesh_ipc = None;
-    for org in [
+    let window = MeasurementWindow::new(10_000, 20_000);
+    let orgs = [
         Organization::Mesh,
         Organization::FlattenedButterfly,
         Organization::NocOut,
         Organization::IdealWire,
-    ] {
-        let metrics = run(&RunSpec {
+    ];
+    let specs: Vec<RunSpec> = orgs
+        .iter()
+        .map(|&org| RunSpec {
             chip: ChipConfig::paper(org),
             workload,
             window,
             seed: 7,
-        });
+        })
+        .collect();
+
+    println!(
+        "{workload} across organizations (normalized to the mesh, {} worker(s)):\n",
+        runner.jobs()
+    );
+    let results = runner.run_batch(&specs);
+    let mesh_ipc = results[0].aggregate_ipc();
+    for (org, metrics) in orgs.iter().zip(&results) {
         let ipc = metrics.aggregate_ipc();
-        let base = *mesh_ipc.get_or_insert(ipc);
         println!(
             "  {:<22} IPC {:>6.3}  vs mesh {:>5.3}  net latency {:>5.1} cycles",
             org.name(),
             ipc,
-            ipc / base,
+            ipc / mesh_ipc,
             metrics.network.mean_latency
         );
     }

@@ -1,0 +1,105 @@
+//! The batch engine's contract: parallel execution never changes results.
+//!
+//! `BatchRunner::run_batch` must be bit-identical to the serial `run`
+//! per spec, and the parallel `run_replicated` must reproduce the serial
+//! replication statistics exactly — at any worker count.
+
+use nocout_repro::prelude::*;
+use nocout_repro::runner::BatchRunner;
+use nocout_sim::config::{MeasurementWindow, SeedSet};
+
+fn grid() -> Vec<RunSpec> {
+    // A miniature campaign: organizations × workloads × seeds, covering
+    // the flit-level fabrics and an analytic one.
+    let window = MeasurementWindow::new(2_000, 5_000);
+    let mut specs = Vec::new();
+    for org in [
+        Organization::Mesh,
+        Organization::FlattenedButterfly,
+        Organization::NocOut,
+        Organization::IdealWire,
+    ] {
+        for (w, seed) in [(Workload::WebSearch, 1u64), (Workload::DataServing, 7)] {
+            specs.push(RunSpec {
+                chip: ChipConfig::paper(org),
+                workload: w,
+                window,
+                seed,
+            });
+        }
+    }
+    specs
+}
+
+#[test]
+fn run_batch_is_bit_identical_to_serial_run() {
+    let specs = grid();
+    let serial: Vec<SystemMetrics> = specs.iter().map(nocout_repro::run).collect();
+    for jobs in [2, 4, 8] {
+        let batch = BatchRunner::new(jobs).run_batch(&specs);
+        assert_eq!(batch.len(), serial.len());
+        for (i, (a, b)) in serial.iter().zip(&batch).enumerate() {
+            assert_eq!(a.instructions, b.instructions, "spec {i} at {jobs} jobs");
+            assert_eq!(a.cycles, b.cycles, "spec {i} at {jobs} jobs");
+            assert_eq!(a.llc.accesses, b.llc.accesses, "spec {i} at {jobs} jobs");
+            assert_eq!(a.llc.snoops_sent, b.llc.snoops_sent, "spec {i} at {jobs} jobs");
+            assert_eq!(a.network.packets, b.network.packets, "spec {i} at {jobs} jobs");
+            assert_eq!(a.memory.reads, b.memory.reads, "spec {i} at {jobs} jobs");
+            assert_eq!(a.memory.writes, b.memory.writes, "spec {i} at {jobs} jobs");
+            // IPC is derived from counters; compare exact bits anyway to
+            // catch any float-accumulation divergence.
+            assert_eq!(
+                a.aggregate_ipc().to_bits(),
+                b.aggregate_ipc().to_bits(),
+                "spec {i} at {jobs} jobs"
+            );
+            assert_eq!(a.per_core_ipc.len(), b.per_core_ipc.len());
+            for (x, y) in a.per_core_ipc.iter().zip(&b.per_core_ipc) {
+                assert_eq!(x.to_bits(), y.to_bits(), "spec {i} at {jobs} jobs");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_replication_matches_serial_statistics() {
+    let spec = RunSpec {
+        chip: ChipConfig::paper(Organization::NocOut),
+        workload: Workload::MapReduceW,
+        window: MeasurementWindow::new(2_000, 5_000),
+        seed: 1,
+    };
+    let seeds = SeedSet::consecutive(1, 3);
+    let serial = nocout_repro::run_replicated(&spec, &seeds);
+    for jobs in [2, 3, 8] {
+        let parallel = BatchRunner::new(jobs).run_replicated(&spec, &seeds);
+        assert_eq!(
+            serial.mean_ipc.to_bits(),
+            parallel.mean_ipc.to_bits(),
+            "mean at {jobs} jobs"
+        );
+        assert_eq!(
+            serial.ci95.to_bits(),
+            parallel.ci95.to_bits(),
+            "ci95 at {jobs} jobs"
+        );
+        assert_eq!(
+            serial.last.instructions, parallel.last.instructions,
+            "last-seed metrics at {jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn batch_of_one_and_empty_batch_work() {
+    let runner = BatchRunner::new(4);
+    assert!(runner.run_batch(&[]).is_empty());
+    let spec = RunSpec::new(
+        ChipConfig::with_cores(Organization::Mesh, 16),
+        Workload::SatSolver,
+    )
+    .fast();
+    let one = runner.run_batch(std::slice::from_ref(&spec));
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].instructions, nocout_repro::run(&spec).instructions);
+}

@@ -2,7 +2,6 @@
 //! need full-system timing runs: area anchors, ratios, zero-load
 //! latencies, SOP conclusions, and power-model behaviour.
 
-use nocout_repro::substrates::noc::fabric::Fabric;
 use nocout_repro::substrates::noc::topology::fbfly::{build_fbfly, FbflySpec};
 use nocout_repro::substrates::noc::topology::mesh::{build_mesh, MeshSpec};
 use nocout_repro::substrates::noc::topology::nocout::{build_nocout, NocOutSpec};

@@ -61,7 +61,7 @@ proptest! {
         // Fill one set (lines with the same set index: stride 8).
         let set_lines: Vec<u64> = (0..4).map(|i| tag + i * 8 * 64).collect();
         // Use line indices in the same set: set = line & 7 with 8 sets.
-        let base = (tag % 8) as u64;
+        let base = tag % 8;
         let fill: Vec<u64> = (0..4u64).map(|i| base + i * 8).collect();
         for &l in &fill {
             c.insert(Addr::from_line_index(l), false);

@@ -1,7 +1,6 @@
 //! Property-based tests on the NoC substrate: conservation, ordering and
 //! flow-control invariants under randomized traffic and geometry.
 
-use nocout_repro::substrates::noc::fabric::Fabric;
 use nocout_repro::substrates::noc::topology::fbfly::{build_fbfly, FbflySpec};
 use nocout_repro::substrates::noc::topology::mesh::{build_mesh, MeshSpec};
 use nocout_repro::substrates::noc::topology::nocout::{build_nocout, NocOutSpec};

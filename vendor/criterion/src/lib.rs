@@ -1,0 +1,254 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the Criterion API the workspace benches use —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `Throughput`,
+//! `criterion_group!`/`criterion_main!` — with real wall-clock measurement
+//! and a `--test` smoke mode (each routine runs once), so `cargo bench`
+//! and `cargo bench -- --test` behave the way CI expects. Results print as
+//! `name  time: [median ns/iter]  thrpt: [elements/s]`.
+//!
+//! It is not a statistical twin of Criterion (no outlier analysis, no
+//! HTML reports); it exists because this build environment cannot reach
+//! crates.io. Swapping the real crate back in is a one-line manifest
+//! change.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    result_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Measure,
+    Smoke,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its median time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine());
+            self.result_ns = 0.0;
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Split the measurement budget into `sample_size` samples.
+        let per_sample = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = (per_sample / est_ns).ceil().max(1.0) as u64;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.4} G/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.4} M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.4} K/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} /s")
+    }
+}
+
+/// Top-level benchmark driver (API-compatible subset).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(3),
+            mode: Mode::Measure,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Applies command-line configuration (`--test` smoke mode, name
+    /// filter). Called by `criterion_main!`.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.mode = Mode::Smoke,
+                s if s.starts_with("--") => {} // --bench and friends: ignore
+                s => filter = Some(s.to_string()),
+            }
+        }
+        self.filter = filter;
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(name) {
+            return;
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        if self.mode == Mode::Smoke {
+            println!("{name:<44} ... ok (smoke)");
+            return;
+        }
+        let mut line = format!("{name:<44} time: [{}]", format_ns(b.result_ns));
+        if let Some(t) = throughput {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = n as f64 * 1e9 / b.result_ns.max(1.0);
+            line.push_str(&format!("  thrpt: [{} {unit}]", format_rate(rate)));
+        }
+        println!("{line}");
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+        self.run_one(name.as_ref(), None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.as_ref());
+        let t = self.throughput;
+        self.criterion.run_one(&name, t, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (both Criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            c = c.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the `proptest!` macro with `#![proptest_config(..)]`,
+//! `Strategy` (ranges, tuples, `Just`, `prop_oneof!`, `prop_map`,
+//! `prop::collection::vec`, `any::<bool>()`), and the `prop_assert*`
+//! macros. Case generation is deterministic (seeded from the test name),
+//! so failures reproduce; there is no shrinking — the generated inputs
+//! are small enough to debug directly.
+//!
+//! It exists because this build environment cannot reach crates.io;
+//! swapping the real crate back in is a one-line manifest change.
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Deterministic splitmix64 generator used for case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from a test name so every run of a given test
+    /// sees the same case sequence.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Per-test configuration (case count only).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestRng};
+}
+
+/// Mirrors proptest's `prop` façade module (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::strategy::collection;
+}
+
+/// Declares property tests. Supports the two shapes the workspace uses:
+/// with and without a leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( #[test] fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let guard = $crate::CaseGuard::new(case, || {
+                        $(eprintln!("  {} = {:?}", stringify!($arg), &$arg);)+
+                    });
+                    $body
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Prints the failing case number if the property panics.
+pub struct CaseGuard<F: FnMut()> {
+    case: u32,
+    describe: F,
+    armed: bool,
+}
+
+impl<F: FnMut()> CaseGuard<F> {
+    /// Arms a guard for `case`.
+    pub fn new(case: u32, describe: F) -> Self {
+        CaseGuard {
+            case,
+            describe,
+            armed: true,
+        }
+    }
+
+    /// Disarms after the case passes.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<F: FnMut()> Drop for CaseGuard<F> {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!("proptest: property failed at case #{}", self.case);
+            (self.describe)();
+        }
+    }
+}
+
+/// Asserts a condition inside a property (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks uniformly among the given strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}

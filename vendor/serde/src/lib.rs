@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config structs
+//! so runs can be archived next to results, but no code path serializes
+//! yet and the build environment cannot reach crates.io. This crate keeps
+//! the source compatible with real serde: the traits exist as markers and
+//! the derives (re-exported from the local `serde_derive` stand-in) emit
+//! marker impls. Swapping in the real serde later is a one-line manifest
+//! change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Deserialization support module (mirrors `serde::de`).
+pub mod de {
+    /// Marker emitted by the no-op `Deserialize` derive. The real serde
+    /// `Deserialize<'de>` trait carries a lifetime; deriving a marker
+    /// without one keeps the expansion trivial.
+    pub trait DeserializeMarker {}
+}

