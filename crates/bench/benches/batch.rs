@@ -1,7 +1,8 @@
-//! Batch-engine benchmark: single-thread tick throughput per organization
-//! plus serial-vs-parallel wall clock on a sweep-style grid, recorded as a
-//! trajectory in `BENCH_batch.json` at the workspace root so the speedup
-//! is tracked across PRs.
+//! Batch-engine benchmark: single-thread tick throughput per organization,
+//! the idle-scan microbenchmark (active-set vs full-scan tick at the
+//! paper's 16-of-64 active-core point), plus serial-vs-parallel wall clock
+//! on a sweep-style grid, recorded as a trajectory in `BENCH_batch.json`
+//! at the workspace root so the speedup is tracked across PRs.
 //!
 //! Run with `cargo bench -p nocout-bench --bench batch`; `-- --test` runs
 //! a seconds-scale smoke version (used by CI) that still verifies the
@@ -26,6 +27,36 @@ fn tick_throughput(org: Organization, cycles: u64) -> f64 {
         chip.tick();
     }
     cycles as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Idle-scan microbenchmark: tick throughput at the paper's common case
+/// of 16 active cores on a 64-tile die (Web Search activates 16), where
+/// most LLC tiles and memory channels are idle most cycles. Measures the
+/// active-set scheduler (`tick`) against the full-scan reference
+/// (`tick_reference`, the pre-event-driven behaviour), asserting along
+/// the way that both chips stay in lockstep.
+fn idle16_throughput(org: Organization, cycles: u64) -> (f64, f64) {
+    let mut active = ScaleOutChip::new(ChipConfig::paper(org), Workload::WebSearch, 1);
+    let mut full = ScaleOutChip::new(ChipConfig::paper(org), Workload::WebSearch, 1);
+    assert_eq!(active.active_cores(), 16, "{org}: paper case is 16-of-64");
+    for _ in 0..2_000 {
+        active.tick();
+        full.tick_reference();
+    }
+    let t = Instant::now();
+    for _ in 0..cycles {
+        active.tick();
+    }
+    let active_rate = cycles as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..cycles {
+        full.tick_reference();
+    }
+    let full_rate = cycles as f64 / t.elapsed().as_secs_f64();
+    let (a, f) = (active.metrics(), full.metrics());
+    assert_eq!(a.instructions, f.instructions, "{org}: paths diverged");
+    assert_eq!(a.network.packets, f.network.packets, "{org}: paths diverged");
+    (active_rate, full_rate)
 }
 
 /// The sweep binary's 12-point grid (4 widths × 3 organizations) at a
@@ -63,6 +94,19 @@ fn main() {
         let rate = tick_throughput(org, tick_cycles);
         println!("chip_tick/{org:<20} {rate:>12.0} cycles/s (single thread)");
         tick_rates.push((org, rate));
+    }
+
+    // Idle-scan microbenchmark: the paper's common case of 16 active
+    // cores on a 64-tile die, active-set tick vs full-scan reference.
+    let mut idle16_rates = Vec::new();
+    for org in [Organization::Mesh, Organization::NocOut] {
+        let (active, full) = idle16_throughput(org, tick_cycles);
+        println!(
+            "idle16/{org:<20} {active:>12.0} cycles/s (active-set) vs \
+             {full:>12.0} (full scan): {:+.1}%",
+            100.0 * (active / full - 1.0)
+        );
+        idle16_rates.push((org, active, full));
     }
 
     let specs = sweep_grid(window);
@@ -109,6 +153,14 @@ fn main() {
     for (org, rate) in &tick_rates {
         let key = format!("{org}").to_lowercase().replace([' ', '-'], "_");
         let _ = write!(record, ", \"tick_rate_{key}\": {rate:.0}");
+    }
+    for (org, active, full) in &idle16_rates {
+        let key = format!("{org}").to_lowercase().replace([' ', '-'], "_");
+        let _ = write!(
+            record,
+            ", \"idle16_tick_rate_{key}\": {active:.0}, \
+             \"idle16_fullscan_rate_{key}\": {full:.0}"
+        );
     }
     record.push('}');
 

@@ -8,12 +8,12 @@
 
 use crate::config::{ChipConfig, Organization};
 use crate::metrics::{LlcSummary, MemSummary, NetSummary, SystemMetrics};
-use nocout_cpu::{Core, CoreConfig, MissRequest};
+use nocout_cpu::{Core, CoreConfig, CoreIdle, MissRequest};
 use nocout_mem::addr::{Addr, AddressMap};
 use nocout_mem::llc::{LlcConfig, LlcInput, LlcOutput, LlcTile};
 use nocout_mem::mem_ctrl::{MemChannelConfig, MemRequest, MemoryChannel};
 use nocout_mem::protocol::{AccessKind, CoreId, Msg, MsgSlab, TxnId};
-use nocout_noc::fabric::Fabric;
+use nocout_noc::fabric::{Fabric, NextEvent};
 use nocout_noc::latency::LatencyFabric;
 use nocout_noc::topology::ideal::{build_analytic, AnalyticKind, AnalyticSpec};
 use nocout_noc::topology::{fbfly::build_fbfly, mesh::build_mesh, nocout::build_nocout};
@@ -37,6 +37,56 @@ struct TermInfo {
     core: Option<usize>,
     llc: Option<usize>,
     mem: Option<usize>,
+}
+
+/// Membership bitmap (plus population count) of components with pending
+/// work. The chip's per-cycle scans visit only members, in index order —
+/// on a 64-tile chip most LLC tiles and memory channels are idle most
+/// cycles, so calling into all of them was the dominant cost of the
+/// tile/channel steps (mirroring what `Fabric::take_ready_terminal`
+/// already does for delivery). A bitmap beats a sorted worklist here:
+/// membership updates are branch-cheap, iteration order matches the
+/// full-scan reference by construction, and when nothing is active the
+/// whole step is one counter test.
+#[derive(Debug, Default)]
+struct ActiveSet {
+    member: Vec<bool>,
+    count: usize,
+}
+
+impl ActiveSet {
+    fn with_len(n: usize) -> Self {
+        ActiveSet {
+            member: vec![false; n],
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        if !self.member[i] {
+            self.member[i] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Records the component's post-tick state.
+    #[inline]
+    fn set(&mut self, i: usize, active: bool) {
+        if self.member[i] != active {
+            self.member[i] = active;
+            if active {
+                self.count += 1;
+            } else {
+                self.count -= 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
 }
 
 #[derive(Debug)]
@@ -117,6 +167,12 @@ pub struct ScaleOutChip {
     /// Reusable staging buffer for messages injected during `tick` (hoisted
     /// out of the per-cycle hot path so steady state allocates nothing).
     inject_buf: Vec<(TerminalId, TerminalId, Msg)>,
+    /// LLC tiles with queued inputs or undelivered outputs.
+    active_llcs: ActiveSet,
+    /// Memory channels with queued requests or outstanding completions.
+    active_mems: ActiveSet,
+    /// Reusable scratch for memory-channel completions.
+    mem_done_buf: Vec<u64>,
 }
 
 impl std::fmt::Debug for ScaleOutChip {
@@ -214,10 +270,10 @@ impl ScaleOutChip {
                 LlcConfig::tiled_slice()
             }
         };
-        let llcs = (0..llc_tiles)
+        let llcs: Vec<LlcTile> = (0..llc_tiles)
             .map(|i| LlcTile::new(llc_cfg.at_position(i, llc_tiles)))
             .collect();
-        let channels = (0..cfg.mem_channels)
+        let channels: Vec<MemoryChannel> = (0..cfg.mem_channels)
             .map(|_| MemoryChannel::new(MemChannelConfig::default()))
             .collect();
         let cores: Vec<Core> = (0..cfg.cores).map(|_| Core::new(CoreConfig::a15())).collect();
@@ -253,6 +309,8 @@ impl ScaleOutChip {
             .map(|&c| (c, WorkloadGen::new(profile, c as u16, seed)))
             .collect();
 
+        let num_llcs = llcs.len();
+        let num_mems = channels.len();
         let mut chip = ScaleOutChip {
             cfg,
             fabric,
@@ -270,6 +328,9 @@ impl ScaleOutChip {
             now: Cycle::ZERO,
             req_buf: Vec::new(),
             inject_buf: Vec::new(),
+            active_llcs: ActiveSet::with_len(num_llcs),
+            active_mems: ActiveSet::with_len(num_mems),
+            mem_done_buf: Vec::new(),
         };
         chip.warm_caches();
         chip
@@ -344,8 +405,26 @@ impl ScaleOutChip {
         self.fabric.inject(src, dst, class, payload, token);
     }
 
-    /// Advances the chip by one cycle.
+    /// Advances the chip by one cycle, visiting only components with work:
+    /// LLC tiles and memory channels are scanned through active sets that
+    /// a component enters when traffic arrives for it and leaves when it
+    /// drains. Bit-identical to [`ScaleOutChip::tick_reference`] (a tick
+    /// of an idle component is a no-op), which the differential tests
+    /// enforce across every organization.
     pub fn tick(&mut self) {
+        self.tick_impl(false);
+    }
+
+    /// The full-scan reference tick: semantically identical to
+    /// [`ScaleOutChip::tick`] but visits every LLC tile and memory channel
+    /// every cycle. Kept as the oracle for differential testing of the
+    /// active-set scheduler (and as the honest baseline for the idle-scan
+    /// microbenchmark).
+    pub fn tick_reference(&mut self) {
+        self.tick_impl(true);
+    }
+
+    fn tick_impl(&mut self, full_scan: bool) {
         let now = self.now;
 
         // 1. Cores execute and emit miss requests.
@@ -377,33 +456,51 @@ impl ScaleOutChip {
             self.inject(src, dst, msg);
         }
 
-        // 2. LLC tiles process and emit protocol messages.
-        for i in 0..self.llcs.len() {
-            self.llcs[i].tick(now);
-            while let Some(out) = self.llcs[i].pop_ready(now) {
-                let (src, dst, msg) = self.convert_llc_output(i, out);
-                injections.push((src, dst, msg));
+        // 2. Active LLC tiles process and emit protocol messages. The
+        // bitmap is visited in index order, so the messages injected here
+        // appear in exactly the order the full scan would produce.
+        if full_scan || !self.active_llcs.is_empty() {
+            for i in 0..self.llcs.len() {
+                if !full_scan && !self.active_llcs.member[i] {
+                    continue;
+                }
+                self.llcs[i].tick(now);
+                while let Some(out) = self.llcs[i].pop_ready(now) {
+                    let (src, dst, msg) = self.convert_llc_output(i, out);
+                    injections.push((src, dst, msg));
+                }
+                self.active_llcs.set(i, self.llcs[i].has_pending_work());
             }
-        }
-        for (src, dst, msg) in injections.drain(..) {
-            self.inject(src, dst, msg);
+            for (src, dst, msg) in injections.drain(..) {
+                self.inject(src, dst, msg);
+            }
         }
 
-        // 3. Memory channels complete reads.
-        for k in 0..self.channels.len() {
-            for token in self.channels[k].tick(now) {
-                let home = match self.msgs.get(token) {
-                    Msg::MemData { home, .. } => *home as usize,
-                    other => unreachable!("unexpected memory completion {other:?}"),
-                };
-                self.fabric.inject(
-                    self.mc_term[k],
-                    self.llc_term[home],
-                    MessageClass::Response,
-                    nocout_mem::LINE_BYTES as u32,
-                    token,
-                );
+        // 3. Active memory channels complete reads.
+        if full_scan || !self.active_mems.is_empty() {
+            let mut done = std::mem::take(&mut self.mem_done_buf);
+            for k in 0..self.channels.len() {
+                if !full_scan && !self.active_mems.member[k] {
+                    continue;
+                }
+                done.clear();
+                self.channels[k].tick(now, &mut done);
+                for &token in &done {
+                    let home = match self.msgs.get(token) {
+                        Msg::MemData { home, .. } => *home as usize,
+                        other => unreachable!("unexpected memory completion {other:?}"),
+                    };
+                    self.fabric.inject(
+                        self.mc_term[k],
+                        self.llc_term[home],
+                        MessageClass::Response,
+                        nocout_mem::LINE_BYTES as u32,
+                        token,
+                    );
+                }
+                self.active_mems.set(k, self.channels[k].has_pending_work());
             }
+            self.mem_done_buf = done;
         }
 
         // 4. The interconnect moves flits.
@@ -421,6 +518,96 @@ impl ScaleOutChip {
 
         self.inject_buf = injections;
         self.now.0 += 1;
+    }
+
+    /// Runs `cycles` ticks, fast-forwarding through stretches where every
+    /// component is provably idle: all active cores are fetch-stalled with
+    /// nothing to retire, the LLC/memory active sets hold only timed
+    /// wakeups, and the fabric's only pending work sits in its event
+    /// wheels. The clock then jumps to the earliest wake cycle (stalled
+    /// cores receive their per-cycle stall counters in bulk), so the
+    /// result is bit-identical to calling [`ScaleOutChip::tick`] `cycles`
+    /// times — the chip-level analogue of the network's
+    /// `run_until_drained` fast-forward.
+    pub fn run_for(&mut self, cycles: u64) {
+        let mut remaining = cycles;
+        while remaining > 0 {
+            match self.skippable_cycles() {
+                Some(skip) if skip > 0 => {
+                    let skip = skip.min(remaining);
+                    self.skip_idle(skip);
+                    remaining -= skip;
+                }
+                _ => {
+                    self.tick();
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// How many upcoming whole-chip ticks are provably no-ops (beyond
+    /// counter bumps on stalled cores). `None` when some component needs
+    /// per-cycle ticking right now.
+    fn skippable_cycles(&self) -> Option<u64> {
+        fn merge(wake: &mut Option<Cycle>, at: Cycle) {
+            *wake = Some(wake.map_or(at, |w| w.min(at)));
+        }
+        let mut wake: Option<Cycle> = None;
+        for (c, _) in &self.active {
+            match self.cores[*c].idle_state() {
+                CoreIdle::Busy => return None,
+                CoreIdle::Stalled => {}
+                CoreIdle::StalledUntil(at) => merge(&mut wake, at),
+            }
+        }
+        if !self.active_llcs.is_empty() {
+            for (i, tile) in self.llcs.iter().enumerate() {
+                if !self.active_llcs.member[i] {
+                    continue;
+                }
+                // Queued inputs arbitrate for banks (and count wait
+                // cycles) every cycle; only output timers are skippable.
+                if tile.has_queued_input() {
+                    return None;
+                }
+                if let Some(at) = tile.next_output_at() {
+                    merge(&mut wake, at);
+                }
+            }
+        }
+        if !self.active_mems.is_empty() {
+            for (k, ch) in self.channels.iter().enumerate() {
+                if !self.active_mems.member[k] {
+                    continue;
+                }
+                if let Some(at) = ch.next_wake() {
+                    merge(&mut wake, at);
+                }
+            }
+        }
+        match self.fabric.next_event() {
+            NextEvent::EveryCycle => return None,
+            NextEvent::Idle => {}
+            NextEvent::At(at) => merge(&mut wake, at),
+        }
+        Some(match wake {
+            Some(w) => w.raw().saturating_sub(self.now.raw()),
+            // Fully quiescent: nothing but stall counters would ever move
+            // again, so any number of cycles may be skipped.
+            None => u64::MAX,
+        })
+    }
+
+    /// Applies `delta` skipped cycles: stalled cores take their counter
+    /// bumps in bulk, the fabric clock advances, and the chip clock jumps.
+    fn skip_idle(&mut self, delta: u64) {
+        for ai in 0..self.active.len() {
+            let c = self.active[ai].0;
+            self.cores[c].fast_forward_stalled(delta);
+        }
+        self.fabric.skip_idle(delta);
+        self.now.0 += delta;
     }
 
     fn convert_llc_output(
@@ -500,6 +687,7 @@ impl ScaleOutChip {
                 kind,
             } => {
                 let llc = info.llc.expect("CoreRequest must land on an LLC tile");
+                self.active_llcs.insert(llc);
                 self.llcs[llc].submit(LlcInput::Core {
                     txn,
                     core,
@@ -509,14 +697,17 @@ impl ScaleOutChip {
             }
             Msg::WriteBack { core, addr } => {
                 let llc = info.llc.expect("WriteBack must land on an LLC tile");
+                self.active_llcs.insert(llc);
                 self.llcs[llc].submit(LlcInput::WriteBack { core, addr });
             }
             Msg::InvAck { mshr } => {
                 let llc = info.llc.expect("InvAck must land on an LLC tile");
+                self.active_llcs.insert(llc);
                 self.llcs[llc].submit(LlcInput::InvAck { mshr });
             }
             Msg::MemData { mshr, .. } => {
                 let llc = info.llc.expect("MemData must land on an LLC tile");
+                self.active_llcs.insert(llc);
                 self.llcs[llc].submit(LlcInput::MemData { mshr });
             }
             Msg::Data { txn } => {
@@ -580,12 +771,13 @@ impl ScaleOutChip {
             Msg::MemRead { mshr, home, addr } => {
                 let ch = info.mem.expect("MemRead must land on a memory channel");
                 let token = self.msgs.insert(Msg::MemData { mshr, home });
-                self.channels[ch].push(MemRequest::Read { token }, now);
-                let _ = addr;
+                self.active_mems.insert(ch);
+                self.channels[ch].push(MemRequest::Read { token, addr }, now);
             }
-            Msg::MemWrite { .. } => {
+            Msg::MemWrite { addr } => {
                 let ch = info.mem.expect("MemWrite must land on a memory channel");
-                self.channels[ch].push(MemRequest::Write, now);
+                self.active_mems.insert(ch);
+                self.channels[ch].push(MemRequest::Write { addr }, now);
             }
         }
     }

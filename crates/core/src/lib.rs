@@ -17,6 +17,8 @@
 //!   parameters,
 //! * [`chip`] — [`chip::ScaleOutChip`], the cycle-driven full system,
 //! * [`runner`] — warmup/measure orchestration,
+//! * [`cache`] — the on-disk, spec-keyed results cache campaigns opt
+//!   into with `--cache DIR`,
 //! * [`metrics`] — what a run reports,
 //! * [`sop`] — the Scale-Out Processor configuration methodology (§2.2).
 //!
@@ -39,6 +41,7 @@
 //! assert!(nocout.aggregate_ipc() > 0.0 && mesh.aggregate_ipc() > 0.0);
 //! ```
 
+pub mod cache;
 pub mod chip;
 pub mod config;
 pub mod metrics;

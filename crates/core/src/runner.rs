@@ -23,6 +23,33 @@
 //! (`0`/unset = all hardware threads, honouring the `NOCOUT_JOBS`
 //! environment variable as the default); see `nocout_experiments::cli`.
 //!
+//! ## Results cache
+//!
+//! Because every point is a pure function of its spec, results can be
+//! memoized: [`BatchRunner::with_cache`] attaches a
+//! [`crate::cache::ResultsCache`] and [`BatchRunner::run_batch`] /
+//! [`BatchRunner::run_replicated`] then consult it before simulating,
+//! storing whatever they had to compute. Every experiment binary exposes
+//! this as `--cache DIR` (see `nocout_experiments::cli`), so re-running a
+//! figure pays only for the points its previous run didn't cover.
+//!
+//! * **Key**: the FNV-1a 64 hash of [`RunSpec::cache_key`], a versioned
+//!   canonical string spelling out every spec field — the full
+//!   `ChipConfig` (organization, cores, LLC bytes, link width, memory
+//!   channels, banks per tile, concentration, active-core override,
+//!   express links, LLC rows), the workload, the warmup and measure
+//!   cycle counts, and the seed.
+//! * **Invalidation**: any change to any of those fields is a different
+//!   key; there are no partial hits. The stored entry embeds the full
+//!   key string and is verified on load, so collisions degrade to
+//!   misses. Entries never expire on their own — delete the directory
+//!   (or bump the key's behaviour version) after changing simulator
+//!   behaviour.
+//! * **Fidelity**: entries round-trip metrics bit-exactly (floats are
+//!   stored as raw IEEE-754 bits), so hits are indistinguishable from
+//!   re-simulation; the `results_cache` integration test and the CI
+//!   byte-identity gate (`sweep --cache` twice, `cmp`) enforce this.
+//!
 //! ```
 //! use nocout::config::{ChipConfig, Organization};
 //! use nocout::runner::{run, BatchRunner, RunSpec};
@@ -102,13 +129,11 @@ impl RunSpec {
 /// ```
 pub fn run(spec: &RunSpec) -> SystemMetrics {
     let mut chip = ScaleOutChip::new(spec.chip, spec.workload, spec.seed);
-    for _ in 0..spec.window.warmup_cycles {
-        chip.tick();
-    }
+    // `run_for` fast-forwards through globally idle stretches while
+    // remaining bit-identical to per-cycle ticking.
+    chip.run_for(spec.window.warmup_cycles);
     chip.reset_stats();
-    for _ in 0..spec.window.measure_cycles {
-        chip.tick();
-    }
+    chip.run_for(spec.window.measure_cycles);
     chip.metrics()
 }
 
@@ -169,9 +194,10 @@ pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
 /// let r = runner.run_replicated(&spec, &SeedSet::consecutive(1, 3));
 /// assert!(r.mean_ipc > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchRunner {
     jobs: usize,
+    cache: Option<crate::cache::ResultsCache>,
 }
 
 impl Default for BatchRunner {
@@ -192,12 +218,28 @@ impl BatchRunner {
         } else {
             jobs
         };
-        BatchRunner { jobs }
+        BatchRunner { jobs, cache: None }
     }
 
     /// A single-worker pool (runs everything on the calling thread).
     pub fn serial() -> Self {
-        BatchRunner { jobs: 1 }
+        BatchRunner {
+            jobs: 1,
+            cache: None,
+        }
+    }
+
+    /// Attaches a results cache: batches will consult it before
+    /// simulating and store whatever they had to compute.
+    pub fn with_cache(mut self, cache: crate::cache::ResultsCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached results cache, if any (its hit/miss counters account
+    /// for every lookup this runner performed).
+    pub fn cache(&self) -> Option<&crate::cache::ResultsCache> {
+        self.cache.as_ref()
     }
 
     /// Pool width from the `NOCOUT_JOBS` environment variable: unset (or
@@ -224,8 +266,28 @@ impl BatchRunner {
     }
 
     /// Executes every spec and returns their metrics keyed by spec index,
-    /// identical to mapping [`run`] over the slice.
+    /// identical to mapping [`run`] over the slice. With an attached
+    /// cache, hits skip simulation entirely (entries round-trip
+    /// bit-exactly) and only the misses go to the worker pool.
     pub fn run_batch(&self, specs: &[RunSpec]) -> Vec<SystemMetrics> {
+        let Some(cache) = &self.cache else {
+            return self.run_batch_uncached(specs);
+        };
+        let mut out: Vec<Option<SystemMetrics>> =
+            specs.iter().map(|s| cache.get(s)).collect();
+        let todo: Vec<usize> = (0..specs.len()).filter(|&i| out[i].is_none()).collect();
+        let todo_specs: Vec<RunSpec> = todo.iter().map(|&i| specs[i]).collect();
+        let fresh = self.run_batch_uncached(&todo_specs);
+        for (&i, m) in todo.iter().zip(fresh) {
+            cache.put(&specs[i], &m);
+            out[i] = Some(m);
+        }
+        out.into_iter()
+            .map(|m| m.expect("every spec is cached or simulated"))
+            .collect()
+    }
+
+    fn run_batch_uncached(&self, specs: &[RunSpec]) -> Vec<SystemMetrics> {
         if self.jobs == 1 || specs.len() <= 1 {
             return specs.iter().map(run).collect();
         }

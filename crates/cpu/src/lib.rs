@@ -20,5 +20,5 @@
 pub mod model;
 pub mod source;
 
-pub use model::{Core, CoreConfig, CoreStats, MissRequest};
+pub use model::{Core, CoreConfig, CoreIdle, CoreStats, MissRequest};
 pub use source::{FetchedInstr, InstructionSource, Op};

@@ -44,6 +44,23 @@ pub struct MissRequest {
     pub kind: AccessKind,
 }
 
+/// How a core will behave over the coming cycles if no fill arrives —
+/// the contract behind the chip-level idle fast-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreIdle {
+    /// The core is dispatching (or could dispatch) work: it must be
+    /// ticked every cycle.
+    Busy,
+    /// Fetch-stalled with nothing able to retire: every tick until the
+    /// next fill only increments stall counters, which
+    /// [`Core::fast_forward_stalled`] can apply in bulk.
+    Stalled,
+    /// Fetch-stalled, but the ROB head completes at the given cycle — the
+    /// core is linearly stalled strictly *before* that cycle and must be
+    /// ticked normally from it onward.
+    StalledUntil(Cycle),
+}
+
 /// Per-core statistics.
 #[derive(Debug, Default)]
 pub struct CoreStats {
@@ -172,6 +189,42 @@ impl Core {
     /// Whether fetch is currently stalled on an instruction miss.
     pub fn fetch_stalled(&self) -> bool {
         self.fetch_stall.is_some()
+    }
+
+    /// Classifies the core's upcoming cycles for the chip-level
+    /// fast-forward (see [`CoreIdle`]). Only a fetch-stalled core is
+    /// predictable: dispatch is disabled, so a tick can only retire ready
+    /// ROB entries and bump counters.
+    pub fn idle_state(&self) -> CoreIdle {
+        if self.fetch_stall.is_none() {
+            return CoreIdle::Busy;
+        }
+        match self.rob.front() {
+            None => CoreIdle::Stalled,
+            Some(RobEntry {
+                state: RobState::WaitingData(_),
+            }) => CoreIdle::Stalled,
+            Some(RobEntry {
+                state: RobState::Ready(at),
+            }) => CoreIdle::StalledUntil(*at),
+        }
+    }
+
+    /// Applies `delta` cycles of pure stalling in one step: exactly what
+    /// `delta` consecutive [`Core::tick`] calls would do in a state
+    /// [`Core::idle_state`] reported as skippable (counters move, nothing
+    /// else can). The caller must not fast-forward across the
+    /// [`CoreIdle::StalledUntil`] boundary.
+    pub fn fast_forward_stalled(&mut self, delta: u64) {
+        debug_assert!(self.fetch_stall.is_some(), "only a stalled core skips");
+        self.stats.cycles.add(delta);
+        self.stats.fetch_stall_cycles.add(delta);
+        if let Some(RobEntry {
+            state: RobState::WaitingData(_),
+        }) = self.rob.front()
+        {
+            self.stats.mem_stall_cycles.add(delta);
+        }
     }
 
     /// Advances one cycle: retires completed instructions and dispatches
@@ -688,6 +741,60 @@ mod tests {
             "expected MLP, got {}",
             core.outstanding_data_misses()
         );
+    }
+
+    #[test]
+    fn fast_forward_matches_per_cycle_stall() {
+        // Two identical stalled cores: one ticked cycle by cycle, one
+        // fast-forwarded in a single step. Counters must match exactly.
+        let build = || {
+            let mut src = ScriptedSource::new(vec![
+                FetchedInstr {
+                    fetch_line: Addr(0),
+                    op: Op::Load {
+                        addr: Addr(0x5000),
+                        dependent: false,
+                    },
+                },
+                FetchedInstr {
+                    fetch_line: Addr(64),
+                    op: Op::Alu { latency: 1 },
+                },
+            ]);
+            let mut core = Core::new(CoreConfig::a15());
+            let mut out = Vec::new();
+            core.tick(Cycle(0), &mut src, &mut out);
+            core.fill_ifetch(Addr(0), Cycle(0));
+            core.tick(Cycle(1), &mut src, &mut out);
+            core.tick(Cycle(2), &mut src, &mut out);
+            (core, src)
+        };
+        let (mut dense, mut src_a) = build();
+        let (mut sparse, _src_b) = build();
+        // Both are now fetch-stalled on line 64 with the load in the ROB.
+        assert_eq!(dense.idle_state(), CoreIdle::Stalled);
+        let mut out = Vec::new();
+        for t in 3..40 {
+            dense.tick(Cycle(t), &mut src_a, &mut out);
+        }
+        sparse.fast_forward_stalled(37);
+        assert_eq!(dense.stats.cycles.value(), sparse.stats.cycles.value());
+        assert_eq!(
+            dense.stats.fetch_stall_cycles.value(),
+            sparse.stats.fetch_stall_cycles.value()
+        );
+        assert_eq!(
+            dense.stats.mem_stall_cycles.value(),
+            sparse.stats.mem_stall_cycles.value()
+        );
+        assert_eq!(dense.stats.retired.value(), sparse.stats.retired.value());
+    }
+
+    #[test]
+    fn idle_state_reports_busy_when_dispatching() {
+        let mut src = alu_stream();
+        let (core, _, _) = warm_core(&mut src);
+        assert_eq!(core.idle_state(), CoreIdle::Busy);
     }
 
     #[test]

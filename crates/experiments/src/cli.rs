@@ -2,11 +2,14 @@
 //!
 //! Every binary accepts `--jobs N` (parallel simulation workers; `0` or
 //! unset means all hardware threads, with the `NOCOUT_JOBS` environment
-//! variable as the default) and `--help`. Binary-specific flags are
-//! consumed through [`Cli::next_flag`]/[`Cli::value`]/[`Cli::parsed`],
-//! which — unlike the hand-rolled loops these replaced — name the
-//! offending flag and value in every error instead of silently printing
-//! the generic usage line.
+//! variable as the default), `--cache DIR` (memoize simulation points on
+//! disk keyed by their `RunSpec` content hash — a re-run sharing points
+//! with an earlier campaign only simulates the new ones; see
+//! `nocout::cache` for the key and invalidation rules) and `--help`.
+//! Binary-specific flags are consumed through
+//! [`Cli::next_flag`]/[`Cli::value`]/[`Cli::parsed`], which — unlike the
+//! hand-rolled loops these replaced — name the offending flag and value
+//! in every error instead of silently printing the generic usage line.
 //!
 //! ```no_run
 //! use nocout_experiments::cli::Cli;
@@ -22,9 +25,11 @@
 //! let runner = cli.runner();
 //! ```
 
+use nocout::cache::ResultsCache;
 use nocout::runner::BatchRunner;
 use nocout_workloads::Workload;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 
 /// Parsed common flags plus the binary-specific remainder.
 #[derive(Debug)]
@@ -33,6 +38,8 @@ pub struct Cli {
     usage_tail: String,
     /// Explicit `--jobs` value; `None` defers to `BatchRunner::from_env`.
     jobs: Option<usize>,
+    /// Results-cache directory from `--cache`.
+    cache_dir: Option<PathBuf>,
     rest: VecDeque<String>,
 }
 
@@ -49,6 +56,7 @@ impl Cli {
             bin: bin.to_string(),
             usage_tail: usage_tail.to_string(),
             jobs: None,
+            cache_dir: None,
             rest: VecDeque::new(),
         };
         let mut it = tokens.into_iter();
@@ -61,6 +69,12 @@ impl Cli {
                     cli.jobs = Some(v.parse().unwrap_or_else(|_| {
                         cli.fail(&format!("invalid value for `{tok}`: `{v}` (expected a count)"))
                     }));
+                }
+                "--cache" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| cli.fail(&format!("missing value for `{tok}`")));
+                    cli.cache_dir = Some(PathBuf::from(v));
                 }
                 "--help" | "-h" => {
                     println!("{}", cli.usage_line());
@@ -78,7 +92,7 @@ impl Cli {
         } else {
             format!(" {}", self.usage_tail)
         };
-        format!("usage: {} [--jobs N]{tail}", self.bin)
+        format!("usage: {} [--jobs N] [--cache DIR]{tail}", self.bin)
     }
 
     /// Prints an error naming the offending input, then the usage line,
@@ -95,11 +109,22 @@ impl Cli {
     }
 
     /// The worker pool sized from `--jobs`, falling back to the
-    /// `NOCOUT_JOBS` environment variable (and then all hardware threads).
+    /// `NOCOUT_JOBS` environment variable (and then all hardware
+    /// threads), with the `--cache` results cache attached when given.
     pub fn runner(&self) -> BatchRunner {
-        match self.jobs {
+        let runner = match self.jobs {
             Some(jobs) => BatchRunner::new(jobs),
             None => BatchRunner::from_env(),
+        };
+        match &self.cache_dir {
+            Some(dir) => match ResultsCache::open(dir.clone()) {
+                Ok(cache) => runner.with_cache(cache),
+                Err(e) => self.fail(&format!(
+                    "cannot open results cache `{}`: {e}",
+                    dir.display()
+                )),
+            },
+            None => runner,
         }
     }
 
@@ -201,6 +226,23 @@ mod tests {
         assert_eq!(c.next_flag().as_deref(), Some("--cores"));
         assert_eq!(c.parsed::<usize>("--cores"), 16);
         assert!(c.next_flag().is_none());
+    }
+
+    #[test]
+    fn cache_flag_attaches_results_cache() {
+        let dir = std::env::temp_dir().join(format!(
+            "nocout-cli-cache-test-{}",
+            std::process::id()
+        ));
+        let c = cli(&["--cache", dir.to_str().unwrap(), "--jobs", "1"]);
+        let runner = c.runner();
+        assert_eq!(runner.cache().unwrap().dir(), dir.as_path());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_flag_means_no_cache() {
+        assert!(cli(&["--jobs", "1"]).runner().cache().is_none());
     }
 
     #[test]

@@ -332,6 +332,30 @@ impl LlcTile {
         self.queue.len() + self.mshrs.len()
     }
 
+    /// Whether the tile needs servicing at all: queued inputs waiting for
+    /// a bank grant, or emitted outputs waiting to be popped. MSHRs parked
+    /// on external events (memory data, invalidation acks) do *not* count —
+    /// they resume via [`LlcTile::submit`], which re-activates the tile.
+    /// This is the membership rule for the chip model's active set.
+    pub fn has_pending_work(&self) -> bool {
+        !self.queue.is_empty() || !self.out.is_empty()
+    }
+
+    /// Whether any input is queued. A tile with queued inputs must be
+    /// ticked every cycle (bank arbitration and its wait statistics are
+    /// per-cycle); a tile without them is inert between emitted-output
+    /// ready times.
+    pub fn has_queued_input(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// The ready cycle of the earliest emitted output still queued, if
+    /// any. With an empty input queue this is the tile's only upcoming
+    /// event, which is what the chip-level fast-forward jumps to.
+    pub fn next_output_at(&self) -> Option<Cycle> {
+        self.out.peek().map(|&Reverse((at, _))| Cycle(at))
+    }
+
     fn emit(&mut self, at: Cycle, out: LlcOutput) {
         let seq = self.out_seq;
         self.out_seq += 1;

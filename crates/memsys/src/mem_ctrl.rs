@@ -6,7 +6,13 @@
 //! ≈ 12.8 GB/s per channel at 2 GHz) and completes after
 //! [`MemChannelConfig::latency`] cycles (activate + CAS + transfer,
 //! ≈ 45 ns). Queueing delay emerges from the FIFO.
+//!
+//! A channel is a pure event consumer: [`MemoryChannel::tick`] on an empty
+//! channel is a no-op, and [`MemoryChannel::next_wake`] names the earliest
+//! cycle at which a tick can change state, which is what lets the chip
+//! model keep idle channels out of its per-cycle scan entirely.
 
+use crate::addr::Addr;
 use nocout_sim::stats::Counter;
 use nocout_sim::Cycle;
 use std::collections::VecDeque;
@@ -40,9 +46,14 @@ pub enum MemRequest {
         /// Opaque completion token (the chip model uses the message-slab
         /// token of the eventual `MemData`).
         token: u64,
+        /// Line address (future bank/row modeling keys off this).
+        addr: Addr,
     },
     /// A write (fire-and-forget; consumes bandwidth only).
-    Write,
+    Write {
+        /// Line address.
+        addr: Addr,
+    },
 }
 
 /// One DDR3 channel.
@@ -50,14 +61,15 @@ pub enum MemRequest {
 /// # Examples
 ///
 /// ```
+/// use nocout_mem::addr::Addr;
 /// use nocout_mem::mem_ctrl::{MemChannelConfig, MemoryChannel, MemRequest};
 /// use nocout_sim::Cycle;
 ///
 /// let mut ch = MemoryChannel::new(MemChannelConfig { latency: 10, occupancy: 4 });
-/// ch.push(MemRequest::Read { token: 7 }, Cycle(0));
+/// ch.push(MemRequest::Read { token: 7, addr: Addr(0x40) }, Cycle(0));
 /// let mut done = Vec::new();
 /// for t in 0..=10 {
-///     done.extend(ch.tick(Cycle(t)));
+///     ch.tick(Cycle(t), &mut done);
 /// }
 /// assert_eq!(done, vec![7]);
 /// ```
@@ -112,8 +124,37 @@ impl MemoryChannel {
         self.queue.len() + self.completions.len()
     }
 
-    /// Advances one cycle; returns tokens of reads whose data is ready.
-    pub fn tick(&mut self, now: Cycle) -> Vec<u64> {
+    /// Whether a future tick can do anything at all. A channel with no
+    /// queued requests and no outstanding completions is inert until the
+    /// next [`MemoryChannel::push`]; the chip model drops such channels
+    /// from its active set.
+    pub fn has_pending_work(&self) -> bool {
+        !self.queue.is_empty() || !self.completions.is_empty()
+    }
+
+    /// The earliest cycle at which a tick changes state: the data bus
+    /// freeing up for the next queued request, or the first completion
+    /// maturing. `None` when the channel is inert (see
+    /// [`MemoryChannel::has_pending_work`]). Ticks strictly before the
+    /// returned cycle are provably no-ops, which is the contract the
+    /// chip-level fast-forward relies on.
+    pub fn next_wake(&self) -> Option<Cycle> {
+        let service = if self.queue.is_empty() {
+            None
+        } else {
+            Some(self.busy_until)
+        };
+        let completion = self.completions.front().map(|&(at, _)| at);
+        match (service, completion) {
+            (Some(s), Some(c)) => Some(s.min(c)),
+            (s, c) => s.or(c),
+        }
+    }
+
+    /// Advances one cycle; tokens of reads whose data is ready are
+    /// appended to `done` (which is *not* cleared — the caller owns the
+    /// scratch buffer, so the steady state allocates nothing).
+    pub fn tick(&mut self, now: Cycle, done: &mut Vec<u64>) {
         // Start service on the head request if the data bus is free.
         while self.busy_until <= now {
             let Some(req) = self.queue.pop_front() else {
@@ -123,16 +164,15 @@ impl MemoryChannel {
             self.queue_cycles.add(now.saturating_since(arrived));
             self.busy_until = now + self.cfg.occupancy;
             match req {
-                MemRequest::Read { token } => {
+                MemRequest::Read { token, .. } => {
                     self.reads.incr();
                     self.completions.push_back((now + self.cfg.latency, token));
                 }
-                MemRequest::Write => {
+                MemRequest::Write { .. } => {
                     self.writes.incr();
                 }
             }
         }
-        let mut done = Vec::new();
         while let Some(&(at, token)) = self.completions.front() {
             if at <= now {
                 self.completions.pop_front();
@@ -141,7 +181,6 @@ impl MemoryChannel {
                 break;
             }
         }
-        done
     }
 }
 
@@ -156,26 +195,40 @@ mod tests {
         }
     }
 
+    fn read(token: u64) -> MemRequest {
+        MemRequest::Read {
+            token,
+            addr: Addr(token * 64),
+        }
+    }
+
     #[test]
     fn read_completes_after_latency() {
         let mut ch = MemoryChannel::new(cfg());
-        ch.push(MemRequest::Read { token: 1 }, Cycle(0));
+        ch.push(read(1), Cycle(0));
+        let mut done = Vec::new();
         for t in 0..20 {
-            assert!(ch.tick(Cycle(t)).is_empty(), "not ready at {t}");
+            ch.tick(Cycle(t), &mut done);
+            assert!(done.is_empty(), "not ready at {t}");
         }
-        assert_eq!(ch.tick(Cycle(20)), vec![1]);
+        ch.tick(Cycle(20), &mut done);
+        assert_eq!(done, vec![1]);
         assert_eq!(ch.inflight(), 0);
+        assert!(!ch.has_pending_work());
+        assert_eq!(ch.next_wake(), None);
     }
 
     #[test]
     fn occupancy_serializes_requests() {
         let mut ch = MemoryChannel::new(cfg());
-        ch.push(MemRequest::Read { token: 1 }, Cycle(0));
-        ch.push(MemRequest::Read { token: 2 }, Cycle(0));
-        ch.push(MemRequest::Read { token: 3 }, Cycle(0));
+        ch.push(read(1), Cycle(0));
+        ch.push(read(2), Cycle(0));
+        ch.push(read(3), Cycle(0));
         let mut finish = Vec::new();
+        let mut done = Vec::new();
         for t in 0..100 {
-            for tok in ch.tick(Cycle(t)) {
+            ch.tick(Cycle(t), &mut done);
+            for tok in done.drain(..) {
                 finish.push((tok, t));
             }
         }
@@ -186,11 +239,11 @@ mod tests {
     #[test]
     fn writes_consume_bandwidth_without_completion() {
         let mut ch = MemoryChannel::new(cfg());
-        ch.push(MemRequest::Write, Cycle(0));
-        ch.push(MemRequest::Read { token: 9 }, Cycle(0));
+        ch.push(MemRequest::Write { addr: Addr(0x80) }, Cycle(0));
+        ch.push(read(9), Cycle(0));
         let mut done = Vec::new();
         for t in 0..100 {
-            done.extend(ch.tick(Cycle(t)));
+            ch.tick(Cycle(t), &mut done);
         }
         // Read starts at 5 (after the write's occupancy), data at 25.
         assert_eq!(done, vec![9]);
@@ -202,9 +255,53 @@ mod tests {
     fn peak_queue_tracked() {
         let mut ch = MemoryChannel::new(cfg());
         for i in 0..7 {
-            ch.push(MemRequest::Read { token: i }, Cycle(0));
+            ch.push(read(i), Cycle(0));
         }
         assert_eq!(ch.peak_queue, 7);
+    }
+
+    #[test]
+    fn next_wake_tracks_bus_and_completions() {
+        let mut ch = MemoryChannel::new(cfg());
+        assert_eq!(ch.next_wake(), None);
+        ch.push(read(1), Cycle(0));
+        // Bus is free: service can start immediately.
+        assert_eq!(ch.next_wake(), Some(Cycle(0)));
+        let mut done = Vec::new();
+        ch.tick(Cycle(0), &mut done);
+        // In service: nothing changes until the completion at 20.
+        assert_eq!(ch.next_wake(), Some(Cycle(20)));
+        ch.push(read(2), Cycle(1));
+        // Queued request waits for the bus at 5, before the completion.
+        assert_eq!(ch.next_wake(), Some(Cycle(5)));
+    }
+
+    #[test]
+    fn skipping_noop_cycles_is_equivalent_to_ticking_them() {
+        // Per-cycle ticking and next_wake-driven ticking must produce the
+        // same completions and counters.
+        let mut dense = MemoryChannel::new(cfg());
+        let mut sparse = MemoryChannel::new(cfg());
+        for ch in [&mut dense, &mut sparse] {
+            ch.push(read(1), Cycle(3));
+            ch.push(MemRequest::Write { addr: Addr(0) }, Cycle(3));
+        }
+        let mut dense_done = Vec::new();
+        for t in 3..60 {
+            dense.tick(Cycle(t), &mut dense_done);
+        }
+        let mut sparse_done = Vec::new();
+        let mut t = Cycle(3);
+        while sparse.has_pending_work() {
+            let wake = sparse.next_wake().expect("pending work has a wake");
+            t = t.max(wake);
+            sparse.tick(t, &mut sparse_done);
+            t += 1;
+        }
+        assert_eq!(dense_done, sparse_done);
+        assert_eq!(dense.reads.value(), sparse.reads.value());
+        assert_eq!(dense.writes.value(), sparse.writes.value());
+        assert_eq!(dense.queue_cycles.value(), sparse.queue_cycles.value());
     }
 
     #[test]

@@ -14,6 +14,20 @@ use crate::stats::NetStats;
 use crate::types::{MessageClass, TerminalId};
 use nocout_sim::Cycle;
 
+/// The fabric's next scheduled activity, used by the chip model to decide
+/// whether it may fast-forward through globally idle cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextEvent {
+    /// Internal state (buffered flits, queued injections) can change every
+    /// cycle: the fabric must be ticked normally.
+    EveryCycle,
+    /// Nothing is in flight: ticks are no-ops until the next injection.
+    Idle,
+    /// Nothing can change strictly before this cycle; the caller may
+    /// [`Fabric::skip_idle`] up to it and must tick normally from it on.
+    At(Cycle),
+}
+
 /// A packet transport between terminals, advanced one cycle at a time.
 ///
 /// The memory system and cores interact with the interconnect exclusively
@@ -46,6 +60,15 @@ pub trait Fabric {
 
     /// Current fabric cycle.
     fn now(&self) -> Cycle;
+
+    /// When the fabric next needs a normal tick (see [`NextEvent`]).
+    fn next_event(&self) -> NextEvent;
+
+    /// Advances the clock by `delta` cycles without per-cycle work. Only
+    /// valid when [`Fabric::next_event`] reported [`NextEvent::Idle`], or
+    /// [`NextEvent::At`] a cycle at least `delta` cycles away — i.e. the
+    /// skipped ticks are provably no-ops.
+    fn skip_idle(&mut self, delta: u64);
 
     /// Accumulated statistics.
     fn stats(&self) -> &NetStats;
@@ -86,6 +109,14 @@ impl Fabric for crate::network::Network {
 
     fn now(&self) -> Cycle {
         crate::network::Network::now(self)
+    }
+
+    fn next_event(&self) -> NextEvent {
+        crate::network::Network::next_event(self)
+    }
+
+    fn skip_idle(&mut self, delta: u64) {
+        crate::network::Network::skip_idle(self, delta);
     }
 
     fn stats(&self) -> &NetStats {

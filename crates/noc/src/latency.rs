@@ -166,6 +166,27 @@ impl Fabric for LatencyFabric {
         self.now
     }
 
+    fn next_event(&self) -> crate::fabric::NextEvent {
+        use crate::fabric::NextEvent;
+        match self.in_flight.peek() {
+            // A packet due at absolute cycle `at` surfaces during the tick
+            // entered at `at - 1` (tick advances the clock first), so that
+            // is the cycle the caller must resume normal ticking at.
+            Some(&Reverse((at, _))) => NextEvent::At(Cycle(at.saturating_sub(1))),
+            None => NextEvent::Idle,
+        }
+    }
+
+    fn skip_idle(&mut self, delta: u64) {
+        debug_assert!(
+            self.in_flight
+                .peek()
+                .is_none_or(|&Reverse((at, _))| self.now.raw() + delta < at),
+            "cannot skip past a scheduled delivery"
+        );
+        self.now.0 += delta;
+    }
+
     fn stats(&self) -> &NetStats {
         &self.stats
     }

@@ -635,6 +635,49 @@ impl Network {
         self.now.0 += 1;
     }
 
+    /// When the network next needs a normal tick: every cycle while flits
+    /// are buffered in routers or terminals hold queued injections;
+    /// otherwise the earliest event in the arrival/credit wheels (the same
+    /// condition [`Network::run_until_drained`] fast-forwards on), or idle
+    /// when the wheels are empty too.
+    pub fn next_event(&self) -> crate::fabric::NextEvent {
+        use crate::fabric::NextEvent;
+        if self.buffered_flits > 0 || !self.active_terms.is_empty() {
+            return NextEvent::EveryCycle;
+        }
+        let next = match (
+            self.arrivals.next_occupied_delta(self.now),
+            self.credits.next_occupied_delta(self.now),
+        ) {
+            (Some(a), Some(c)) => a.min(c),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (None, None) => return NextEvent::Idle,
+        };
+        NextEvent::At(self.now + next)
+    }
+
+    /// Advances the clock by `delta` cycles with no per-cycle work.
+    /// Callers must not skip *past* a scheduled wheel event (see
+    /// [`Network::next_event`]) — that would both lose it and alias the
+    /// wheel's modular slot indexing. Skipping exactly *to* the event
+    /// cycle is fine: its tick runs after the skip and drains the slot.
+    pub fn skip_idle(&mut self, delta: u64) {
+        debug_assert_eq!(self.buffered_flits, 0);
+        debug_assert!(self.active_terms.is_empty());
+        debug_assert!(
+            [
+                self.arrivals.next_occupied_delta(self.now),
+                self.credits.next_occupied_delta(self.now)
+            ]
+            .into_iter()
+            .flatten()
+            .all(|d| d >= delta),
+            "cannot skip past a scheduled event"
+        );
+        self.now.0 += delta;
+    }
+
     /// Runs until all in-flight packets are delivered or `max_cycles`
     /// elapse; returns `true` if the network drained.
     ///
@@ -644,32 +687,29 @@ impl Network {
     /// burning full no-op ticks (the skipped cycles still count against
     /// `max_cycles`).
     pub fn run_until_drained(&mut self, max_cycles: u64) -> bool {
+        use crate::fabric::NextEvent;
         let mut budget = max_cycles;
         while budget > 0 {
             if self.slab.is_empty() {
                 return true;
             }
-            if self.buffered_flits == 0 && self.active_terms.is_empty() {
-                let next = match (
-                    self.arrivals.next_occupied_delta(self.now),
-                    self.credits.next_occupied_delta(self.now),
-                ) {
-                    (Some(a), Some(c)) => a.min(c),
-                    (Some(a), None) => a,
-                    (None, Some(c)) => c,
-                    // Packets in flight but no buffered flits and no
-                    // events: nothing can ever progress.
-                    (None, None) => return false,
-                };
-                // Jump to the cycle *of* the event; its tick runs below
-                // (`next == 0` means this very tick drains it).
-                let skip = next.saturating_sub(1);
-                if skip >= budget {
-                    self.now.0 += budget;
-                    return self.slab.is_empty();
+            match self.next_event() {
+                NextEvent::EveryCycle => {}
+                // Packets in flight but no buffered flits, queued
+                // injections, or scheduled events: nothing can ever
+                // progress.
+                NextEvent::Idle => return false,
+                NextEvent::At(at) => {
+                    // Jump to the cycle of the event; its tick runs below
+                    // and needs one cycle of budget of its own.
+                    let skip = at.raw() - self.now.raw();
+                    if skip >= budget {
+                        self.now.0 += budget;
+                        return self.slab.is_empty();
+                    }
+                    self.skip_idle(skip);
+                    budget -= skip;
                 }
-                self.now.0 += skip;
-                budget -= skip;
             }
             self.tick();
             budget -= 1;

@@ -1,0 +1,163 @@
+//! The event-driven chip tick's contract: active-set scheduling and
+//! idle fast-forward never change results.
+//!
+//! `ScaleOutChip::tick` visits only LLC tiles and memory channels with
+//! pending work, and `ScaleOutChip::run_for` jumps over globally idle
+//! stretches; both must be bit-identical to the full-scan per-cycle
+//! reference (`tick_reference`) across every organization, workload mix
+//! and seed — the same differential pattern `tests/batch_determinism.rs`
+//! applies to the parallel batch engine.
+
+use nocout_repro::prelude::*;
+
+const ALL_ORGS: [Organization; 5] = [
+    Organization::Mesh,
+    Organization::FlattenedButterfly,
+    Organization::NocOut,
+    Organization::IdealWire,
+    Organization::ZeroLoadMesh,
+];
+
+fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics, ctx: &str) {
+    assert_eq!(a.active_cores, b.active_cores, "{ctx}: active cores");
+    assert_eq!(a.cycles, b.cycles, "{ctx}: cycles");
+    assert_eq!(a.instructions, b.instructions, "{ctx}: instructions");
+    assert_eq!(
+        a.fetch_stall_fraction.to_bits(),
+        b.fetch_stall_fraction.to_bits(),
+        "{ctx}: fetch stall fraction"
+    );
+    assert_eq!(a.per_core_ipc.len(), b.per_core_ipc.len(), "{ctx}");
+    for (i, (x, y)) in a.per_core_ipc.iter().zip(&b.per_core_ipc).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: core {i} ipc");
+    }
+    assert_eq!(a.llc.accesses, b.llc.accesses, "{ctx}: llc accesses");
+    assert_eq!(a.llc.hits, b.llc.hits, "{ctx}: llc hits");
+    assert_eq!(a.llc.misses, b.llc.misses, "{ctx}: llc misses");
+    assert_eq!(a.llc.snoops_sent, b.llc.snoops_sent, "{ctx}: snoops");
+    assert_eq!(
+        a.llc.snooping_accesses, b.llc.snooping_accesses,
+        "{ctx}: snooping accesses"
+    );
+    assert_eq!(a.llc.writebacks, b.llc.writebacks, "{ctx}: writebacks");
+    assert_eq!(a.network.packets, b.network.packets, "{ctx}: packets");
+    assert_eq!(
+        a.network.mean_latency.to_bits(),
+        b.network.mean_latency.to_bits(),
+        "{ctx}: mean latency"
+    );
+    assert_eq!(a.network.p50_latency, b.network.p50_latency, "{ctx}: p50");
+    assert_eq!(a.network.p99_latency, b.network.p99_latency, "{ctx}: p99");
+    assert_eq!(
+        a.network.buffer_writes, b.network.buffer_writes,
+        "{ctx}: buffer writes"
+    );
+    assert_eq!(
+        a.network.xbar_traversals, b.network.xbar_traversals,
+        "{ctx}: xbar traversals"
+    );
+    assert_eq!(a.memory.reads, b.memory.reads, "{ctx}: memory reads");
+    assert_eq!(a.memory.writes, b.memory.writes, "{ctx}: memory writes");
+}
+
+/// Active-set ticking matches the full scan, cycle for cycle, on every
+/// organization and across seeds — including intermediate in-flight
+/// state, not just final counters.
+#[test]
+fn active_set_tick_is_bit_identical_to_full_scan() {
+    for org in ALL_ORGS {
+        for (workload, seed) in [
+            (Workload::WebSearch, 1u64),
+            (Workload::DataServing, 7),
+            (Workload::SatSolver, 13),
+        ] {
+            let cfg = ChipConfig::paper(org);
+            let mut fast = ScaleOutChip::new(cfg, workload, seed);
+            let mut reference = ScaleOutChip::new(cfg, workload, seed);
+            for cycle in 0..4_000u64 {
+                fast.tick();
+                reference.tick_reference();
+                if cycle % 512 == 0 {
+                    assert_eq!(
+                        fast.inflight_messages(),
+                        reference.inflight_messages(),
+                        "{org} {workload:?} seed {seed} cycle {cycle}: in-flight msgs"
+                    );
+                    assert_eq!(
+                        fast.inflight_transactions(),
+                        reference.inflight_transactions(),
+                        "{org} {workload:?} seed {seed} cycle {cycle}: in-flight txns"
+                    );
+                }
+            }
+            let ctx = format!("{org} {workload:?} seed {seed}");
+            assert_metrics_identical(&fast.metrics(), &reference.metrics(), &ctx);
+        }
+    }
+}
+
+/// Mixing the two tick flavours mid-run is also safe: the active sets
+/// stay consistent whichever path maintained them last.
+#[test]
+fn interleaved_tick_flavours_stay_consistent() {
+    let cfg = ChipConfig::paper(Organization::Mesh);
+    let mut mixed = ScaleOutChip::new(cfg, Workload::MapReduceC, 3);
+    let mut reference = ScaleOutChip::new(cfg, Workload::MapReduceC, 3);
+    for cycle in 0..3_000u64 {
+        if (cycle / 64) % 2 == 0 {
+            mixed.tick();
+        } else {
+            mixed.tick_reference();
+        }
+        reference.tick_reference();
+    }
+    assert_metrics_identical(&mixed.metrics(), &reference.metrics(), "mixed flavours");
+}
+
+/// `run_for` (with chip-level idle fast-forward) reproduces per-cycle
+/// ticking exactly, including the stall counters it applies in bulk.
+#[test]
+fn run_for_fast_forward_is_bit_identical() {
+    for org in ALL_ORGS {
+        let cfg = ChipConfig::paper(org);
+        let (warmup, measure) = (2_000u64, 4_000u64);
+        let mut jumped = ScaleOutChip::new(cfg, Workload::WebFrontend, 9);
+        jumped.run_for(warmup);
+        jumped.reset_stats();
+        jumped.run_for(measure);
+
+        let mut stepped = ScaleOutChip::new(cfg, Workload::WebFrontend, 9);
+        for _ in 0..warmup {
+            stepped.tick();
+        }
+        stepped.reset_stats();
+        for _ in 0..measure {
+            stepped.tick();
+        }
+
+        assert_eq!(jumped.now(), stepped.now(), "{org}: clocks must agree");
+        assert_metrics_identical(&jumped.metrics(), &stepped.metrics(), &format!("{org}"));
+    }
+}
+
+/// A chip with few active cores (the paper's common case: a 16-core
+/// workload on a 64-tile die) must still drain all traffic through the
+/// active sets — nothing gets stranded by the idle fast-path.
+#[test]
+fn low_occupancy_chip_drains_through_active_sets() {
+    for org in [Organization::Mesh, Organization::NocOut] {
+        let mut chip = ScaleOutChip::new(ChipConfig::paper(org), Workload::WebSearch, 5);
+        assert_eq!(chip.active_cores(), 16, "{org}");
+        chip.run_for(20_000);
+        let m = chip.metrics();
+        assert!(m.instructions > 1_000, "{org}: retired {}", m.instructions);
+        assert!(m.memory.reads > 0, "{org}: memory must be reached");
+        // In-flight work stays bounded: requests are not being lost by
+        // components dropping out of the active sets prematurely.
+        assert!(
+            chip.inflight_transactions() <= 16 * 10,
+            "{org}: {} transactions stranded",
+            chip.inflight_transactions()
+        );
+    }
+}
