@@ -1,8 +1,9 @@
 //! Batch-engine benchmark: single-thread tick throughput per organization,
 //! the idle-scan microbenchmark (active-set vs full-scan tick at the
-//! paper's 16-of-64 active-core point), plus serial-vs-parallel wall clock
-//! on a sweep-style grid, recorded as a trajectory in `BENCH_batch.json`
-//! at the workspace root so the speedup is tracked across PRs.
+//! paper's 16-of-64 active-core point), trace-replay throughput against
+//! the synthetic generator, plus serial-vs-parallel wall clock on a
+//! sweep-style grid, recorded as a trajectory in `BENCH_batch.json` at
+//! the workspace root so the speedup is tracked across PRs.
 //!
 //! Run with `cargo bench -p nocout-bench --bench batch`; `-- --test` runs
 //! a seconds-scale smoke version (used by CI) that still verifies the
@@ -59,6 +60,77 @@ fn idle16_throughput(org: Organization, cycles: u64) -> (f64, f64) {
     (active_rate, full_rate)
 }
 
+/// Block-dispatch microbenchmark at *full load* (64 active cores, where
+/// the active-set scan advantage is near zero and the difference is the
+/// instruction-delivery path): the block-fed `tick` against the
+/// per-instruction `tick_reference` oracle, interleaved so machine drift
+/// hits both sides equally. Asserts lockstep along the way.
+fn fullload_block_vs_perinstr(org: Organization, cycles: u64) -> (f64, f64) {
+    let mut block = ScaleOutChip::new(ChipConfig::paper(org), Workload::MapReduceC, 1);
+    let mut perinstr = ScaleOutChip::new(ChipConfig::paper(org), Workload::MapReduceC, 1);
+    for _ in 0..2_000 {
+        block.tick();
+        perinstr.tick_reference();
+    }
+    let (mut tb, mut tp) = (0.0f64, 0.0f64);
+    let rounds = 4u64;
+    let per_round = cycles / rounds;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..per_round {
+            block.tick();
+        }
+        tb += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for _ in 0..per_round {
+            perinstr.tick_reference();
+        }
+        tp += t.elapsed().as_secs_f64();
+    }
+    let (b, p) = (block.metrics(), perinstr.metrics());
+    assert_eq!(b.instructions, p.instructions, "{org}: paths diverged");
+    let total = (rounds * per_round) as f64;
+    (total / tb, total / tp)
+}
+
+/// Trace-replay throughput: tick rate of a full-load Mesh chip replaying
+/// a captured (looping) MapReduce-C trace, next to the same chip driven
+/// by the synthetic generator — the decode-from-disk cost of the trace
+/// workload class versus batched RNG generation.
+fn trace_replay_throughput(cycles: u64) -> (f64, f64) {
+    let cfg = ChipConfig::paper(Organization::Mesh);
+    let dir = std::env::temp_dir().join(format!("nocout-bench-trace-{}", std::process::id()));
+    let set = nocout::capture_synthetic_trace(cfg, Workload::MapReduceC, 1, &dir, 32_768)
+        .expect("trace capture");
+    let mut replay = ScaleOutChip::new(cfg, WorkloadClass::Trace(set), 1);
+    let mut synth = ScaleOutChip::new(cfg, Workload::MapReduceC, 1);
+    for _ in 0..2_000 {
+        replay.tick();
+        synth.tick();
+    }
+    // The capture covers the warm cycles before looping, so up to here
+    // both chips consumed the same stream and progress must agree (the
+    // timed sections below run for different wall-clock slices, so only
+    // the warm phase is comparable).
+    assert_eq!(
+        replay.metrics().instructions,
+        synth.metrics().instructions,
+        "trace replay diverged from the synthetic stream during warm-up"
+    );
+    let t = Instant::now();
+    for _ in 0..cycles {
+        replay.tick();
+    }
+    let replay_rate = cycles as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..cycles {
+        synth.tick();
+    }
+    let synth_rate = cycles as f64 / t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    (replay_rate, synth_rate)
+}
+
 /// The sweep binary's 12-point grid (4 widths × 3 organizations) at a
 /// reduced window, as one batch.
 fn sweep_grid(window: MeasurementWindow) -> Vec<RunSpec> {
@@ -67,7 +139,7 @@ fn sweep_grid(window: MeasurementWindow) -> Vec<RunSpec> {
         for org in Organization::EVALUATED {
             specs.push(RunSpec {
                 chip: ChipConfig::paper(org).with_link_width(w),
-                workload: Workload::MapReduceW,
+                workload: Workload::MapReduceW.into(),
                 window,
                 seed: 1,
             });
@@ -108,6 +180,26 @@ fn main() {
         );
         idle16_rates.push((org, active, full));
     }
+
+    // Block dispatch vs the per-instruction oracle at full load.
+    let mut fullload_rates = Vec::new();
+    for org in [Organization::Mesh, Organization::NocOut] {
+        let (block, perinstr) = fullload_block_vs_perinstr(org, tick_cycles);
+        println!(
+            "fullload_block/{org:<20} {block:>12.0} cycles/s (block dispatch) vs \
+             {perinstr:>12.0} (per-instr oracle): {:+.1}%",
+            100.0 * (block / perinstr - 1.0)
+        );
+        fullload_rates.push((org, block, perinstr));
+    }
+
+    // Trace replay vs synthetic generation at full load.
+    let (trace_replay_rate, trace_synth_rate) = trace_replay_throughput(tick_cycles);
+    println!(
+        "trace_replay/mesh         {trace_replay_rate:>12.0} cycles/s (replay) vs \
+         {trace_synth_rate:>12.0} (synthetic): {:+.1}%",
+        100.0 * (trace_replay_rate / trace_synth_rate - 1.0)
+    );
 
     let specs = sweep_grid(window);
     let t = Instant::now();
@@ -162,6 +254,19 @@ fn main() {
              \"idle16_fullscan_rate_{key}\": {full:.0}"
         );
     }
+    for (org, block, perinstr) in &fullload_rates {
+        let key = format!("{org}").to_lowercase().replace([' ', '-'], "_");
+        let _ = write!(
+            record,
+            ", \"fullload_block_rate_{key}\": {block:.0}, \
+             \"fullload_perinstr_rate_{key}\": {perinstr:.0}"
+        );
+    }
+    let _ = write!(
+        record,
+        ", \"trace_replay_tick_rate_mesh\": {trace_replay_rate:.0}, \
+         \"trace_replay_synth_rate_mesh\": {trace_synth_rate:.0}"
+    );
     record.push('}');
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");

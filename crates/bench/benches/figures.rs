@@ -19,7 +19,7 @@ use std::hint::black_box;
 fn run_point(org: Organization, workload: Workload, cores: usize) -> f64 {
     let spec = RunSpec {
         chip: ChipConfig::with_cores(org, cores),
-        workload,
+        workload: workload.into(),
         window: bench_window(),
         seed: 1,
     };
@@ -46,7 +46,7 @@ fn bench_fig4(c: &mut Criterion) {
         b.iter(|| {
             let spec = RunSpec {
                 chip: ChipConfig::paper(Organization::Mesh),
-                workload: Workload::SatSolver,
+                workload: Workload::SatSolver.into(),
                 window: bench_window(),
                 seed: 1,
             };
@@ -94,7 +94,7 @@ fn bench_fig9(c: &mut Criterion) {
             });
             let spec = RunSpec {
                 chip: ChipConfig::paper(Organization::Mesh).with_link_width(mesh_w),
-                workload: Workload::WebSearch,
+                workload: Workload::WebSearch.into(),
                 window: bench_window(),
                 seed: 1,
             };
@@ -108,7 +108,7 @@ fn bench_power(c: &mut Criterion) {
     c.bench_function("bench_power", |b| {
         let spec = RunSpec {
             chip: ChipConfig::paper(Organization::NocOut),
-            workload: Workload::MapReduceC,
+            workload: Workload::MapReduceC.into(),
             window: bench_window(),
             seed: 1,
         };
@@ -136,7 +136,7 @@ fn bench_banking(c: &mut Criterion) {
             cfg.banks_per_llc_tile = 4;
             let spec = RunSpec {
                 chip: cfg,
-                workload: Workload::DataServing,
+                workload: Workload::DataServing.into(),
                 window: bench_window(),
                 seed: 1,
             };
@@ -155,7 +155,7 @@ fn bench_scalability(c: &mut Criterion) {
             cfg.mem_channels = 8;
             let spec = RunSpec {
                 chip: cfg,
-                workload: Workload::MapReduceC,
+                workload: Workload::MapReduceC.into(),
                 window: bench_window(),
                 seed: 1,
             };

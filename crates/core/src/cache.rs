@@ -14,15 +14,21 @@
 //! The cache key is a *content* hash (FNV-1a 64) over
 //! [`RunSpec::cache_key`], a versioned canonical rendering that spells
 //! out every field of the spec: all ten `ChipConfig` fields, the
-//! workload, both window lengths, and the seed. Any field change —
+//! workload class, both window lengths, and the seed. Any field change —
 //! different link width, another seed, a longer window — therefore maps
-//! to a different entry; there are no partial hits. The canonical string
-//! is stored inside the entry and verified on every load, so a hash
-//! collision (or a format change that reuses a hash) degrades to a miss,
-//! never to wrong data. Bump [`FORMAT`] when the entry layout changes;
-//! bump the `v1` prefix in [`RunSpec::cache_key`] when simulator
-//! *behaviour* changes so that stale results from older binaries cannot
-//! be replayed.
+//! to a different entry; there are no partial hits. A trace workload
+//! contributes its *content* hash plus stream/instruction counts (see
+//! `nocout_workloads::trace`), so editing any stream byte invalidates
+//! its cached replays even when the path is unchanged. The canonical
+//! string is stored inside the entry and verified on every load, so for
+//! synthetic specs a hash collision (or a format change that reuses a
+//! hash) degrades to a miss, never to wrong data; for traces the
+//! canonical string itself contains a 64-bit digest of the content, so
+//! that guarantee is probabilistic (aliasing needs an FNV-64 collision
+//! *plus* matching stream/instruction counts). Bump
+//! [`FORMAT`] when the entry layout changes; bump the `v2` prefix in
+//! [`RunSpec::cache_key`] when simulator *behaviour* changes so that
+//! stale results from older binaries cannot be replayed.
 //!
 //! Metrics round-trip bit-exactly: floats are stored as the hex of their
 //! IEEE-754 bits, so a cache hit is indistinguishable from re-running the
@@ -50,15 +56,19 @@ impl RunSpec {
     /// The canonical, versioned rendering of this spec that the results
     /// cache hashes and verifies. Every field of the spec appears by
     /// name; any change to any field changes the key (the invalidation
-    /// rule is exactly "the spec changed"). The `v1` prefix is the
-    /// *behaviour* version: bump it when the simulator's outputs change
-    /// for unchanged specs.
+    /// rule is exactly "the spec changed"). Trace workloads render as
+    /// their *content* hash, so editing or re-capturing a trace directory
+    /// invalidates its cached replay results even at the same path. The
+    /// `v2` prefix is the *behaviour* version: bump it when the
+    /// simulator's outputs change for unchanged specs (v1 → v2: the
+    /// workload generator moved to a cumulative-threshold op-mix draw,
+    /// changing every synthetic stream).
     pub fn cache_key(&self) -> String {
         let c = &self.chip;
         format!(
-            "v1 org={:?} cores={} llc_bytes={} link_bits={} mem_channels={} \
+            "v2 org={:?} cores={} llc_bytes={} link_bits={} mem_channels={} \
              banks_per_llc_tile={} concentration={} active_override={:?} \
-             express={} llc_rows={} workload={:?} warmup={} measure={} seed={}",
+             express={} llc_rows={} workload={} warmup={} measure={} seed={}",
             c.organization,
             c.cores,
             c.llc_total_bytes,
@@ -69,7 +79,7 @@ impl RunSpec {
             c.active_core_override,
             c.express_links,
             c.llc_rows,
-            self.workload,
+            self.workload.cache_token(),
             self.window.warmup_cycles,
             self.window.measure_cycles,
             self.seed
@@ -389,69 +399,69 @@ mod tests {
         let base = spec();
         let base_key = base.cache_key();
         let variants: Vec<(&str, RunSpec)> = vec![
-            ("seed", base.with_seed(2)),
+            ("seed", base.clone().with_seed(2)),
             ("workload", {
-                let mut v = base;
-                v.workload = Workload::SatSolver;
+                let mut v = base.clone();
+                v.workload = Workload::SatSolver.into();
                 v
             }),
             ("measure_cycles", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.window.measure_cycles += 1;
                 v
             }),
             ("warmup_cycles", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.window.warmup_cycles += 1;
                 v
             }),
             ("organization", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.organization = Organization::NocOut;
                 v
             }),
             ("cores", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.cores = 64;
                 v
             }),
             ("llc_total_bytes", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.llc_total_bytes *= 2;
                 v
             }),
             ("link_width_bits", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.link_width_bits = 64;
                 v
             }),
             ("mem_channels", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.mem_channels += 1;
                 v
             }),
             ("banks_per_llc_tile", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.banks_per_llc_tile += 1;
                 v
             }),
             ("concentration", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.concentration = 2;
                 v
             }),
             ("active_core_override", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.active_core_override = Some(4);
                 v
             }),
             ("express_links", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.express_links = true;
                 v
             }),
             ("llc_rows", {
-                let mut v = base;
+                let mut v = base.clone();
                 v.chip.llc_rows = 2;
                 v
             }),

@@ -18,8 +18,11 @@ use nocout_noc::latency::LatencyFabric;
 use nocout_noc::topology::ideal::{build_analytic, AnalyticKind, AnalyticSpec};
 use nocout_noc::topology::{fbfly::build_fbfly, mesh::build_mesh, nocout::build_nocout};
 use nocout_noc::types::{MessageClass, TerminalId};
+use nocout_cpu::source::{FetchedInstr, InstrBlock, InstructionSource};
 use nocout_sim::Cycle;
-use nocout_workloads::{Workload, WorkloadGen};
+use nocout_workloads::trace::{TraceHeader, TraceSet, TraceSource, TraceWriter, TRACE_SUFFIX};
+use nocout_workloads::{Workload, WorkloadClass, WorkloadGen};
+use std::sync::Arc;
 
 /// What an organization's topology builder hands back: the fabric plus
 /// the terminal ids for cores, LLC tiles and memory channels, and the
@@ -31,6 +34,32 @@ type BuiltFabric = (
     Vec<TerminalId>,
     Vec<usize>,
 );
+
+/// The instruction stream driving one active core: a synthetic generator
+/// or a trace replay, behind one enum so the chip's hot path stays free
+/// of per-workload-class branching (the core consumes blocks; the class
+/// distinction surfaces only at refill).
+#[derive(Debug)]
+enum CoreSource {
+    Synthetic(WorkloadGen),
+    Trace(TraceSource),
+}
+
+impl InstructionSource for CoreSource {
+    fn next_instr(&mut self) -> FetchedInstr {
+        match self {
+            CoreSource::Synthetic(g) => g.next_instr(),
+            CoreSource::Trace(t) => t.next_instr(),
+        }
+    }
+
+    fn refill(&mut self, block: &mut InstrBlock) {
+        match self {
+            CoreSource::Synthetic(g) => g.refill(block),
+            CoreSource::Trace(t) => t.refill(block),
+        }
+    }
+}
 
 #[derive(Debug, Clone, Copy, Default)]
 struct TermInfo {
@@ -152,7 +181,7 @@ pub struct ScaleOutChip {
     fabric: Box<dyn Fabric>,
     cores: Vec<Core>,
     /// (core index, its instruction stream) for every active core.
-    active: Vec<(usize, WorkloadGen)>,
+    active: Vec<(usize, CoreSource)>,
     llcs: Vec<LlcTile>,
     channels: Vec<MemoryChannel>,
     msgs: MsgSlab,
@@ -175,6 +204,68 @@ pub struct ScaleOutChip {
     mem_done_buf: Vec<u64>,
 }
 
+/// Builds the organization's fabric: the network plus the terminal ids
+/// for cores, LLC tiles and memory channels, and the preferred
+/// core-activation order.
+fn build_fabric(cfg: &ChipConfig) -> BuiltFabric {
+    match cfg.organization {
+        Organization::Mesh => {
+            let built = build_mesh(&cfg.mesh_spec());
+            let order = center_first_order(built.cols, built.rows);
+            (
+                Box::new(built.network),
+                built.tile_terminals.clone(),
+                built.tile_terminals,
+                built.mc_terminals,
+                order,
+            )
+        }
+        Organization::FlattenedButterfly => {
+            let built = build_fbfly(&cfg.fbfly_spec());
+            let order = center_first_order(built.cols, built.rows);
+            (
+                Box::new(built.network),
+                built.tile_terminals.clone(),
+                built.tile_terminals,
+                built.mc_terminals,
+                order,
+            )
+        }
+        Organization::NocOut => {
+            let built = build_nocout(&cfg.nocout_spec());
+            // LLC-adjacent cores first (§5.3: 16-core workloads run on
+            // the core tiles adjacent to the LLC).
+            let mut order: Vec<usize> = (0..built.core_terminals.len()).collect();
+            order.sort_by_key(|&c| (built.core_depth(c), c));
+            (
+                Box::new(built.network),
+                built.core_terminals,
+                built.llc_terminals,
+                built.mc_terminals,
+                order,
+            )
+        }
+        Organization::IdealWire | Organization::ZeroLoadMesh => {
+            let kind = if cfg.organization == Organization::IdealWire {
+                AnalyticKind::IdealWire
+            } else {
+                AnalyticKind::ZeroLoadMesh
+            };
+            let mut spec = AnalyticSpec::for_tiles(cfg.cores, kind);
+            spec.link_width_bits = cfg.link_width_bits;
+            spec.num_memory_channels = cfg.mem_channels;
+            let fab: LatencyFabric = build_analytic(&spec);
+            let tiles: Vec<TerminalId> =
+                (0..cfg.cores as u16).map(TerminalId).collect();
+            let mcs: Vec<TerminalId> = (0..cfg.mem_channels as u16)
+                .map(|k| TerminalId(cfg.cores as u16 + k))
+                .collect();
+            let order = center_first_order(spec.cols, spec.rows);
+            (Box::new(fab), tiles.clone(), tiles, mcs, order)
+        }
+    }
+}
+
 impl std::fmt::Debug for ScaleOutChip {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScaleOutChip")
@@ -188,70 +279,19 @@ impl std::fmt::Debug for ScaleOutChip {
 }
 
 impl ScaleOutChip {
-    /// Builds a chip running `workload` with the given seed.
+    /// Builds a chip running `workload` — a synthetic [`Workload`] or any
+    /// other [`WorkloadClass`] such as a captured trace — with the given
+    /// seed (trace replay ignores the seed: the streams are literal).
     ///
     /// # Panics
     ///
     /// Panics on inconsistent configurations (e.g. a core count the
-    /// organization cannot lay out).
-    pub fn new(cfg: ChipConfig, workload: Workload, seed: u64) -> Self {
-        let profile = workload.profile();
-        let (fabric, core_term, llc_term, mc_term, active_order): BuiltFabric = match cfg.organization {
-            Organization::Mesh => {
-                let built = build_mesh(&cfg.mesh_spec());
-                let order = center_first_order(built.cols, built.rows);
-                (
-                    Box::new(built.network),
-                    built.tile_terminals.clone(),
-                    built.tile_terminals,
-                    built.mc_terminals,
-                    order,
-                )
-            }
-            Organization::FlattenedButterfly => {
-                let built = build_fbfly(&cfg.fbfly_spec());
-                let order = center_first_order(built.cols, built.rows);
-                (
-                    Box::new(built.network),
-                    built.tile_terminals.clone(),
-                    built.tile_terminals,
-                    built.mc_terminals,
-                    order,
-                )
-            }
-            Organization::NocOut => {
-                let built = build_nocout(&cfg.nocout_spec());
-                // LLC-adjacent cores first (§5.3: 16-core workloads run on
-                // the core tiles adjacent to the LLC).
-                let mut order: Vec<usize> = (0..built.core_terminals.len()).collect();
-                order.sort_by_key(|&c| (built.core_depth(c), c));
-                (
-                    Box::new(built.network),
-                    built.core_terminals,
-                    built.llc_terminals,
-                    built.mc_terminals,
-                    order,
-                )
-            }
-            Organization::IdealWire | Organization::ZeroLoadMesh => {
-                let kind = if cfg.organization == Organization::IdealWire {
-                    AnalyticKind::IdealWire
-                } else {
-                    AnalyticKind::ZeroLoadMesh
-                };
-                let mut spec = AnalyticSpec::for_tiles(cfg.cores, kind);
-                spec.link_width_bits = cfg.link_width_bits;
-                spec.num_memory_channels = cfg.mem_channels;
-                let fab: LatencyFabric = build_analytic(&spec);
-                let tiles: Vec<TerminalId> =
-                    (0..cfg.cores as u16).map(TerminalId).collect();
-                let mcs: Vec<TerminalId> = (0..cfg.mem_channels as u16)
-                    .map(|k| TerminalId(cfg.cores as u16 + k))
-                    .collect();
-                let order = center_first_order(spec.cols, spec.rows);
-                (Box::new(fab), tiles.clone(), tiles, mcs, order)
-            }
-        };
+    /// organization cannot lay out) and on a trace whose streams cannot
+    /// be opened.
+    pub fn new(cfg: ChipConfig, workload: impl Into<WorkloadClass>, seed: u64) -> Self {
+        let class = workload.into();
+        let (fabric, core_term, llc_term, mc_term, active_order): BuiltFabric =
+            build_fabric(&cfg);
 
         let llc_tiles = llc_term.len();
         let banks = if cfg.organization == Organization::NocOut {
@@ -299,14 +339,47 @@ impl ScaleOutChip {
         }
 
         // Activate the first `n` cores in the organization's preferred
-        // placement order.
-        let n_active = cfg
+        // placement order. Synthetic classes scale with the profile; a
+        // trace activates one core per captured stream.
+        let wanted = match &class {
+            WorkloadClass::Synthetic(w) => w.profile().active_cores(cfg.cores),
+            WorkloadClass::Trace(t) => t.streams(),
+        };
+        let mut n_active = cfg
             .active_core_override
-            .unwrap_or_else(|| profile.active_cores(cfg.cores))
+            .unwrap_or(wanted)
             .min(cfg.cores);
+        if let WorkloadClass::Trace(t) = &class {
+            // Silently dropping captured streams would simulate a
+            // different workload than the trace records; subsetting must
+            // be an explicit request (`active_core_override`), not a
+            // side effect of a smaller chip.
+            assert!(
+                t.streams() <= cfg.cores || cfg.active_core_override.is_some(),
+                "trace has {} streams but the chip has only {} cores; \
+                 set active_core_override to replay a subset deliberately",
+                t.streams(),
+                cfg.cores
+            );
+            // A trace can drive at most one core per captured stream.
+            n_active = n_active.min(t.streams());
+        }
         let active = active_order[..n_active]
             .iter()
-            .map(|&c| (c, WorkloadGen::new(profile, c as u16, seed)))
+            .enumerate()
+            .map(|(slot, &c)| {
+                let source = match &class {
+                    WorkloadClass::Synthetic(w) => {
+                        CoreSource::Synthetic(WorkloadGen::new(w.profile(), c as u16, seed))
+                    }
+                    WorkloadClass::Trace(t) => CoreSource::Trace(
+                        t.open_stream(slot).unwrap_or_else(|e| {
+                            panic!("cannot open trace stream {slot}: {e}")
+                        }),
+                    ),
+                };
+                (c, source)
+            })
             .collect();
 
         let num_llcs = llcs.len();
@@ -332,7 +405,7 @@ impl ScaleOutChip {
             active_mems: ActiveSet::with_len(num_mems),
             mem_done_buf: Vec::new(),
         };
-        chip.warm_caches();
+        chip.warm_caches(&class);
         chip
     }
 
@@ -340,30 +413,65 @@ impl ScaleOutChip {
     /// checkpoints with warmed caches): the shared instruction footprint,
     /// the LLC-resident data region and the shared read-write region are
     /// installed in the LLC; each active core's hot instruction set and
-    /// local data set are installed in its L1s.
-    fn warm_caches(&mut self) {
+    /// local data set are installed in its L1s. Trace replay reproduces
+    /// the same warm state from the region sizes recorded in the stream
+    /// headers (local-data lines are derived from the *captured* core id,
+    /// whose private address space the stream's accesses live in).
+    fn warm_caches(&mut self, class: &WorkloadClass) {
         use nocout_mem::addr::LINE_BYTES;
-        use nocout_workloads::gen::{INSTR_BASE, LLC_DATA_BASE, SHARED_RW_BASE};
-        let profile = match self.active.first() {
-            Some((_, g)) => *g.profile(),
-            None => return,
+        use nocout_workloads::gen::{INSTR_BASE, LLC_DATA_BASE, PRIVATE_BASE, SHARED_RW_BASE};
+        if self.active.is_empty() {
+            return;
+        }
+        let (footprint, llc_resident, shared_rw) = match class {
+            WorkloadClass::Synthetic(w) => {
+                let p = w.profile();
+                (
+                    p.instr_footprint_lines as u64,
+                    p.llc_resident_lines as u64,
+                    p.shared_rw_lines as u64,
+                )
+            }
+            WorkloadClass::Trace(t) => {
+                let w = t.warm();
+                (
+                    w.instr_footprint_lines as u64,
+                    w.llc_resident_lines as u64,
+                    w.shared_rw_lines as u64,
+                )
+            }
         };
-        for i in 0..profile.instr_footprint_lines as u64 {
+        for i in 0..footprint {
             let addr = Addr(INSTR_BASE + i * LINE_BYTES);
             self.llcs[self.map.home_tile(addr)].warm(addr);
         }
-        for i in 0..profile.llc_resident_lines as u64 {
+        for i in 0..llc_resident {
             let addr = Addr(LLC_DATA_BASE + i * LINE_BYTES);
             self.llcs[self.map.home_tile(addr)].warm(addr);
         }
-        for i in 0..profile.shared_rw_lines as u64 {
+        for i in 0..shared_rw {
             let addr = Addr(SHARED_RW_BASE + i * LINE_BYTES);
             self.llcs[self.map.home_tile(addr)].warm(addr);
         }
-        for ai in 0..self.active.len() {
-            let (c, _) = self.active[ai];
-            let hot: Vec<Addr> = self.active[ai].1.hot_instr_lines().collect();
-            let local: Vec<Addr> = self.active[ai].1.local_data_lines().collect();
+        for slot in 0..self.active.len() {
+            let c = self.active[slot].0;
+            let (hot, local): (Vec<Addr>, Vec<Addr>) = match &self.active[slot].1 {
+                CoreSource::Synthetic(g) => {
+                    (g.hot_instr_lines().collect(), g.local_data_lines().collect())
+                }
+                CoreSource::Trace(t) => {
+                    let h = t.header();
+                    let base = PRIVATE_BASE + ((h.core as u64) << 40);
+                    (
+                        (0..h.instr_hot_lines as u64)
+                            .map(|i| Addr(INSTR_BASE + i * LINE_BYTES))
+                            .collect(),
+                        (0..h.local_data_lines as u64)
+                            .map(|i| Addr(base + i * LINE_BYTES))
+                            .collect(),
+                    )
+                }
+            };
             for addr in hot {
                 self.cores[c].warm_l1i(addr);
             }
@@ -386,6 +494,13 @@ impl ScaleOutChip {
     /// Number of cores running the workload.
     pub fn active_cores(&self) -> usize {
         self.active.len()
+    }
+
+    /// Physical core indices running the workload, in activation-slot
+    /// order (the organization's preferred placement). Slot `i` of a
+    /// trace replay drives the core this method lists at position `i`.
+    pub fn active_core_ids(&self) -> Vec<usize> {
+        self.active.iter().map(|(c, _)| *c).collect()
     }
 
     /// Protocol messages currently in flight (network + tables).
@@ -415,11 +530,13 @@ impl ScaleOutChip {
         self.tick_impl(false);
     }
 
-    /// The full-scan reference tick: semantically identical to
-    /// [`ScaleOutChip::tick`] but visits every LLC tile and memory channel
-    /// every cycle. Kept as the oracle for differential testing of the
-    /// active-set scheduler (and as the honest baseline for the idle-scan
-    /// microbenchmark).
+    /// The full-scan, per-instruction reference tick: semantically
+    /// identical to [`ScaleOutChip::tick`] but visits every LLC tile and
+    /// memory channel every cycle *and* pulls instructions across the
+    /// source trait object one at a time (`Core::tick_reference`) instead
+    /// of in blocks. Kept as the oracle for differential testing of both
+    /// the active-set scheduler and the block-based delivery path (and as
+    /// the honest baseline for their microbenchmarks).
     pub fn tick_reference(&mut self) {
         self.tick_impl(true);
     }
@@ -436,7 +553,11 @@ impl ScaleOutChip {
                 (entry.0, &mut entry.1)
             };
             self.req_buf.clear();
-            self.cores[core_idx].tick(now, source, &mut self.req_buf);
+            if full_scan {
+                self.cores[core_idx].tick_reference(now, source, &mut self.req_buf);
+            } else {
+                self.cores[core_idx].tick(now, source, &mut self.req_buf);
+            }
             for r in self.req_buf.drain(..) {
                 let txn = self.txns.alloc(c as u16, r.line, r.kind);
                 let home = self.map.home_tile(r.line);
@@ -855,6 +976,64 @@ impl ScaleOutChip {
             memory,
         }
     }
+}
+
+/// Captures `workload`'s synthetic streams for the cores `cfg` would
+/// activate into a trace directory: one `core-NNN.nctrace` stream per
+/// activation slot, each `instrs_per_core` instructions long, recorded
+/// from a fresh [`WorkloadGen`] for the slot's physical core. Replaying
+/// the returned [`TraceSet`] on the same `cfg` therefore drives the
+/// identical cores with the identical streams — bit-identical chip
+/// metrics, as long as the capture covers every instruction the run
+/// consumes (see [`trace_capture_len`]).
+///
+/// Pre-existing stream files in `dir` are removed first, so a shorter
+/// re-capture cannot leave stale extra streams behind.
+pub fn capture_synthetic_trace(
+    cfg: ChipConfig,
+    workload: Workload,
+    seed: u64,
+    dir: &std::path::Path,
+    instrs_per_core: u64,
+) -> std::io::Result<Arc<TraceSet>> {
+    let profile = workload.profile();
+    // The same activation order and count `ScaleOutChip::new` would use
+    // for this synthetic class — computed from the fabric build alone,
+    // without constructing (and cache-warming) a throwaway chip.
+    let (_, _, _, _, active_order) = build_fabric(&cfg);
+    let n_active = cfg
+        .active_core_override
+        .unwrap_or_else(|| profile.active_cores(cfg.cores))
+        .min(cfg.cores);
+    std::fs::create_dir_all(dir)?;
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(TRACE_SUFFIX))
+        {
+            std::fs::remove_file(path)?;
+        }
+    }
+    for (slot, c) in active_order[..n_active].iter().copied().enumerate() {
+        let mut gen = WorkloadGen::new(profile, c as u16, seed);
+        let path = dir.join(format!("core-{slot:03}{TRACE_SUFFIX}"));
+        let mut w = TraceWriter::create(path, TraceHeader::for_profile(&profile, c as u32, seed))?;
+        w.capture(&mut gen, instrs_per_core)?;
+        w.finish()?;
+    }
+    TraceSet::load(dir)
+}
+
+/// Instructions per core a capture must record so a run over `window`
+/// cycles replays bit-identically: the dispatch width bounds per-cycle
+/// consumption, and one block of prefetch headroom keeps the replay from
+/// wrapping into the looped stream while the run is still consuming
+/// fresh instructions.
+pub fn trace_capture_len(window: &nocout_sim::config::MeasurementWindow) -> u64 {
+    let width = CoreConfig::a15().width as u64;
+    (window.total_cycles() + 2) * width + nocout_cpu::source::BLOCK_CAP as u64
 }
 
 /// Tile indices ordered centre-out: the paper runs 16-core workloads on

@@ -48,17 +48,17 @@ pub mod metrics;
 pub mod runner;
 pub mod sop;
 
-pub use chip::ScaleOutChip;
+pub use chip::{capture_synthetic_trace, trace_capture_len, ScaleOutChip};
 pub use config::{ChipConfig, Organization};
 pub use metrics::SystemMetrics;
 pub use runner::{run, run_replicated, RunSpec};
 
 /// Convenient glob-import surface for examples and the harness.
 pub mod prelude {
-    pub use crate::chip::ScaleOutChip;
+    pub use crate::chip::{capture_synthetic_trace, trace_capture_len, ScaleOutChip};
     pub use crate::config::{ChipConfig, Organization};
     pub use crate::metrics::SystemMetrics;
     pub use crate::runner::{run, run_replicated, RunSpec};
     pub use nocout_sim::config::{MeasurementWindow, SeedSet};
-    pub use nocout_workloads::Workload;
+    pub use nocout_workloads::{Workload, WorkloadClass};
 }

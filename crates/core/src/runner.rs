@@ -69,17 +69,23 @@ use crate::config::ChipConfig;
 use crate::metrics::SystemMetrics;
 use nocout_sim::config::{MeasurementWindow, SeedSet};
 use nocout_sim::stats::RunningStats;
-use nocout_workloads::Workload;
-use serde::{Deserialize, Serialize};
+use nocout_workloads::WorkloadClass;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// One simulation point: chip × workload × window × seed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// One simulation point: chip × workload class × window × seed.
+///
+/// The workload can be a synthetic profile or a captured trace
+/// ([`WorkloadClass`]); cloning is cheap either way (traces are shared
+/// by reference). Unlike its components, `RunSpec` itself does not
+/// derive serde: a trace workload is backed by on-disk streams that a
+/// field-wise serialization cannot capture — archive the canonical
+/// [`RunSpec::cache_key`] (which embeds the trace content hash) instead.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// Chip configuration.
     pub chip: ChipConfig,
-    /// Workload to run.
-    pub workload: Workload,
+    /// Workload class to run (synthetic profile or trace replay).
+    pub workload: WorkloadClass,
     /// Warmup/measurement window.
     pub window: MeasurementWindow,
     /// Workload seed.
@@ -88,10 +94,10 @@ pub struct RunSpec {
 
 impl RunSpec {
     /// A paper-like run at the default window.
-    pub fn new(chip: ChipConfig, workload: Workload) -> Self {
+    pub fn new(chip: ChipConfig, workload: impl Into<WorkloadClass>) -> Self {
         RunSpec {
             chip,
-            workload,
+            workload: workload.into(),
             window: MeasurementWindow::default(),
             seed: 1,
         }
@@ -128,7 +134,7 @@ impl RunSpec {
 /// assert!(metrics.aggregate_ipc() > 0.0);
 /// ```
 pub fn run(spec: &RunSpec) -> SystemMetrics {
-    let mut chip = ScaleOutChip::new(spec.chip, spec.workload, spec.seed);
+    let mut chip = ScaleOutChip::new(spec.chip, spec.workload.clone(), spec.seed);
     // `run_for` fast-forwards through globally idle stretches while
     // remaining bit-identical to per-cycle ticking.
     chip.run_for(spec.window.warmup_cycles);
@@ -158,8 +164,8 @@ pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
     assert!(!seeds.is_empty(), "need at least one seed");
     let mut stats = RunningStats::new();
     let mut last = None;
-    for seed in seeds.iter() {
-        let metrics = run(&spec.with_seed(seed));
+    for seed in replication_seeds(spec, seeds).iter() {
+        let metrics = run(&spec.clone().with_seed(seed));
         stats.record(metrics.aggregate_ipc());
         last = Some(metrics);
     }
@@ -167,6 +173,22 @@ pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
         mean_ipc: stats.mean(),
         ci95: stats.ci95_half_width(),
         last: last.expect("at least one seed ran"),
+    }
+}
+
+/// Seed-insensitive workloads ([`WorkloadClass::is_seed_sensitive`] —
+/// trace replay is literal) collapse replication to the set's first
+/// seed: running N identical simulations would produce bit-identical
+/// statistics anyway (mean of N equal values is that value; the ci95
+/// half-width is 0.0 at one sample and at zero variance alike), so one
+/// run carries all the information. The campaign layers
+/// (`run_replicated`, `BatchRunner`, `nocout_experiments::perf_points`)
+/// all route through this one rule.
+pub fn replication_seeds(spec: &RunSpec, seeds: &SeedSet) -> SeedSet {
+    if spec.workload.is_seed_sensitive() {
+        seeds.clone()
+    } else {
+        SeedSet::single(seeds.iter().next().expect("non-empty seed set"))
     }
 }
 
@@ -276,7 +298,7 @@ impl BatchRunner {
         let mut out: Vec<Option<SystemMetrics>> =
             specs.iter().map(|s| cache.get(s)).collect();
         let todo: Vec<usize> = (0..specs.len()).filter(|&i| out[i].is_none()).collect();
-        let todo_specs: Vec<RunSpec> = todo.iter().map(|&i| specs[i]).collect();
+        let todo_specs: Vec<RunSpec> = todo.iter().map(|&i| specs[i].clone()).collect();
         let fresh = self.run_batch_uncached(&todo_specs);
         for (&i, m) in todo.iter().zip(fresh) {
             cache.put(&specs[i], &m);
@@ -329,7 +351,8 @@ impl BatchRunner {
     /// Panics if `seeds` is empty.
     pub fn run_replicated(&self, spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
         assert!(!seeds.is_empty(), "need at least one seed");
-        let specs: Vec<RunSpec> = seeds.iter().map(|s| spec.with_seed(s)).collect();
+        let seeds = replication_seeds(spec, seeds);
+        let specs: Vec<RunSpec> = seeds.iter().map(|s| spec.clone().with_seed(s)).collect();
         let all = self.run_batch(&specs);
         let mut stats = RunningStats::new();
         for m in &all {
@@ -347,6 +370,7 @@ impl BatchRunner {
 mod tests {
     use super::*;
     use crate::config::Organization;
+    use nocout_workloads::Workload;
 
     #[test]
     fn run_produces_nonzero_ipc() {
@@ -381,7 +405,7 @@ mod tests {
             Workload::MapReduceW,
         )
         .fast();
-        let a = run(&spec.with_seed(1));
+        let a = run(&spec.clone().with_seed(1));
         let b = run(&spec.with_seed(2));
         assert_ne!(a.instructions, b.instructions);
     }

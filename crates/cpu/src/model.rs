@@ -1,6 +1,6 @@
 //! The out-of-order core pipeline model.
 
-use crate::source::{FetchedInstr, InstructionSource, Op};
+use crate::source::{FetchedInstr, InstrBlock, InstructionSource, Op};
 use nocout_mem::addr::Addr;
 use nocout_mem::l1::{L1Access, L1Cache, L1Config};
 use nocout_mem::protocol::AccessKind;
@@ -154,6 +154,10 @@ pub struct Core {
     fetch_stall: Option<Addr>,
     /// Instruction pulled from the source but not yet dispatched.
     staged: Option<FetchedInstr>,
+    /// Buffered instructions from the source: [`Core::tick`] consumes
+    /// from here and crosses the `dyn InstructionSource` boundary only
+    /// when the block drains.
+    block: InstrBlock,
     /// Outstanding data-miss ROB entries (MLP in flight).
     outstanding_data: usize,
     /// Per-core statistics.
@@ -171,6 +175,7 @@ impl Core {
             current_fetch_line: None,
             fetch_stall: None,
             staged: None,
+            block: InstrBlock::new(),
             outstanding_data: 0,
             stats: CoreStats::default(),
         }
@@ -230,18 +235,50 @@ impl Core {
     /// Advances one cycle: retires completed instructions and dispatches
     /// new ones; any L1 misses needing the interconnect are appended to
     /// `requests`.
+    ///
+    /// Instructions are consumed from the core's internal block and the
+    /// `source` trait object is crossed only when the block drains (one
+    /// [`InstructionSource::refill`] per [`crate::source::BLOCK_CAP`]
+    /// instructions). [`Core::tick_reference`] keeps the per-instruction
+    /// path as the differential oracle.
     pub fn tick(
         &mut self,
         now: Cycle,
         source: &mut dyn InstructionSource,
         requests: &mut Vec<MissRequest>,
     ) {
+        self.tick_impl(now, source, requests, true);
+    }
+
+    /// The per-instruction reference tick: identical to [`Core::tick`]
+    /// except that every fetched instruction crosses the source trait
+    /// object individually. Kept as the oracle for differential testing
+    /// of the block-based delivery path (and as the honest baseline for
+    /// its microbenchmark). Any instructions already buffered in the
+    /// block are drained first, so the two tick flavours may be mixed on
+    /// one core without perturbing the consumed stream.
+    pub fn tick_reference(
+        &mut self,
+        now: Cycle,
+        source: &mut dyn InstructionSource,
+        requests: &mut Vec<MissRequest>,
+    ) {
+        self.tick_impl(now, source, requests, false);
+    }
+
+    fn tick_impl(
+        &mut self,
+        now: Cycle,
+        source: &mut dyn InstructionSource,
+        requests: &mut Vec<MissRequest>,
+        use_block: bool,
+    ) {
         self.stats.cycles.incr();
         self.retire(now);
         if self.fetch_stall.is_some() {
             self.stats.fetch_stall_cycles.incr();
         } else {
-            self.dispatch(now, source, requests);
+            self.dispatch(now, source, requests, use_block);
         }
     }
 
@@ -274,6 +311,7 @@ impl Core {
         now: Cycle,
         source: &mut dyn InstructionSource,
         requests: &mut Vec<MissRequest>,
+        use_block: bool,
     ) {
         for _ in 0..self.cfg.width {
             if self.rob.len() >= self.cfg.rob_entries {
@@ -281,7 +319,15 @@ impl Core {
             }
             let instr = match self.staged.take() {
                 Some(i) => i,
-                None => source.next_instr(),
+                // The reference path still drains buffered instructions
+                // first: they are the next positions of the stream, and
+                // skipping them would tear the sequence when the two tick
+                // flavours are mixed on one core.
+                None if use_block => self.block.take(source),
+                None => match self.block.pop() {
+                    Some(i) => i,
+                    None => source.next_instr(),
+                },
             };
             // Instruction-fetch side: crossing into a new line costs an
             // L1-I access.
@@ -788,6 +834,195 @@ mod tests {
             sparse.stats.mem_stall_cycles.value()
         );
         assert_eq!(dense.stats.retired.value(), sparse.stats.retired.value());
+    }
+
+    /// A looping stream with fetch-line transitions, loads, stores and
+    /// mixed ALU latencies — enough structure to exercise stalls, fills
+    /// and refill boundaries in the differential tests below.
+    fn varied_script() -> Vec<FetchedInstr> {
+        (0..23u64)
+            .map(|i| FetchedInstr {
+                fetch_line: Addr((i / 4) * 64),
+                op: match i % 5 {
+                    0 => Op::Alu { latency: 1 },
+                    1 => Op::Alu { latency: 3 },
+                    2 => Op::Load {
+                        addr: Addr(0x3_0000 + (i % 11) * 64),
+                        dependent: i % 2 == 0,
+                    },
+                    3 => Op::Store {
+                        addr: Addr(0x5_0000 + (i % 7) * 64),
+                    },
+                    _ => Op::Load {
+                        addr: Addr(0x7_0000 + i * 64),
+                        dependent: false,
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Drives a core for `cycles`, filling every miss after a fixed
+    /// latency, with the chosen tick flavour (or a mix).
+    fn drive(cycles: u64, flavour: impl Fn(u64) -> bool) -> (CoreStats, Vec<MissRequest>) {
+        let mut src = ScriptedSource::new(varied_script());
+        let mut core = Core::new(CoreConfig::a15());
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        let mut pending: Vec<(Cycle, MissRequest)> = Vec::new();
+        for t in 0..cycles {
+            let now = Cycle(t);
+            pending.retain(|(at, r)| {
+                if *at <= now {
+                    match r.kind {
+                        AccessKind::InstrFetch => core.fill_ifetch(r.line, now),
+                        _ => {
+                            core.fill_data(r.line, now);
+                        }
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            out.clear();
+            if flavour(t) {
+                core.tick(now, &mut src, &mut out);
+            } else {
+                core.tick_reference(now, &mut src, &mut out);
+            }
+            for r in out.drain(..) {
+                log.push(r);
+                pending.push((now + 18, r));
+            }
+        }
+        (core.stats, log)
+    }
+
+    #[test]
+    fn block_tick_is_bit_identical_to_per_instruction_reference() {
+        let (blocked, blocked_reqs) = drive(3_000, |_| true);
+        let (reference, reference_reqs) = drive(3_000, |_| false);
+        assert_eq!(blocked_reqs, reference_reqs, "miss streams diverged");
+        assert_eq!(blocked.retired.value(), reference.retired.value());
+        assert_eq!(blocked.cycles.value(), reference.cycles.value());
+        assert_eq!(
+            blocked.fetch_stall_cycles.value(),
+            reference.fetch_stall_cycles.value()
+        );
+        assert_eq!(
+            blocked.mem_stall_cycles.value(),
+            reference.mem_stall_cycles.value()
+        );
+        assert_eq!(blocked.ifetch_misses.value(), reference.ifetch_misses.value());
+        assert_eq!(blocked.data_misses.value(), reference.data_misses.value());
+    }
+
+    #[test]
+    fn mixed_tick_flavours_preserve_the_stream() {
+        // Alternating between block and per-instruction ticking mid-run
+        // must consume exactly the same sequence: the reference path
+        // drains the block's buffered instructions before touching the
+        // source again.
+        let (mixed, mixed_reqs) = drive(3_000, |t| (t / 97) % 2 == 0);
+        let (reference, reference_reqs) = drive(3_000, |_| false);
+        assert_eq!(mixed_reqs, reference_reqs, "miss streams diverged");
+        assert_eq!(mixed.retired.value(), reference.retired.value());
+        assert_eq!(mixed.data_misses.value(), reference.data_misses.value());
+    }
+
+    /// A core stalled on an ifetch miss with one completed-but-unretired
+    /// ALU op in the ROB: `idle_state` is `StalledUntil(ready)`.
+    fn stalled_until_core() -> (Core, ScriptedSource, Cycle) {
+        let mut src = ScriptedSource::new(vec![
+            FetchedInstr {
+                fetch_line: Addr(0),
+                op: Op::Alu { latency: 4 },
+            },
+            FetchedInstr {
+                fetch_line: Addr(64),
+                op: Op::Alu { latency: 1 },
+            },
+        ]);
+        let mut core = Core::new(CoreConfig::a15());
+        let mut out = Vec::new();
+        core.tick(Cycle(0), &mut src, &mut out);
+        core.fill_ifetch(Addr(0), Cycle(0));
+        out.clear();
+        // Dispatches the latency-4 ALU op, then stalls fetching line 64.
+        core.tick(Cycle(1), &mut src, &mut out);
+        assert!(core.fetch_stalled());
+        (core, src, Cycle(1))
+    }
+
+    #[test]
+    fn fast_forward_zero_delta_is_a_no_op() {
+        let (mut core, _src, _) = stalled_until_core();
+        let before_cycles = core.stats.cycles.value();
+        let before_stall = core.stats.fetch_stall_cycles.value();
+        core.fast_forward_stalled(0);
+        assert_eq!(core.stats.cycles.value(), before_cycles);
+        assert_eq!(core.stats.fetch_stall_cycles.value(), before_stall);
+    }
+
+    #[test]
+    fn fast_forward_to_exact_wake_cycle_matches_dense_ticking() {
+        // The ROB head becomes ready at some cycle `w`; the contract lets
+        // the caller skip strictly up to (not across) `w`. Landing the
+        // fast-forward exactly on the wake boundary and ticking from
+        // there must match dense per-cycle ticking bit for bit.
+        let (dense_core, mut dense_src, start) = stalled_until_core();
+        let (sparse_core, mut sparse_src, _) = stalled_until_core();
+        let wake = match dense_core.idle_state() {
+            CoreIdle::StalledUntil(at) => at,
+            other => panic!("expected StalledUntil, got {other:?}"),
+        };
+        let delta = wake.raw() - (start.raw() + 1);
+        let mut dense_core = dense_core;
+        let mut sparse_core = sparse_core;
+        let mut out = Vec::new();
+        for t in (start.raw() + 1)..wake.raw() {
+            dense_core.tick(Cycle(t), &mut dense_src, &mut out);
+        }
+        sparse_core.fast_forward_stalled(delta);
+        // From the wake cycle onward both must be ticked normally.
+        for t in wake.raw()..wake.raw() + 10 {
+            dense_core.tick(Cycle(t), &mut dense_src, &mut out);
+            sparse_core.tick(Cycle(t), &mut sparse_src, &mut out);
+        }
+        assert_eq!(dense_core.stats.cycles.value(), sparse_core.stats.cycles.value());
+        assert_eq!(
+            dense_core.stats.retired.value(),
+            sparse_core.stats.retired.value()
+        );
+        assert_eq!(
+            dense_core.stats.fetch_stall_cycles.value(),
+            sparse_core.stats.fetch_stall_cycles.value()
+        );
+        assert_eq!(
+            dense_core.stats.mem_stall_cycles.value(),
+            sparse_core.stats.mem_stall_cycles.value()
+        );
+    }
+
+    #[test]
+    fn fast_forward_already_idle_core_counts_pure_stall() {
+        // Fetch-stalled with an empty ROB (nothing will ever retire until
+        // the fill arrives): `Stalled` — any delta is skippable and only
+        // the stall counters move.
+        let mut src = alu_stream();
+        let mut core = Core::new(CoreConfig::a15());
+        let mut out = Vec::new();
+        core.tick(Cycle(0), &mut src, &mut out);
+        assert!(core.fetch_stalled());
+        assert_eq!(core.idle_state(), CoreIdle::Stalled);
+        let retired_before = core.stats.retired.value();
+        core.fast_forward_stalled(1_000);
+        assert_eq!(core.stats.retired.value(), retired_before);
+        assert_eq!(core.stats.fetch_stall_cycles.value(), 1_000);
+        assert_eq!(core.stats.cycles.value(), 1_001);
+        // No data miss at the ROB head, so no memory-stall cycles.
+        assert_eq!(core.stats.mem_stall_cycles.value(), 0);
     }
 
     #[test]

@@ -39,6 +39,122 @@ pub struct FetchedInstr {
     pub op: Op,
 }
 
+/// Capacity of an [`InstrBlock`] in instructions.
+///
+/// Sized so a refill amortizes the virtual call (and, for generated
+/// workloads, the RNG setup) over a few dozen dispatch cycles while the
+/// block still fits comfortably in one page of core-local state.
+pub const BLOCK_CAP: usize = 64;
+
+const BLOCK_FILL: FetchedInstr = FetchedInstr {
+    fetch_line: Addr(0),
+    op: Op::Alu { latency: 1 },
+};
+
+/// A fixed-capacity block of fetched instructions — the unit in which
+/// instructions cross the [`InstructionSource`] trait object.
+///
+/// The core consumes instructions from its block and calls
+/// [`InstructionSource::refill`] only when the block drains, so the
+/// per-instruction cost of the delivery path is an indexed read instead
+/// of a virtual call.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_cpu::source::{FetchedInstr, InstrBlock, InstructionSource, Op, ScriptedSource};
+/// use nocout_mem::addr::Addr;
+///
+/// let mut src = ScriptedSource::new(vec![FetchedInstr {
+///     fetch_line: Addr(0),
+///     op: Op::Alu { latency: 1 },
+/// }]);
+/// let mut block = InstrBlock::new();
+/// let a = block.take(&mut src); // refills transparently
+/// assert_eq!(a, src.next_instr());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstrBlock {
+    buf: [FetchedInstr; BLOCK_CAP],
+    len: u16,
+    pos: u16,
+}
+
+impl InstrBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        InstrBlock {
+            buf: [BLOCK_FILL; BLOCK_CAP],
+            len: 0,
+            pos: 0,
+        }
+    }
+
+    /// Empties the block (a refill starts here).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.pos = 0;
+    }
+
+    /// Appends one instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is full.
+    #[inline]
+    pub fn push(&mut self, instr: FetchedInstr) {
+        assert!((self.len as usize) < BLOCK_CAP, "block is full");
+        self.buf[self.len as usize] = instr;
+        self.len += 1;
+    }
+
+    /// Whether every slot is filled.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len as usize == BLOCK_CAP
+    }
+
+    /// Unconsumed instructions remaining.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        (self.len - self.pos) as usize
+    }
+
+    /// The next buffered instruction, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<FetchedInstr> {
+        if self.pos == self.len {
+            None
+        } else {
+            let i = self.buf[self.pos as usize];
+            self.pos += 1;
+            Some(i)
+        }
+    }
+
+    /// The next instruction of the stream, refilling from `source` when
+    /// the block has drained — the only point where the delivery path
+    /// crosses the trait object.
+    #[inline]
+    pub fn take(&mut self, source: &mut dyn InstructionSource) -> FetchedInstr {
+        match self.pop() {
+            Some(i) => i,
+            None => {
+                source.refill(self);
+                debug_assert!(self.remaining() > 0, "refill must produce instructions");
+                self.pop().expect("refilled block is non-empty")
+            }
+        }
+    }
+}
+
+impl Default for InstrBlock {
+    fn default() -> Self {
+        InstrBlock::new()
+    }
+}
+
 /// Produces the dynamic instruction stream of one hardware context.
 ///
 /// Implemented by the workload models in `nocout-workloads`; the unit tests
@@ -47,6 +163,19 @@ pub trait InstructionSource {
     /// The next dynamic instruction. Must always return (workloads are
     /// infinite request streams).
     fn next_instr(&mut self) -> FetchedInstr;
+
+    /// Refills `block` with the next [`BLOCK_CAP`] instructions of the
+    /// stream. Implementations may batch internal work (RNG draws, trace
+    /// decoding) but must produce exactly the sequence repeated
+    /// [`InstructionSource::next_instr`] calls would — the block-based
+    /// delivery path and the per-instruction oracle are differentially
+    /// tested against each other on that contract.
+    fn refill(&mut self, block: &mut InstrBlock) {
+        block.clear();
+        while !block.is_full() {
+            block.push(self.next_instr());
+        }
+    }
 }
 
 /// A trivial source that loops over a fixed instruction sequence; useful
@@ -122,5 +251,58 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_script_rejected() {
         let _ = ScriptedSource::new(vec![]);
+    }
+
+    fn mixed_script() -> Vec<FetchedInstr> {
+        (0..7)
+            .map(|i| FetchedInstr {
+                fetch_line: Addr(i * 64),
+                op: match i % 3 {
+                    0 => Op::Alu { latency: 1 },
+                    1 => Op::Load {
+                        addr: Addr(0x1000 + i * 64),
+                        dependent: i % 2 == 0,
+                    },
+                    _ => Op::Store {
+                        addr: Addr(0x2000 + i * 64),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_take_matches_per_instruction_stream() {
+        // Two identically-seeded sources: one drained through a block,
+        // one instruction at a time. The consumed sequences must match
+        // across several refill boundaries.
+        let mut blocked = ScriptedSource::new(mixed_script());
+        let mut direct = ScriptedSource::new(mixed_script());
+        let mut block = InstrBlock::new();
+        for n in 0..(3 * BLOCK_CAP + 5) {
+            assert_eq!(block.take(&mut blocked), direct.next_instr(), "instr {n}");
+        }
+    }
+
+    #[test]
+    fn default_refill_fills_to_capacity() {
+        let mut src = ScriptedSource::new(mixed_script());
+        let mut block = InstrBlock::new();
+        src.refill(&mut block);
+        assert!(block.is_full());
+        assert_eq!(block.remaining(), BLOCK_CAP);
+        let first = block.pop().unwrap();
+        assert_eq!(first, mixed_script()[0]);
+        assert_eq!(block.remaining(), BLOCK_CAP - 1);
+    }
+
+    #[test]
+    fn cleared_block_is_empty() {
+        let mut src = ScriptedSource::new(mixed_script());
+        let mut block = InstrBlock::new();
+        src.refill(&mut block);
+        block.clear();
+        assert_eq!(block.remaining(), 0);
+        assert!(block.pop().is_none());
     }
 }

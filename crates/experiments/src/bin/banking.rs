@@ -10,8 +10,7 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
-use std::path::Path;
+use nocout_experiments::{perf_points, report_csv, Table};
 
 fn main() {
     let cli = Cli::parse("banking", "");
@@ -58,6 +57,5 @@ fn main() {
         "Expectation: 4 banks buys little over 2 (paper: similar throughput at lower \
          area with 2 banks/tile); 1 bank loses on bank-contention-sensitive workloads."
     );
-    let _ = write_csv(Path::new("banking.csv"), &table.csv_records());
-    println!("(wrote banking.csv)");
+    report_csv("banking.csv", &table.csv_records());
 }

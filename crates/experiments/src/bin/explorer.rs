@@ -12,14 +12,14 @@ use nocout_experiments::cli::Cli;
 use nocout_experiments::measurement_window;
 use nocout_sim::config::SeedSet;
 
-const USAGE: &str = "[--org mesh|fbfly|nocout|ideal|zeromesh] [--workload NAME] \
+const USAGE: &str = "[--org mesh|fbfly|nocout|ideal|zeromesh] [--workload NAME|trace:PATH] \
      [--cores N] [--width BITS] [--banks N] [--concentration N] [--express] \
      [--llc-rows N] [--seeds N]";
 
 fn main() {
     let mut cli = Cli::parse("explorer", USAGE);
     let mut org = Organization::NocOut;
-    let mut workload = Workload::DataServing;
+    let mut workload: WorkloadClass = Workload::DataServing.into();
     let mut cores = 64usize;
     let mut width = 128u32;
     let mut banks = 2usize;
@@ -44,7 +44,7 @@ fn main() {
                     )),
                 }
             }
-            "--workload" => workload = cli.workload(&flag),
+            "--workload" => workload = cli.workload_class(&flag),
             "--cores" => cores = cli.parsed(&flag),
             "--width" => width = cli.parsed(&flag),
             "--banks" => banks = cli.parsed(&flag),
@@ -64,9 +64,16 @@ fn main() {
     chip.express_links = express;
     chip.llc_rows = llc_rows;
 
+    // Seed-insensitive classes (trace replay) collapse to one run — the
+    // shared rule of `nocout::runner::replication_seeds`; clamping here
+    // too keeps the printed "over N seed(s)" honest.
+    if !workload.is_seed_sensitive() && seeds > 1 {
+        eprintln!("note: trace replay is seed-independent; running 1 run instead of {seeds}");
+        seeds = 1;
+    }
     let spec = RunSpec {
         chip,
-        workload,
+        workload: workload.clone(),
         window: measurement_window(),
         seed: 1,
     };

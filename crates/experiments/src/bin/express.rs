@@ -11,9 +11,8 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
+use nocout_experiments::{perf_points, report_csv, Table};
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
-use std::path::Path;
 
 fn main() {
     let cli = Cli::parse("express", "");
@@ -68,6 +67,5 @@ fn main() {
          cores the paper projects, where tree height would otherwise grow \
          linearly."
     );
-    let _ = write_csv(Path::new("express.csv"), &table.csv_records());
-    println!("(wrote express.csv)");
+    report_csv("express.csv", &table.csv_records());
 }

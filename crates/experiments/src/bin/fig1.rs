@@ -11,8 +11,7 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
-use std::path::Path;
+use nocout_experiments::{perf_points, report_csv, Table};
 
 fn main() {
     let cli = Cli::parse("fig1", "");
@@ -82,6 +81,5 @@ fn main() {
         "Mesh vs Ideal gap at 64 cores: {:.0}% (paper: ~22%)",
         avg_gap * 100.0
     );
-    let _ = write_csv(Path::new("fig1.csv"), &table.csv_records());
-    println!("(wrote fig1.csv)");
+    report_csv("fig1.csv", &table.csv_records());
 }

@@ -11,8 +11,7 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
-use std::path::Path;
+use nocout_experiments::{perf_points, report_csv, Table};
 
 fn main() {
     let cli = Cli::parse("fig4", "");
@@ -52,6 +51,5 @@ fn main() {
         "2.0".into(),
     ]);
     table.print();
-    let _ = write_csv(Path::new("fig4.csv"), &table.csv_records());
-    println!("(wrote fig4.csv)");
+    report_csv("fig4.csv", &table.csv_records());
 }

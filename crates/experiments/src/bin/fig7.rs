@@ -11,9 +11,8 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
+use nocout_experiments::{perf_points, report_csv, Table};
 use nocout_sim::stats::geometric_mean;
-use std::path::Path;
 
 fn main() {
     let cli = Cli::parse("fig7", "");
@@ -83,6 +82,5 @@ fn main() {
         "1.17".into(),
     ]);
     table.print();
-    let _ = write_csv(Path::new("fig7.csv"), &table.csv_records());
-    println!("(wrote fig7.csv)");
+    report_csv("fig7.csv", &table.csv_records());
 }

@@ -8,12 +8,11 @@
 //! Run with `cargo run --release -p nocout-experiments --bin fig8`.
 
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{write_csv, Table};
+use nocout_experiments::{report_csv, Table};
 use nocout_noc::topology::fbfly::FbflySpec;
 use nocout_noc::topology::mesh::MeshSpec;
 use nocout_noc::topology::nocout::NocOutSpec;
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
-use std::path::Path;
 
 fn main() {
     // Analytic models only — no simulation, so `--jobs` has nothing to
@@ -72,6 +71,5 @@ fn main() {
         fb / full,
         100.0 * (1.0 - full / mesh)
     );
-    let _ = write_csv(Path::new("fig8.csv"), &table.csv_records());
-    println!("(wrote fig8.csv)");
+    report_csv("fig8.csv", &table.csv_records());
 }

@@ -11,10 +11,9 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
+use nocout_experiments::{perf_points, report_csv, Table};
 use nocout_sim::stats::geometric_mean;
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
-use std::path::Path;
 
 fn main() {
     let cli = Cli::parse("fig9", "");
@@ -93,6 +92,5 @@ fn main() {
         (no_g - 1.0) * 100.0,
         (no_g / fb_g - 1.0) * 100.0
     );
-    let _ = write_csv(Path::new("fig9.csv"), &table.csv_records());
-    println!("(wrote fig9.csv)");
+    report_csv("fig9.csv", &table.csv_records());
 }

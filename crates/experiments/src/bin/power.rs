@@ -10,9 +10,8 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
+use nocout_experiments::{perf_points, report_csv, Table};
 use nocout_tech::{BufferTech, ChipPowerModel, NocEnergyModel};
-use std::path::Path;
 
 fn main() {
     let cli = Cli::parse("power", "");
@@ -80,6 +79,5 @@ fn main() {
         chip.cores_power_w(64),
         chip.llc_power_w(8.0)
     );
-    let _ = write_csv(Path::new("power.csv"), &table.csv_records());
-    println!("(wrote power.csv)");
+    report_csv("power.csv", &table.csv_records());
 }

@@ -9,14 +9,14 @@ use nocout_experiments::cli::Cli;
 use nocout_experiments::perf_points;
 
 fn main() {
-    let mut cli = Cli::parse("probe", "[--workload NAME | ws|sat]");
-    let mut workload = Workload::DataServing;
+    let mut cli = Cli::parse("probe", "[--workload NAME|trace:PATH | ws|sat]");
+    let mut workload: WorkloadClass = Workload::DataServing.into();
     while let Some(flag) = cli.next_flag() {
         match flag.as_str() {
-            "--workload" => workload = cli.workload(&flag),
+            "--workload" => workload = cli.workload_class(&flag),
             // Legacy positional shorthands.
-            "ws" => workload = Workload::WebSearch,
-            "sat" => workload = Workload::SatSolver,
+            "ws" => workload = Workload::WebSearch.into(),
+            "sat" => workload = Workload::SatSolver.into(),
             _ => cli.unknown(&flag),
         }
     }
@@ -24,9 +24,9 @@ fn main() {
     cli.finish();
 
     let orgs = [Organization::Mesh, Organization::NocOut];
-    let points: Vec<(ChipConfig, Workload)> = orgs
+    let points: Vec<(ChipConfig, WorkloadClass)> = orgs
         .iter()
-        .map(|&org| (ChipConfig::paper(org), workload))
+        .map(|&org| (ChipConfig::paper(org), workload.clone()))
         .collect();
     let results = perf_points(&runner, &points);
     for (org, p) in orgs.iter().zip(&results) {

@@ -10,9 +10,8 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
+use nocout_experiments::{perf_points, report_csv, Table};
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
-use std::path::Path;
 
 fn main() {
     let cli = Cli::parse("scalability", "");
@@ -79,6 +78,5 @@ fn main() {
         "Expectation: c=2 keeps per-core performance close at roughly the same \
          network area (so area/core halves); c=4 starts to saturate the 16B tree links."
     );
-    let _ = write_csv(Path::new("scalability.csv"), &table.csv_records());
-    println!("(wrote scalability.csv)");
+    report_csv("scalability.csv", &table.csv_records());
 }

@@ -14,8 +14,7 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, write_csv, Table};
-use std::path::Path;
+use nocout_experiments::{perf_points, report_csv, Table};
 
 fn main() {
     let cli = Cli::parse("sweep", "");
@@ -70,6 +69,5 @@ fn main() {
          asymmetric contest: NOC-Out fits the 2.5 mm² budget at full 128-bit \
          width, and only its rivals must narrow."
     );
-    let _ = write_csv(Path::new("sweep.csv"), &table.csv_records());
-    println!("(wrote sweep.csv)");
+    report_csv("sweep.csv", &table.csv_records());
 }

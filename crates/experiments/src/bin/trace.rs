@@ -1,0 +1,161 @@
+//! Trace capture → replay round trip: records multi-million-instruction
+//! traces from each CloudSuite-style profile, replays them as the
+//! `trace:PATH` workload class, and asserts the replayed chip metrics are
+//! bit-identical to the synthetic run that produced the streams.
+//!
+//! Two artifact files land under `out/` with one canonically-formatted
+//! metric line per workload — `trace_synth.txt` from the synthetic runs
+//! and `trace_replay.txt` from the replays — so CI can `cmp` them as a
+//! byte-identity gate. Captured trace directories live under
+//! `out/traces/<workload>/` and are removed after verification unless
+//! `--keep` is given (replay them later with any binary's
+//! `--workload trace:out/traces/<workload>`).
+//!
+//! Run with `cargo run --release -p nocout-experiments --bin trace`
+//! (`NOCOUT_FAST=1` shortens the window and therefore the captures).
+
+use nocout::prelude::*;
+use nocout_experiments::cli::Cli;
+use nocout_experiments::{measurement_window, out_path, Table};
+use std::fmt::Write as _;
+
+/// One canonical line per run: every count verbatim, every float as the
+/// hex of its IEEE-754 bits, so byte equality of the two artifact files
+/// is exactly metric bit-identity.
+fn metric_line(workload: &str, m: &SystemMetrics) -> String {
+    let mut s = format!(
+        "{workload}: cores {} cycles {} instr {} ipc {:016x} fetch_stall {:016x} \
+         llc {} {} {} {} {} {} net {} {:016x} {} {} mem {} {}",
+        m.active_cores,
+        m.cycles,
+        m.instructions,
+        m.aggregate_ipc().to_bits(),
+        m.fetch_stall_fraction.to_bits(),
+        m.llc.accesses,
+        m.llc.hits,
+        m.llc.misses,
+        m.llc.snoops_sent,
+        m.llc.snooping_accesses,
+        m.llc.writebacks,
+        m.network.packets,
+        m.network.mean_latency.to_bits(),
+        m.network.p50_latency,
+        m.network.p99_latency,
+        m.memory.reads,
+        m.memory.writes,
+    );
+    let _ = write!(s, " per_core");
+    for ipc in &m.per_core_ipc {
+        let _ = write!(s, " {:016x}", ipc.to_bits());
+    }
+    s
+}
+
+fn main() {
+    let mut cli = Cli::parse(
+        "trace",
+        "[--workload NAME] [--seed S] [--instrs N] [--keep]",
+    );
+    let mut only: Option<Workload> = None;
+    let mut seed = 1u64;
+    let mut instrs_override: Option<u64> = None;
+    let mut keep = false;
+    while let Some(flag) = cli.next_flag() {
+        match flag.as_str() {
+            "--workload" => only = Some(cli.workload(&flag)),
+            "--seed" => seed = cli.parsed(&flag),
+            "--instrs" => instrs_override = Some(cli.parsed(&flag)),
+            "--keep" => keep = true,
+            _ => cli.unknown(&flag),
+        }
+    }
+    let runner = cli.runner();
+    cli.finish();
+
+    let window = measurement_window();
+    let instrs_per_core = instrs_override.unwrap_or_else(|| trace_capture_len(&window));
+    let workloads: Vec<Workload> = match only {
+        Some(w) => vec![w],
+        None => Workload::ALL.to_vec(),
+    };
+
+    let mut table = Table::new(
+        "Trace capture → replay identity (Mesh, Table 1 configuration)",
+        vec![
+            "Workload".into(),
+            "Streams".into(),
+            "Instrs/core".into(),
+            "Synth IPC".into(),
+            "Replay IPC".into(),
+            "Identical".into(),
+        ],
+    );
+    let mut synth_lines = String::new();
+    let mut replay_lines = String::new();
+    let chip = ChipConfig::paper(Organization::Mesh);
+    for w in workloads {
+        let tag = format!("{w}").to_lowercase().replace(' ', "-");
+        let dir = out_path("traces").join(&tag);
+        let set = capture_synthetic_trace(chip, w, seed, &dir, instrs_per_core)
+            .unwrap_or_else(|e| panic!("{w}: capture failed: {e}"));
+        let spec = RunSpec {
+            chip,
+            workload: w.into(),
+            window,
+            seed,
+        };
+        let replay_spec = RunSpec {
+            chip,
+            workload: WorkloadClass::Trace(set.clone()),
+            window,
+            seed,
+        };
+        // Both halves go through the runner, so `--jobs` and `--cache`
+        // apply to the replays exactly as to the synthetic runs.
+        let pair = runner.run_batch(&[spec, replay_spec]);
+        let (synth, replay) = (&pair[0], &pair[1]);
+
+        let a = metric_line(&tag, synth);
+        let b = metric_line(&tag, replay);
+        let identical = a == b;
+        synth_lines.push_str(&a);
+        synth_lines.push('\n');
+        replay_lines.push_str(&b);
+        replay_lines.push('\n');
+        table.row(vec![
+            w.name().into(),
+            set.streams().to_string(),
+            instrs_per_core.to_string(),
+            format!("{:.4}", synth.aggregate_ipc()),
+            format!("{:.4}", replay.aggregate_ipc()),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        assert!(
+            identical,
+            "{w}: replayed metrics diverge from the synthetic run\n  synth : {a}\n  replay: {b}"
+        );
+        if !keep {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    table.print();
+
+    let synth_path = out_path("trace_synth.txt");
+    let replay_path = out_path("trace_replay.txt");
+    std::fs::write(&synth_path, synth_lines).expect("write trace_synth.txt");
+    std::fs::write(&replay_path, replay_lines).expect("write trace_replay.txt");
+    println!(
+        "Every replay reproduced its synthetic run bit for bit \
+         ({instrs_per_core} instrs/core captured per stream)."
+    );
+    println!(
+        "(wrote {} and {} — CI cmps them; traces {})",
+        synth_path.display(),
+        replay_path.display(),
+        if keep {
+            "kept under out/traces/"
+        } else {
+            "removed; pass --keep to retain"
+        }
+    );
+}

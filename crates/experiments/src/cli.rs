@@ -27,7 +27,8 @@
 
 use nocout::cache::ResultsCache;
 use nocout::runner::BatchRunner;
-use nocout_workloads::Workload;
+use nocout_workloads::trace::TraceSet;
+use nocout_workloads::{Workload, WorkloadClass};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
@@ -149,15 +150,26 @@ impl Cli {
         })
     }
 
-    /// Parses the value following `flag` as a workload name.
+    /// Parses the value following `flag` as a synthetic workload name.
+    /// The error deliberately does *not* offer `trace:PATH`: flags using
+    /// this method (e.g. the capture binary's choice of which profile to
+    /// record) only accept synthetic profiles.
     pub fn workload(&mut self, flag: &str) -> Workload {
         let v = self.value(flag);
         parse_workload(&v).unwrap_or_else(|| {
             self.fail(&format!(
-                "invalid value for `{flag}`: `{v}` (expected one of {})",
+                "invalid value for `{flag}`: `{v}` (expected a synthetic profile: {})",
                 workload_names().join("|")
             ))
         })
+    }
+
+    /// Parses the value following `flag` as a workload class: a synthetic
+    /// profile name or `trace:PATH` naming a captured trace directory.
+    pub fn workload_class(&mut self, flag: &str) -> WorkloadClass {
+        let v = self.value(flag);
+        parse_workload_class(&v)
+            .unwrap_or_else(|e| self.fail(&format!("invalid value for `{flag}`: {e}")))
     }
 
     /// Errors if any token is left unconsumed (call after the flag loop
@@ -167,6 +179,40 @@ impl Cli {
             self.unknown(&tok);
         }
     }
+}
+
+/// The forms a workload-class value can take, for error messages: every
+/// synthetic profile name, plus the `trace:PATH` replay form.
+pub fn workload_forms() -> String {
+    format!("{}, or trace:PATH", workload_names().join("|"))
+}
+
+/// Parses a workload-class CLI value: a synthetic profile name
+/// (`web-search`, ...) or `trace:PATH`, where PATH is a trace directory
+/// captured by the `trace` binary (or
+/// `nocout::capture_synthetic_trace`). Loading the trace validates every
+/// stream up front, so a bad capture fails here with the file named
+/// rather than mid-simulation.
+pub fn parse_workload_class(value: &str) -> Result<WorkloadClass, String> {
+    if let Some(path) = value.strip_prefix("trace:") {
+        if path.is_empty() {
+            return Err(format!(
+                "`trace:` needs a directory (expected one of {})",
+                workload_forms()
+            ));
+        }
+        return TraceSet::load(path)
+            .map(WorkloadClass::from)
+            .map_err(|e| format!("cannot load trace `{path}`: {e}"));
+    }
+    parse_workload(value)
+        .map(WorkloadClass::from)
+        .ok_or_else(|| {
+            format!(
+                "`{value}` is not a workload (expected one of {})",
+                workload_forms()
+            )
+        })
 }
 
 /// Parses a workload CLI name (`data-serving`, `web-search`, ...).
@@ -251,5 +297,40 @@ mod tests {
             assert!(parse_workload(name).is_some(), "{name}");
         }
         assert!(parse_workload("nope").is_none());
+    }
+
+    #[test]
+    fn workload_class_parses_synthetic_names() {
+        for name in workload_names() {
+            let class = parse_workload_class(name).expect(name);
+            assert!(matches!(class, WorkloadClass::Synthetic(_)), "{name}");
+        }
+    }
+
+    #[test]
+    fn invalid_workload_error_names_the_trace_form() {
+        // The satellite contract: a bad workload-class value must tell
+        // the user about every accepted form, including `trace:PATH`
+        // (`Cli::workload_class` prefixes this with the flag name).
+        let class_err = parse_workload_class("nope").unwrap_err();
+        assert_eq!(
+            class_err,
+            "`nope` is not a workload (expected one of \
+             data-serving|mapreduce-c|mapreduce-w|sat-solver|web-frontend|web-search, \
+             or trace:PATH)"
+        );
+    }
+
+    #[test]
+    fn bare_trace_prefix_is_rejected_with_guidance() {
+        let err = parse_workload_class("trace:").unwrap_err();
+        assert!(err.contains("needs a directory"), "{err}");
+        assert!(err.contains("trace:PATH"), "{err}");
+    }
+
+    #[test]
+    fn missing_trace_directory_is_named_in_the_error() {
+        let err = parse_workload_class("trace:/no/such/dir-12345").unwrap_err();
+        assert!(err.contains("/no/such/dir-12345"), "{err}");
     }
 }

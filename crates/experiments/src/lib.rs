@@ -16,4 +16,4 @@ pub mod table;
 
 pub use cli::Cli;
 pub use report::{measurement_window, perf_point, perf_points, seeds, PerfPoint};
-pub use table::{write_csv, Table};
+pub use table::{out_path, report_csv, write_csv, Table};

@@ -35,11 +35,12 @@ pub struct PerfPoint {
     pub metrics: SystemMetrics,
 }
 
-/// Runs `workload` on `chip` over the standard window and seed set.
-pub fn perf_point(chip: ChipConfig, workload: Workload) -> PerfPoint {
+/// Runs `workload` (a synthetic [`Workload`] or any [`WorkloadClass`])
+/// on `chip` over the standard window and seed set.
+pub fn perf_point(chip: ChipConfig, workload: impl Into<WorkloadClass>) -> PerfPoint {
     let spec = RunSpec {
         chip,
-        workload,
+        workload: workload.into(),
         window: measurement_window(),
         seed: 1,
     };
@@ -59,23 +60,39 @@ pub fn perf_point(chip: ChipConfig, workload: Workload) -> PerfPoint {
 /// seeds of one point. Per point the replication statistics accumulate in
 /// seed order — results are bit-identical to calling [`perf_point`] in a
 /// loop, at any worker count.
-pub fn perf_points(runner: &BatchRunner, points: &[(ChipConfig, Workload)]) -> Vec<PerfPoint> {
+pub fn perf_points<W>(runner: &BatchRunner, points: &[(ChipConfig, W)]) -> Vec<PerfPoint>
+where
+    W: Clone + Into<WorkloadClass>,
+{
     let window = measurement_window();
     let seed_set = seeds();
-    let specs: Vec<RunSpec> = points
-        .iter()
-        .flat_map(|&(chip, workload)| {
-            seed_set.iter().map(move |seed| RunSpec {
-                chip,
-                workload,
-                window,
-                seed,
-            })
-        })
-        .collect();
+    let mut per_point = Vec::with_capacity(points.len());
+    let mut specs = Vec::new();
+    for (chip, workload) in points {
+        let workload: WorkloadClass = workload.clone().into();
+        // Seed-insensitive points (trace replay) collapse to one run —
+        // the same rule `run_replicated` applies (see
+        // `nocout::runner::replication_seeds`).
+        let runs = if workload.is_seed_sensitive() {
+            seed_set.len()
+        } else {
+            1
+        };
+        per_point.push(runs);
+        specs.extend(seed_set.iter().take(runs).map(|seed| RunSpec {
+            chip: *chip,
+            workload: workload.clone(),
+            window,
+            seed,
+        }));
+    }
     let all = runner.run_batch(&specs);
-    all.chunks(seed_set.len())
-        .map(|per_seed| {
+    let mut off = 0;
+    per_point
+        .into_iter()
+        .map(|runs| {
+            let per_seed = &all[off..off + runs];
+            off += runs;
             let mut stats = RunningStats::new();
             for m in per_seed {
                 stats.record(m.aggregate_ipc());

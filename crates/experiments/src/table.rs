@@ -95,6 +95,28 @@ impl Table {
     }
 }
 
+/// The output-directory convention: every artifact an experiment binary
+/// generates (CSV tables, captured traces, comparison files) lands under
+/// `out/` at the invocation directory, which is gitignored. Creates the
+/// directory on first use and returns `out/<name>`.
+pub fn out_path(name: &str) -> std::path::PathBuf {
+    let dir = Path::new("out");
+    let _ = std::fs::create_dir_all(dir);
+    dir.join(name)
+}
+
+/// Writes `records` to `out/<name>` per the output-directory convention
+/// and reports the outcome: the success line names the path actually
+/// written; a failure goes to stderr instead of pretending the artifact
+/// exists.
+pub fn report_csv(name: &str, records: &[Vec<String>]) {
+    let path = out_path(name);
+    match write_csv(&path, records) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Writes records as a CSV file (naive quoting: fields containing commas
 /// are double-quoted).
 ///

@@ -40,6 +40,11 @@ pub struct WorkloadGen {
     hot_zipf: Zipf,
     current_line: u64,
     remaining_in_run: u32,
+    /// Cumulative op-mix thresholds: one uniform draw against this table
+    /// classifies an instruction as memory op / long ALU / short ALU,
+    /// replacing the per-field Bernoulli draws of the original generator.
+    mix_mem: f64,
+    mix_alu_long: f64,
 }
 
 impl WorkloadGen {
@@ -54,6 +59,11 @@ impl WorkloadGen {
         let mut rng = SimRng::new(seed ^ ((core as u64) << 32) ^ 0x9E37_79B9);
         let hot_zipf = Zipf::new(profile.instr_hot_lines, profile.instr_zipf_theta);
         let current_line = hot_zipf.sample(&mut rng) as u64;
+        // Cumulative op-mix table: P(mem), then P(long ALU) carved out of
+        // the non-memory remainder, so the marginal op distribution
+        // matches the profile's per-field fractions exactly.
+        let mix_mem = profile.mem_op_fraction;
+        let mix_alu_long = mix_mem + (1.0 - mix_mem) * profile.alu_long_fraction;
         WorkloadGen {
             profile,
             core,
@@ -61,6 +71,8 @@ impl WorkloadGen {
             hot_zipf,
             current_line,
             remaining_in_run: 1,
+            mix_mem,
+            mix_alu_long,
         }
     }
 
@@ -105,10 +117,14 @@ impl WorkloadGen {
             (Addr(base + line * LINE_BYTES), false)
         }
     }
-}
 
-impl InstructionSource for WorkloadGen {
-    fn next_instr(&mut self) -> FetchedInstr {
+    /// Generates the next instruction of the stream. Both trait entry
+    /// points ([`InstructionSource::next_instr`] and the batched
+    /// [`InstructionSource::refill`]) route through this one function, so
+    /// the block-dispatch path and the per-instruction oracle consume the
+    /// identical sequence by construction.
+    #[inline]
+    fn gen_one(&mut self) -> FetchedInstr {
         let p = self.profile;
         if self.remaining_in_run == 0 {
             // Hot-set transitions stay L1-I resident; cold-tail jumps reach
@@ -128,7 +144,11 @@ impl InstructionSource for WorkloadGen {
         self.remaining_in_run -= 1;
         let fetch_line = Addr(INSTR_BASE + self.current_line * LINE_BYTES);
 
-        let op = if self.rng.chance(p.mem_op_fraction) {
+        // One draw against the cumulative op-mix table classifies the op;
+        // only memory ops pay for further draws (address, store/load,
+        // dependence).
+        let r = self.rng.next_f64();
+        let op = if r < self.mix_mem {
             let (addr, shared) = self.data_address();
             // Shared-region stores are what generate invalidations and
             // forwards; they get at least a healthy store ratio so the
@@ -147,12 +167,22 @@ impl InstructionSource for WorkloadGen {
                     dependent: self.rng.chance(p.dependent_load_fraction),
                 }
             }
-        } else if self.rng.chance(p.alu_long_fraction) {
+        } else if r < self.mix_alu_long {
             Op::Alu { latency: 3 }
         } else {
             Op::Alu { latency: 1 }
         };
         FetchedInstr { fetch_line, op }
+    }
+}
+
+// Block delivery: a core crosses the trait object once per
+// [`nocout_cpu::source::BLOCK_CAP`] instructions via the trait's default
+// `refill`, whose `next_instr` calls dispatch statically once
+// monomorphized for this type — no override needed.
+impl InstructionSource for WorkloadGen {
+    fn next_instr(&mut self) -> FetchedInstr {
+        self.gen_one()
     }
 }
 
@@ -171,6 +201,21 @@ mod tests {
         let mut a = WorkloadGen::new(p, 3, 7);
         let mut b = WorkloadGen::new(p, 3, 7);
         assert_eq!(collect(&mut a, 1000), collect(&mut b, 1000));
+    }
+
+    #[test]
+    fn refill_matches_per_instruction_stream() {
+        // The batched block path must produce exactly the sequence the
+        // per-instruction path does — the contract behind the core-level
+        // block-dispatch differential tests.
+        use nocout_cpu::source::InstrBlock;
+        let p = Workload::WebSearch.profile();
+        let mut blocked = WorkloadGen::new(p, 2, 11);
+        let mut direct = WorkloadGen::new(p, 2, 11);
+        let mut block = InstrBlock::new();
+        for n in 0..10_000 {
+            assert_eq!(block.take(&mut blocked), direct.next_instr(), "instr {n}");
+        }
     }
 
     #[test]

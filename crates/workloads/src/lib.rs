@@ -27,7 +27,9 @@
 pub mod characterize;
 pub mod gen;
 pub mod profile;
+pub mod trace;
 
 pub use characterize::{characterize, Characterization};
 pub use gen::WorkloadGen;
 pub use profile::{Workload, WorkloadProfile};
+pub use trace::{TraceSet, TraceSource, TraceWriter, WorkloadClass};

@@ -36,7 +36,7 @@ fn main() {
         .iter()
         .map(|&org| RunSpec {
             chip: ChipConfig::paper(org),
-            workload,
+            workload: workload.into(),
             window,
             seed: 7,
         })

@@ -14,7 +14,7 @@ fn main() {
     // Run Web Search for a short warmup + measurement window.
     let spec = RunSpec {
         chip,
-        workload: Workload::WebSearch,
+        workload: Workload::WebSearch.into(),
         window: MeasurementWindow::new(10_000, 20_000),
         seed: 42,
     };

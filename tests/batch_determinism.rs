@@ -22,7 +22,7 @@ fn grid() -> Vec<RunSpec> {
         for (w, seed) in [(Workload::WebSearch, 1u64), (Workload::DataServing, 7)] {
             specs.push(RunSpec {
                 chip: ChipConfig::paper(org),
-                workload: w,
+                workload: w.into(),
                 window,
                 seed,
             });
@@ -65,7 +65,7 @@ fn run_batch_is_bit_identical_to_serial_run() {
 fn parallel_replication_matches_serial_statistics() {
     let spec = RunSpec {
         chip: ChipConfig::paper(Organization::NocOut),
-        workload: Workload::MapReduceW,
+        workload: Workload::MapReduceW.into(),
         window: MeasurementWindow::new(2_000, 5_000),
         seed: 1,
     };

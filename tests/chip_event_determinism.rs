@@ -1,12 +1,16 @@
-//! The event-driven chip tick's contract: active-set scheduling and
-//! idle fast-forward never change results.
+//! The event-driven chip tick's contract: active-set scheduling, idle
+//! fast-forward and block-based instruction delivery never change
+//! results.
 //!
 //! `ScaleOutChip::tick` visits only LLC tiles and memory channels with
-//! pending work, and `ScaleOutChip::run_for` jumps over globally idle
-//! stretches; both must be bit-identical to the full-scan per-cycle
-//! reference (`tick_reference`) across every organization, workload mix
-//! and seed — the same differential pattern `tests/batch_determinism.rs`
-//! applies to the parallel batch engine.
+//! pending work and feeds every core in instruction *blocks* (one
+//! virtual `refill` per 64 instructions), and `ScaleOutChip::run_for`
+//! jumps over globally idle stretches; all of it must be bit-identical
+//! to the full-scan, per-instruction reference (`tick_reference`)
+//! across every organization, workload mix and seed — the same
+//! differential pattern `tests/batch_determinism.rs` applies to the
+//! parallel batch engine and `tests/trace_replay.rs` to the trace
+//! workload class.
 
 use nocout_repro::prelude::*;
 
@@ -60,9 +64,10 @@ fn assert_metrics_identical(a: &SystemMetrics, b: &SystemMetrics, ctx: &str) {
     assert_eq!(a.memory.writes, b.memory.writes, "{ctx}: memory writes");
 }
 
-/// Active-set ticking matches the full scan, cycle for cycle, on every
-/// organization and across seeds — including intermediate in-flight
-/// state, not just final counters.
+/// Active-set, block-fed ticking matches the full-scan per-instruction
+/// reference, cycle for cycle, on every organization and across
+/// workloads and seeds — including intermediate in-flight state, not
+/// just final counters.
 #[test]
 fn active_set_tick_is_bit_identical_to_full_scan() {
     for org in ALL_ORGS {
@@ -70,6 +75,7 @@ fn active_set_tick_is_bit_identical_to_full_scan() {
             (Workload::WebSearch, 1u64),
             (Workload::DataServing, 7),
             (Workload::SatSolver, 13),
+            (Workload::MapReduceW, 5),
         ] {
             let cfg = ChipConfig::paper(org);
             let mut fast = ScaleOutChip::new(cfg, workload, seed);

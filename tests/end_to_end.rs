@@ -6,7 +6,7 @@ use nocout_sim::config::MeasurementWindow;
 fn quick(chip: ChipConfig, workload: Workload, seed: u64) -> SystemMetrics {
     run(&RunSpec {
         chip,
-        workload,
+        workload: workload.into(),
         window: MeasurementWindow::new(3_000, 6_000),
         seed,
     })

@@ -36,7 +36,7 @@ fn grid() -> Vec<RunSpec> {
         for seed in [1u64, 2] {
             specs.push(RunSpec {
                 chip: ChipConfig::paper(org),
-                workload: Workload::WebSearch,
+                workload: Workload::WebSearch.into(),
                 window,
                 seed,
             });
@@ -111,19 +111,19 @@ fn any_spec_change_misses() {
     let cache = ResultsCache::open(&dir.0).unwrap();
     let base = RunSpec {
         chip: ChipConfig::with_cores(Organization::Mesh, 16),
-        workload: Workload::MapReduceC,
+        workload: Workload::MapReduceC.into(),
         window: MeasurementWindow::new(500, 1_500),
         seed: 1,
     };
     cache.put(&base, &nocout_repro::run(&base));
     assert!(cache.get(&base).is_some(), "exact spec must hit");
 
-    let mut longer = base;
+    let mut longer = base.clone();
     longer.window.measure_cycles += 1;
-    let mut narrower = base;
+    let mut narrower = base.clone();
     narrower.chip.link_width_bits = 64;
     for (label, miss) in [
-        ("seed", base.with_seed(2)),
+        ("seed", base.clone().with_seed(2)),
         ("window", longer),
         ("link width", narrower),
     ] {
@@ -136,7 +136,7 @@ fn replication_through_cache_matches_serial() {
     let dir = TempCacheDir::new("replicated");
     let spec = RunSpec {
         chip: ChipConfig::with_cores(Organization::Mesh, 16),
-        workload: Workload::SatSolver,
+        workload: Workload::SatSolver.into(),
         window: MeasurementWindow::new(500, 1_500),
         seed: 1,
     };
@@ -157,7 +157,7 @@ fn corrupt_entry_degrades_to_miss_and_heals() {
     let cache = ResultsCache::open(&dir.0).unwrap();
     let spec = RunSpec {
         chip: ChipConfig::with_cores(Organization::Mesh, 16),
-        workload: Workload::WebFrontend,
+        workload: Workload::WebFrontend.into(),
         window: MeasurementWindow::new(500, 1_000),
         seed: 4,
     };
