@@ -17,6 +17,10 @@
 //!   parameters,
 //! * [`chip`] — [`chip::ScaleOutChip`], the cycle-driven full system,
 //! * [`runner`] — warmup/measure orchestration,
+//! * [`campaign`] — declarative axis grids ([`campaign::Campaign`]) over
+//!   the runner, returning coordinate-queryable
+//!   [`campaign::ResultFrame`]s (what every experiment binary is built
+//!   on; see `docs/campaign-api.md`),
 //! * [`cache`] — the on-disk, spec-keyed results cache campaigns opt
 //!   into with `--cache DIR`,
 //! * [`metrics`] — what a run reports,
@@ -42,12 +46,14 @@
 //! ```
 
 pub mod cache;
+pub mod campaign;
 pub mod chip;
 pub mod config;
 pub mod metrics;
 pub mod runner;
 pub mod sop;
 
+pub use campaign::{Campaign, ResultFrame};
 pub use chip::{capture_synthetic_trace, trace_capture_len, ScaleOutChip};
 pub use config::{ChipConfig, Organization};
 pub use metrics::SystemMetrics;
@@ -55,6 +61,7 @@ pub use runner::{run, run_replicated, RunSpec};
 
 /// Convenient glob-import surface for examples and the harness.
 pub mod prelude {
+    pub use crate::campaign::{Campaign, ResultFrame};
     pub use crate::chip::{capture_synthetic_trace, trace_capture_len, ScaleOutChip};
     pub use crate::config::{ChipConfig, Organization};
     pub use crate::metrics::SystemMetrics;

@@ -109,6 +109,12 @@ impl RunSpec {
         self
     }
 
+    /// Overrides the measurement window.
+    pub fn with_window(mut self, window: MeasurementWindow) -> Self {
+        self.window = window;
+        self
+    }
+
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -182,8 +188,8 @@ pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
 /// statistics anyway (mean of N equal values is that value; the ci95
 /// half-width is 0.0 at one sample and at zero variance alike), so one
 /// run carries all the information. The campaign layers
-/// (`run_replicated`, `BatchRunner`, `nocout_experiments::perf_points`)
-/// all route through this one rule.
+/// (`run_replicated`, `BatchRunner`, `crate::campaign::Campaign`) all
+/// route through this one rule.
 pub fn replication_seeds(spec: &RunSpec, seeds: &SeedSet) -> SeedSet {
     if spec.workload.is_seed_sensitive() {
         seeds.clone()

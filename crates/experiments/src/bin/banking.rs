@@ -10,10 +10,14 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
+use nocout_experiments::{campaign, report_csv, Table};
+
+const ABOUT: &str = "Reproduces the section 4.3 banking ablation: NOC-Out \
+with 1/2/4 LLC banks per tile x 3 bank-sensitive workloads, normalized to \
+the paper's 2-banks-per-tile configuration. Writes out/banking.csv.";
 
 fn main() {
-    let cli = Cli::parse("banking", "");
+    let cli = Cli::parse("banking", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -28,28 +32,31 @@ fn main() {
             "4 banks/tile".into(),
         ],
     );
-    let points: Vec<(ChipConfig, Workload)> = workloads
-        .iter()
-        .flat_map(|&w| {
-            bank_counts.map(|banks| {
-                let mut cfg = ChipConfig::paper(Organization::NocOut);
-                cfg.banks_per_llc_tile = banks;
-                (cfg, w)
-            })
-        })
-        .collect();
-    let results = perf_points(&runner, &points);
+    // Banking degree isn't a typed axis, so the configuration axis is
+    // explicit: one labelled variant per banks-per-tile setting.
+    let frame = campaign()
+        .variants(bank_counts.map(|banks| {
+            let mut cfg = ChipConfig::paper(Organization::NocOut);
+            cfg.banks_per_llc_tile = banks;
+            (format!("{banks} banks/tile"), cfg)
+        }))
+        .workloads(workloads)
+        .run(&runner);
 
-    for (wi, w) in workloads.iter().enumerate() {
-        let vals: Vec<f64> = (0..bank_counts.len())
-            .map(|bi| results[wi * bank_counts.len() + bi].ipc)
-            .collect();
-        let base = vals[1];
+    for &w in &workloads {
+        let ipc_at = |banks: usize| {
+            frame
+                .at()
+                .label(format!("{banks} banks/tile"))
+                .workload(w)
+                .ipc()
+        };
+        let base = ipc_at(2);
         table.row(vec![
             w.name().into(),
-            format!("{:.4}", vals[0] / base),
+            format!("{:.4}", ipc_at(1) / base),
             "1.0000".into(),
-            format!("{:.4}", vals[2] / base),
+            format!("{:.4}", ipc_at(4) / base),
         ]);
     }
     table.print();

@@ -9,15 +9,20 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::measurement_window;
+use nocout_experiments::campaign;
 use nocout_sim::config::SeedSet;
+
+const ABOUT: &str = "Free-form single-point explorer: builds one chip \
+configuration from the flags below, runs the chosen workload (synthetic \
+or trace:PATH) over N seeds, and dumps the full metrics (cores, LLC, \
+network, memory).";
 
 const USAGE: &str = "[--org mesh|fbfly|nocout|ideal|zeromesh] [--workload NAME|trace:PATH] \
      [--cores N] [--width BITS] [--banks N] [--concentration N] [--express] \
      [--llc-rows N] [--seeds N]";
 
 fn main() {
-    let mut cli = Cli::parse("explorer", USAGE);
+    let mut cli = Cli::parse("explorer", ABOUT, USAGE);
     let mut org = Organization::NocOut;
     let mut workload: WorkloadClass = Workload::DataServing.into();
     let mut cores = 64usize;
@@ -71,19 +76,19 @@ fn main() {
         eprintln!("note: trace replay is seed-independent; running 1 run instead of {seeds}");
         seeds = 1;
     }
-    let spec = RunSpec {
-        chip,
-        workload: workload.clone(),
-        window: measurement_window(),
-        seed: 1,
-    };
-    let result = runner.run_replicated(&spec, &SeedSet::consecutive(1, seeds.max(1)));
-    let m = &result.last;
+    // A single-point campaign: the explorer is the degenerate grid.
+    let frame = campaign()
+        .fixed(chip)
+        .workloads([workload.clone()])
+        .seeds(&SeedSet::consecutive(1, seeds.max(1)))
+        .run(&runner);
+    let p = &frame.results()[0];
+    let m = &p.metrics;
 
     println!("configuration : {org} / {workload} / {cores} cores / {width}-bit links");
     println!(
         "performance   : aggregate IPC {:.4} ± {:.4} (95% CI over {seeds} seed(s))",
-        result.mean_ipc, result.ci95
+        p.ipc, p.ci95
     );
     println!(
         "cores         : {} active, fetch stall {:.1}%",

@@ -11,11 +11,16 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
+use nocout_experiments::{campaign, report_csv, Table};
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
 
+const ABOUT: &str = "Reproduces the section 7.1 express-links ablation: a \
+128-core (8-row) NOC-Out with plain chains vs skip-two express links on \
+MapReduce-C, reporting IPC, tree latency and NoC area. Writes \
+out/express.csv.";
+
 fn main() {
-    let cli = Cli::parse("express", "");
+    let cli = Cli::parse("express", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -30,29 +35,25 @@ fn main() {
         ],
     );
     let variants = [("Chains only", false), ("With express links", true)];
-    let configs: Vec<ChipConfig> = variants
-        .iter()
-        .map(|&(_, express)| {
+    let frame = campaign()
+        .variants(variants.map(|(label, express)| {
             let mut cfg = ChipConfig::with_cores(Organization::NocOut, 128);
             cfg.express_links = express;
             cfg.active_core_override = Some(128);
             cfg.mem_channels = 8;
-            cfg
-        })
-        .collect();
-    let points: Vec<(ChipConfig, Workload)> = configs
-        .iter()
-        .map(|&cfg| (cfg, Workload::MapReduceC))
-        .collect();
-    let results = perf_points(&runner, &points);
+            (label, cfg)
+        }))
+        .workloads([Workload::MapReduceC])
+        .run(&runner);
 
-    let base = results[0].ipc;
-    for ((label, _), (cfg, p)) in variants.iter().zip(configs.iter().zip(&results)) {
+    let base = frame.at().label(variants[0].0).ipc();
+    for (label, _) in variants {
+        let p = frame.at().label(label).one();
         let area = model
-            .area(&OrganizationArea::nocout(&cfg.nocout_spec()))
+            .area(&OrganizationArea::nocout(&p.chip.nocout_spec()))
             .total_mm2();
         table.row(vec![
-            (*label).into(),
+            label.into(),
             format!("{:.3}", p.ipc / base),
             format!("{:.1}", p.metrics.network.mean_latency),
             format!("{area:.2}"),

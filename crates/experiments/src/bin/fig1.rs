@@ -11,10 +11,15 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
+use nocout_experiments::{campaign, report_csv, Table};
+
+const ABOUT: &str = "Reproduces Figure 1: per-core performance vs core \
+count (1..64) on the two contention-free fabrics (ideal wire, zero-load \
+mesh) for Data Serving and MapReduce-W, normalized to 1 core. Writes \
+out/fig1.csv.";
 
 fn main() {
-    let cli = Cli::parse("fig1", "");
+    let cli = Cli::parse("fig1", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -33,33 +38,36 @@ fn main() {
         ],
     );
 
-    // Per-core performance for every (workload, fabric, cores) point,
-    // normalized to the same workload at 1 core on the same fabric kind's
-    // 1-core value (the paper normalizes to one core). The whole grid
-    // executes as one parallel batch.
-    let mut points: Vec<(ChipConfig, Workload)> = Vec::new();
-    for &w in &workloads {
-        for &org in &fabrics {
-            for &n in &core_counts {
-                points.push((ChipConfig::with_cores(org, n), w));
-            }
-        }
-    }
-    let results = perf_points(&runner, &points);
+    // The whole fabric × core-count × workload grid as one campaign; the
+    // paper normalizes each (workload, fabric) series to its 1-core point.
+    let frame = campaign()
+        .orgs(fabrics)
+        .cores(core_counts)
+        .workloads(workloads)
+        .run(&runner);
 
     let mut series: Vec<Vec<f64>> = Vec::new();
-    for (si, chunk) in results.chunks(core_counts.len()).enumerate() {
-        let w = workloads[si / fabrics.len()];
-        let org = fabrics[si % fabrics.len()];
-        let vals: Vec<f64> = chunk
-            .iter()
-            .map(|p| p.metrics.per_core_performance())
-            .collect();
-        for (n, v) in core_counts.iter().zip(&vals) {
-            eprintln!("  [{w} / {org} / {n} cores] per-core {v:.4}");
+    for &w in &workloads {
+        for &org in &fabrics {
+            let vals: Vec<f64> = core_counts
+                .iter()
+                .map(|&n| {
+                    frame
+                        .at()
+                        .org(org)
+                        .cores(n)
+                        .workload(w)
+                        .one()
+                        .metrics
+                        .per_core_performance()
+                })
+                .collect();
+            for (n, v) in core_counts.iter().zip(&vals) {
+                eprintln!("  [{w} / {org} / {n} cores] per-core {v:.4}");
+            }
+            let base = vals[0];
+            series.push(vals.iter().map(|v| v / base).collect());
         }
-        let base = vals[0];
-        series.push(vals.iter().map(|v| v / base).collect());
     }
     let mut gap_at_64 = Vec::new();
     for (i, &n) in core_counts.iter().enumerate() {

@@ -11,10 +11,14 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
+use nocout_experiments::{campaign, report_csv, Table};
+
+const ABOUT: &str = "Reproduces Figure 4: the snoop rate (% of LLC \
+accesses triggering a snoop) of all 6 CloudSuite-style workloads on the \
+mesh baseline, against the paper's ~2% average. Writes out/fig4.csv.";
 
 fn main() {
-    let cli = Cli::parse("fig4", "");
+    let cli = Cli::parse("fig4", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -29,15 +33,14 @@ fn main() {
     );
     // Measured on the mesh baseline; the traffic mix is an application
     // property and is organization-independent.
-    let points: Vec<(ChipConfig, Workload)> = Workload::ALL
-        .iter()
-        .map(|&w| (ChipConfig::paper(Organization::Mesh), w))
-        .collect();
-    let results = perf_points(&runner, &points);
+    let frame = campaign()
+        .orgs([Organization::Mesh])
+        .workloads(Workload::ALL)
+        .run(&runner);
 
     let mut sum = 0.0;
-    for (i, w) in Workload::ALL.iter().enumerate() {
-        let pct = results[i].metrics.llc.snoop_percent();
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let pct = frame.get(Organization::Mesh, w).metrics.llc.snoop_percent();
         sum += pct;
         table.row(vec![
             w.name().into(),

@@ -11,11 +11,15 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
-use nocout_sim::stats::geometric_mean;
+use nocout_experiments::{campaign, report_csv, Table};
+
+const ABOUT: &str = "Reproduces Figure 7: the 3 evaluated organizations \
+(mesh, flattened butterfly, NOC-Out) x 6 CloudSuite-style workloads at \
+128-bit links, normalized to the mesh per workload, with the paper's \
+numbers alongside. Writes out/fig7.csv.";
 
 fn main() {
-    let cli = Cli::parse("fig7", "");
+    let cli = Cli::parse("fig7", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -33,28 +37,17 @@ fn main() {
             "NOC-Out(paper)".into(),
         ],
     );
-    // All workload × organization points execute as one parallel batch.
-    let points: Vec<(ChipConfig, Workload)> = Workload::ALL
-        .iter()
-        .flat_map(|&w| {
-            Organization::EVALUATED
-                .iter()
-                .map(move |&org| (ChipConfig::paper(org), w))
-        })
-        .collect();
-    let results = perf_points(&runner, &points);
+    // The whole organization × workload grid as one declarative campaign
+    // (every point × seed executes as a single parallel batch).
+    let frame = campaign()
+        .orgs(Organization::EVALUATED)
+        .workloads(Workload::ALL)
+        .run(&runner);
+    let norm = frame.normalize_to(Organization::Mesh);
 
-    let mut fb_norm = Vec::new();
-    let mut no_norm = Vec::new();
-    let orgs = Organization::EVALUATED.len();
-    for (i, w) in Workload::ALL.iter().enumerate() {
-        let mesh = &results[i * orgs];
-        let fb = &results[i * orgs + 1];
-        let no = &results[i * orgs + 2];
-        let fbn = fb.ipc / mesh.ipc;
-        let non = no.ipc / mesh.ipc;
-        fb_norm.push(fbn);
-        no_norm.push(non);
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let fbn = norm.get(Organization::FlattenedButterfly, w);
+        let non = norm.get(Organization::NocOut, w);
         table.row(vec![
             w.name().into(),
             "1.000".into(),
@@ -63,6 +56,9 @@ fn main() {
             format!("{:.2}", paper_fbfly[i]),
             format!("{:.2}", paper_nocout[i]),
         ]);
+        let mesh = frame.get(Organization::Mesh, w);
+        let fb = frame.get(Organization::FlattenedButterfly, w);
+        let no = frame.get(Organization::NocOut, w);
         eprintln!(
             "  [{w}] mesh {:.4}  fbfly {:.4}  nocout {:.4}  (net lat: {:.1} / {:.1} / {:.1})",
             mesh.ipc,
@@ -76,8 +72,8 @@ fn main() {
     table.row(vec![
         "GMean".into(),
         "1.000".into(),
-        format!("{:.3}", geometric_mean(&fb_norm)),
-        format!("{:.3}", geometric_mean(&no_norm)),
+        format!("{:.3}", norm.geomean(Organization::FlattenedButterfly)),
+        format!("{:.3}", norm.geomean(Organization::NocOut)),
         "1.17".into(),
         "1.17".into(),
     ]);

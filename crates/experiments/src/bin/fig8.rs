@@ -14,10 +14,14 @@ use nocout_noc::topology::mesh::MeshSpec;
 use nocout_noc::topology::nocout::NocOutSpec;
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
 
+const ABOUT: &str = "Reproduces Figure 8: the analytic 32nm NoC area \
+breakdown (links/buffers/crossbars) of the 3 evaluated organizations at \
+128-bit links — no simulation runs. Writes out/fig8.csv.";
+
 fn main() {
     // Analytic models only — no simulation, so `--jobs` has nothing to
     // parallelize, but the shared CLI keeps flag handling uniform.
-    let cli = Cli::parse("fig8", "");
+    let cli = Cli::parse("fig8", ABOUT, "");
     cli.finish();
     let model = NocAreaModel::paper_32nm();
     let orgs = [

@@ -11,12 +11,16 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
-use nocout_sim::stats::geometric_mean;
+use nocout_experiments::{campaign, report_csv, Table};
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
 
+const ABOUT: &str = "Reproduces Figure 9: fits the mesh and flattened \
+butterfly link widths into NOC-Out's NoC area budget, then runs the 3 \
+area-normalized configurations x 6 workloads, normalized to the mesh. \
+Writes out/fig9.csv.";
+
 fn main() {
-    let cli = Cli::parse("fig9", "");
+    let cli = Cli::parse("fig9", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -40,9 +44,6 @@ fn main() {
          flattened butterfly at {fb_w}-bit links (from 128)"
     );
 
-    let mesh_cfg = mesh_cfg.with_link_width(mesh_w);
-    let fb_cfg = fb_cfg.with_link_width(fb_w);
-
     let mut table = Table::new(
         "Figure 9 — Performance normalized to mesh under a fixed 2.5 mm² NOC budget",
         vec![
@@ -52,34 +53,34 @@ fn main() {
             "NOC-Out".into(),
         ],
     );
-    // All workload × configuration points execute as one parallel batch.
-    let points: Vec<(ChipConfig, Workload)> = Workload::ALL
-        .iter()
-        .flat_map(|&w| [(mesh_cfg, w), (fb_cfg, w), (nocout_cfg, w)])
-        .collect();
-    let results = perf_points(&runner, &points);
+    // The per-organization link widths differ, so the configuration axis
+    // is explicit: three fitted variants × the six workloads.
+    let frame = campaign()
+        .variants([
+            ("Mesh", mesh_cfg.with_link_width(mesh_w)),
+            ("FBfly", fb_cfg.with_link_width(fb_w)),
+            ("NOC-Out", nocout_cfg),
+        ])
+        .workloads(Workload::ALL)
+        .run(&runner);
+    let norm = frame.normalize_to(Organization::Mesh);
 
-    let mut fb_norm = Vec::new();
-    let mut no_norm = Vec::new();
-    for (i, w) in Workload::ALL.iter().enumerate() {
-        let mesh = &results[i * 3];
-        let fb = &results[i * 3 + 1];
-        let no = &results[i * 3 + 2];
-        fb_norm.push(fb.ipc / mesh.ipc);
-        no_norm.push(no.ipc / mesh.ipc);
+    for &w in Workload::ALL.iter() {
         table.row(vec![
             w.name().into(),
             "1.000".into(),
-            format!("{:.3}", fb_norm.last().unwrap()),
-            format!("{:.3}", no_norm.last().unwrap()),
+            format!("{:.3}", norm.get(Organization::FlattenedButterfly, w)),
+            format!("{:.3}", norm.get(Organization::NocOut, w)),
         ]);
         eprintln!(
             "  [{w}] mesh {:.4} fbfly {:.4} nocout {:.4}",
-            mesh.ipc, fb.ipc, no.ipc
+            frame.get(Organization::Mesh, w).ipc,
+            frame.get(Organization::FlattenedButterfly, w).ipc,
+            frame.get(Organization::NocOut, w).ipc
         );
     }
-    let fb_g = geometric_mean(&fb_norm);
-    let no_g = geometric_mean(&no_norm);
+    let fb_g = norm.geomean(Organization::FlattenedButterfly);
+    let no_g = norm.geomean(Organization::NocOut);
     table.row(vec![
         "GMean".into(),
         "1.000".into(),

@@ -11,10 +11,15 @@ use nocout_noc::rng_traffic::run_bilateral_traffic;
 use nocout_noc::topology::nocout::{build_nocout, NocOutSpec};
 use nocout_noc::RouterId;
 
+const ABOUT: &str = "Profiles flit activity by region (LLC row vs tree \
+nodes) of the NOC-Out fabric under uniform bilateral traffic — a \
+network-level run outside the campaign grid, showing why the rich \
+topology budget belongs in the LLC row.";
+
 fn main() {
     // Single network-level traffic run — nothing to fan out, but the
     // shared CLI keeps `--jobs`/`--help` handling uniform across bins.
-    let cli = Cli::parse("heatmap", "");
+    let cli = Cli::parse("heatmap", ABOUT, "");
     cli.finish();
     let spec = NocOutSpec::paper_64();
     let mut built = build_nocout(&spec);

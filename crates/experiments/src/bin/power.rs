@@ -10,11 +10,16 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
+use nocout_experiments::{campaign, report_csv, Table};
 use nocout_tech::{BufferTech, ChipPowerModel, NocEnergyModel};
 
+const ABOUT: &str = "Reproduces the section 6.4 power analysis: measures \
+NoC activity for the 3 evaluated organizations x 6 workloads, prices it \
+with the 32nm energy models, and reports mean NoC power per organization \
+against the paper's watts. Writes out/power.csv.";
+
 fn main() {
-    let cli = Cli::parse("power", "");
+    let cli = Cli::parse("power", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -37,22 +42,17 @@ fn main() {
         ],
     );
     // Every organization × workload activity measurement runs as one
-    // parallel batch; the energy models then price each result.
-    let points: Vec<(ChipConfig, Workload)> = orgs
-        .iter()
-        .flat_map(|&(org, ..)| {
-            Workload::ALL
-                .iter()
-                .map(move |&w| (ChipConfig::paper(org), w))
-        })
-        .collect();
-    let results = perf_points(&runner, &points);
+    // campaign; the energy models then price each result.
+    let frame = campaign()
+        .orgs(orgs.map(|(org, ..)| org))
+        .workloads(Workload::ALL)
+        .run(&runner);
 
-    for (oi, (org, buffer_tech, radix, paper)) in orgs.into_iter().enumerate() {
+    for (org, buffer_tech, radix, paper) in orgs {
         let model = NocEnergyModel::paper_32nm(128, buffer_tech).with_radix(radix);
         let mut totals = [0.0f64; 5];
-        for wi in 0..Workload::ALL.len() {
-            let p = &results[oi * Workload::ALL.len() + wi];
+        for &w in Workload::ALL.iter() {
+            let p = frame.get(org, w);
             let r = model.energy(&p.metrics.noc_activity());
             let secs = r.seconds;
             totals[0] += r.links_j / secs;

@@ -6,10 +6,14 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::perf_points;
+use nocout_experiments::campaign;
+
+const ABOUT: &str = "Calibration probe (not a paper figure): runs one \
+workload — synthetic or trace:PATH — on the mesh and NOC-Out and prints \
+stall composition, LLC/memory rates and network latencies side by side.";
 
 fn main() {
-    let mut cli = Cli::parse("probe", "[--workload NAME|trace:PATH | ws|sat]");
+    let mut cli = Cli::parse("probe", ABOUT, "[--workload NAME|trace:PATH | ws|sat]");
     let mut workload: WorkloadClass = Workload::DataServing.into();
     while let Some(flag) = cli.next_flag() {
         match flag.as_str() {
@@ -24,13 +28,12 @@ fn main() {
     cli.finish();
 
     let orgs = [Organization::Mesh, Organization::NocOut];
-    let points: Vec<(ChipConfig, WorkloadClass)> = orgs
-        .iter()
-        .map(|&org| (ChipConfig::paper(org), workload.clone()))
-        .collect();
-    let results = perf_points(&runner, &points);
-    for (org, p) in orgs.iter().zip(&results) {
-        let m = &p.metrics;
+    let frame = campaign()
+        .orgs(orgs)
+        .workloads([workload.clone()])
+        .run(&runner);
+    for org in orgs {
+        let m = &frame.get(org, workload.clone()).metrics;
         let instr = m.instructions as f64;
         println!(
             "{org:>22}: ipc/core {:.3}  fetch_stall {:.1}%  LLC-acc/ki {:.1}  LLC hit {:.2} \

@@ -10,11 +10,16 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
+use nocout_experiments::{campaign, report_csv, Table};
 use nocout_tech::area::{NocAreaModel, OrganizationArea};
 
+const ABOUT: &str = "Reproduces the section 7.1 concentration scaling: \
+NOC-Out at 64/128/256 cores with tree concentration 1/2/4 on MapReduce-C, \
+reporting per-core performance and NoC area per core. Writes \
+out/scalability.csv.";
+
 fn main() {
-    let cli = Cli::parse("scalability", "");
+    let cli = Cli::parse("scalability", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -37,9 +42,10 @@ fn main() {
         ("Concentration 2", 128, 2),
         ("Concentration 4", 256, 4),
     ];
-    let configs: Vec<ChipConfig> = variants
-        .iter()
-        .map(|&(_, cores, concentration)| {
+    // Concentration couples cores, tree fan-in and memory channels, so
+    // the configuration axis is explicit: one labelled variant each.
+    let frame = campaign()
+        .variants(variants.map(|(label, cores, concentration)| {
             let mut cfg = ChipConfig::with_cores(Organization::NocOut, cores);
             cfg.concentration = concentration;
             cfg.active_core_override = Some(cores);
@@ -48,25 +54,29 @@ fn main() {
             // at 8 MB per the paper's observation that added cores do not
             // mandate added LLC capacity.
             cfg.mem_channels = 4 * (cores / 64).max(1);
-            cfg
-        })
-        .collect();
-    let points: Vec<(ChipConfig, Workload)> =
-        configs.iter().map(|&cfg| (cfg, workload)).collect();
-    let results = perf_points(&runner, &points);
+            (label, cfg)
+        }))
+        .workloads([workload])
+        .run(&runner);
 
-    let base_per_core = results[0].metrics.per_core_performance();
-    for ((label, cores, _), (cfg, p)) in variants.iter().zip(configs.iter().zip(&results)) {
+    let base_per_core = frame
+        .at()
+        .label(variants[0].0)
+        .one()
+        .metrics
+        .per_core_performance();
+    for (label, cores, _) in variants {
+        let p = frame.at().label(label).one();
         let per_core = p.metrics.per_core_performance();
         let area = model
-            .area(&OrganizationArea::nocout(&cfg.nocout_spec()))
+            .area(&OrganizationArea::nocout(&p.chip.nocout_spec()))
             .total_mm2();
         table.row(vec![
-            (*label).into(),
+            label.into(),
             cores.to_string(),
             format!("{:.3}", per_core / base_per_core),
             format!("{area:.2}"),
-            format!("{:.4}", area / *cores as f64),
+            format!("{:.4}", area / cores as f64),
         ]);
         eprintln!(
             "  [{label}] per-core {per_core:.4}  net latency {:.1}",

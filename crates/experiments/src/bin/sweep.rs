@@ -14,10 +14,15 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{perf_points, report_csv, Table};
+use nocout_experiments::{campaign, report_csv, Table};
+
+const ABOUT: &str = "Sweeps link width (128/64/32/16 bits) over the 3 \
+evaluated organizations on MapReduce-W, normalizing each organization to \
+its own 128-bit point — the serialization mechanism behind Figure 9. \
+Writes out/sweep.csv.";
 
 fn main() {
-    let cli = Cli::parse("sweep", "");
+    let cli = Cli::parse("sweep", ABOUT, "");
     let runner = cli.runner();
     cli.finish();
 
@@ -35,25 +40,19 @@ fn main() {
             "NOC-Out resp lat".into(),
         ],
     );
-    // The whole width × organization grid runs as one parallel batch.
-    let points: Vec<(ChipConfig, Workload)> = widths
-        .iter()
-        .flat_map(|&w| {
-            Organization::EVALUATED
-                .iter()
-                .map(move |org| (ChipConfig::paper(*org).with_link_width(w), workload))
-        })
-        .collect();
-    let results = perf_points(&runner, &points);
+    // The whole organization × width grid as one campaign.
+    let frame = campaign()
+        .orgs(Organization::EVALUATED)
+        .link_bits(widths)
+        .workloads([workload])
+        .run(&runner);
 
-    let orgs = Organization::EVALUATED.len();
-    let mut bases: Vec<Option<f64>> = vec![None; orgs];
-    for (wi, &w) in widths.iter().enumerate() {
+    for &w in &widths {
         let mut cells = vec![w.to_string()];
         let mut lats = Vec::new();
-        for (i, base) in bases.iter_mut().enumerate() {
-            let p = &results[wi * orgs + i];
-            let base = *base.get_or_insert(p.ipc);
+        for org in Organization::EVALUATED {
+            let p = frame.at().org(org).link_bits(w).one();
+            let base = frame.at().org(org).link_bits(widths[0]).ipc();
             cells.push(format!("{:.3}", p.ipc / base));
             lats.push(format!("{:.1}", p.metrics.network.mean_response_latency));
         }

@@ -12,10 +12,14 @@ use nocout_mem::mem_ctrl::MemChannelConfig;
 use nocout_noc::RouterConfig;
 use nocout_tech::ChipPowerModel;
 
+const ABOUT: &str = "Prints Table 1 (the evaluation parameters) from the \
+live configuration structs, so the documentation cannot drift from the \
+simulated hardware — no simulation runs.";
+
 fn main() {
     // Prints live configuration structs — no simulation, but the shared
     // CLI keeps `--jobs`/`--help` handling uniform across bins.
-    let cli = Cli::parse("table1", "");
+    let cli = Cli::parse("table1", ABOUT, "");
     cli.finish();
     let chip = ChipConfig::paper(Organization::NocOut);
     let tech = ChipPowerModel::paper_32nm();

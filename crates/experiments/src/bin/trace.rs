@@ -16,8 +16,13 @@
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{measurement_window, out_path, Table};
+use nocout_experiments::{campaign, measurement_window, out_path, Table};
 use std::fmt::Write as _;
+
+const ABOUT: &str = "Captures a multi-million-instruction trace from each \
+CloudSuite-style profile on the mesh, replays it as the trace:PATH \
+workload class, asserts the replayed chip metrics are bit-identical, and \
+writes out/trace_synth.txt + out/trace_replay.txt for the CI cmp gate.";
 
 /// One canonical line per run: every count verbatim, every float as the
 /// hex of its IEEE-754 bits, so byte equality of the two artifact files
@@ -54,6 +59,7 @@ fn metric_line(workload: &str, m: &SystemMetrics) -> String {
 fn main() {
     let mut cli = Cli::parse(
         "trace",
+        ABOUT,
         "[--workload NAME] [--seed S] [--instrs N] [--keep]",
     );
     let mut only: Option<Workload> = None;
@@ -98,22 +104,17 @@ fn main() {
         let dir = out_path("traces").join(&tag);
         let set = capture_synthetic_trace(chip, w, seed, &dir, instrs_per_core)
             .unwrap_or_else(|e| panic!("{w}: capture failed: {e}"));
-        let spec = RunSpec {
-            chip,
-            workload: w.into(),
-            window,
-            seed,
-        };
-        let replay_spec = RunSpec {
-            chip,
-            workload: WorkloadClass::Trace(set.clone()),
-            window,
-            seed,
-        };
-        // Both halves go through the runner, so `--jobs` and `--cache`
-        // apply to the replays exactly as to the synthetic runs.
-        let pair = runner.run_batch(&[spec, replay_spec]);
-        let (synth, replay) = (&pair[0], &pair[1]);
+        // Synthetic source and its replayed capture are one campaign with
+        // a two-element workload axis — `trace:PATH` composes with any
+        // grid — so `--jobs` and `--cache` apply to the replays exactly
+        // as to the synthetic runs.
+        let frame = campaign()
+            .fixed(chip)
+            .workloads([WorkloadClass::from(w), WorkloadClass::Trace(set.clone())])
+            .seeds([seed])
+            .window(window)
+            .run(&runner);
+        let (synth, replay) = (&frame.results()[0].metrics, &frame.results()[1].metrics);
 
         let a = metric_line(&tag, synth);
         let b = metric_line(&tag, replay);

@@ -5,8 +5,10 @@
 //! variable as the default), `--cache DIR` (memoize simulation points on
 //! disk keyed by their `RunSpec` content hash — a re-run sharing points
 //! with an earlier campaign only simulates the new ones; see
-//! `nocout::cache` for the key and invalidation rules) and `--help`.
-//! Binary-specific flags are consumed through
+//! `nocout::cache` for the key and invalidation rules) and `--help`,
+//! which prints the usage line followed by the binary's `about` text —
+//! every binary describes the grid it runs there, so `--help` is never
+//! just the shared flag list. Binary-specific flags are consumed through
 //! [`Cli::next_flag`]/[`Cli::value`]/[`Cli::parsed`], which — unlike the
 //! hand-rolled loops these replaced — name the offending flag and value
 //! in every error instead of silently printing the generic usage line.
@@ -14,7 +16,11 @@
 //! ```no_run
 //! use nocout_experiments::cli::Cli;
 //!
-//! let mut cli = Cli::parse("sweep", "[--workload NAME]");
+//! let mut cli = Cli::parse(
+//!     "sweep",
+//!     "Sweeps link width over every organization.",
+//!     "[--workload NAME]",
+//! );
 //! let mut workload = String::from("mapreduce-w");
 //! while let Some(flag) = cli.next_flag() {
 //!     match flag.as_str() {
@@ -36,6 +42,7 @@ use std::path::PathBuf;
 #[derive(Debug)]
 pub struct Cli {
     bin: String,
+    about: String,
     usage_tail: String,
     /// Explicit `--jobs` value; `None` defers to `BatchRunner::from_env`.
     jobs: Option<usize>,
@@ -46,15 +53,18 @@ pub struct Cli {
 
 impl Cli {
     /// Parses `std::env::args()`: extracts `--jobs`/`--help`, keeps every
-    /// other token (in order) for the binary to consume.
-    pub fn parse(bin: &str, usage_tail: &str) -> Cli {
-        Cli::parse_from(bin, usage_tail, std::env::args().skip(1).collect())
+    /// other token (in order) for the binary to consume. `about` is the
+    /// one-paragraph description of what the binary runs (its grid, its
+    /// output), printed under the usage line by `--help`.
+    pub fn parse(bin: &str, about: &str, usage_tail: &str) -> Cli {
+        Cli::parse_from(bin, about, usage_tail, std::env::args().skip(1).collect())
     }
 
     /// Like [`Cli::parse`] but over an explicit token list (tests).
-    pub fn parse_from(bin: &str, usage_tail: &str, tokens: Vec<String>) -> Cli {
+    pub fn parse_from(bin: &str, about: &str, usage_tail: &str, tokens: Vec<String>) -> Cli {
         let mut cli = Cli {
             bin: bin.to_string(),
+            about: about.to_string(),
             usage_tail: usage_tail.to_string(),
             jobs: None,
             cache_dir: None,
@@ -79,6 +89,14 @@ impl Cli {
                 }
                 "--help" | "-h" => {
                     println!("{}", cli.usage_line());
+                    if !cli.about.is_empty() {
+                        println!("\n{}", cli.about);
+                    }
+                    println!(
+                        "\ncommon flags:\n  --jobs N     parallel simulation workers \
+                         (0/unset: all hardware threads; NOCOUT_JOBS)\n  --cache DIR  \
+                         memoize simulation points on disk, keyed by RunSpec content hash"
+                    );
                     std::process::exit(0);
                 }
                 _ => cli.rest.push_back(tok),
@@ -247,6 +265,7 @@ mod tests {
     fn cli(tokens: &[&str]) -> Cli {
         Cli::parse_from(
             "test-bin",
+            "A test binary.",
             "",
             tokens.iter().map(|s| s.to_string()).collect(),
         )

@@ -3,17 +3,19 @@
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper's evaluation and prints it as an aligned text table (optionally
 //! CSV). This library holds the pieces they share: command-line parsing
-//! ([`cli`], including the `--jobs N` worker-pool flag every binary
-//! accepts), run-point helpers (serial [`perf_point`] and the batched
-//! [`perf_points`] that fans a figure's whole point × seed grid across a
-//! `nocout::runner::BatchRunner`), normalization, table rendering, and
-//! the measurement window handling (honouring `NOCOUT_FAST=1` for quick
-//! smoke runs).
+//! ([`cli`], including the `--jobs N` worker-pool and `--cache DIR`
+//! flags every binary accepts), the standard [`campaign`] starting point
+//! (a `nocout::campaign::Campaign` pre-configured with the measurement
+//! window and seed set, honouring `NOCOUT_FAST=1` for quick smoke runs),
+//! table rendering, and the `out/` artifact convention. The simulating
+//! binaries are each a short campaign declaration — axes in, a
+//! coordinate-queryable `ResultFrame` out — instead of hand-rolled point
+//! vectors and flat-index arithmetic; see `docs/campaign-api.md`.
 
 pub mod cli;
 pub mod report;
 pub mod table;
 
 pub use cli::Cli;
-pub use report::{measurement_window, perf_point, perf_points, seeds, PerfPoint};
+pub use report::{campaign, measurement_window, seeds};
 pub use table::{out_path, report_csv, write_csv, Table};

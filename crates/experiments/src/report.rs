@@ -1,9 +1,28 @@
 //! Run-point helpers shared by the experiment binaries.
 
 use nocout::prelude::*;
-use nocout::runner::BatchRunner;
 use nocout_sim::config::{MeasurementWindow, SeedSet};
-use nocout_sim::stats::RunningStats;
+
+/// A [`Campaign`] pre-configured with the binaries' standard measurement
+/// window and seed set (both honouring `NOCOUT_FAST=1`). Every
+/// figure/sweep binary starts here, declares its axes, and runs the grid
+/// through the shared `--jobs`/`--cache` runner:
+///
+/// ```no_run
+/// use nocout::prelude::*;
+/// use nocout::runner::BatchRunner;
+/// use nocout_experiments::campaign;
+///
+/// let frame = campaign()
+///     .orgs(Organization::EVALUATED)
+///     .workloads(Workload::ALL)
+///     .run(&BatchRunner::from_env());
+/// let norm = frame.normalize_to(Organization::Mesh);
+/// println!("NOC-Out gmean: {:.3}", norm.geomean(Organization::NocOut));
+/// ```
+pub fn campaign() -> Campaign {
+    Campaign::new().window(measurement_window()).seeds(&seeds())
+}
 
 /// The measurement window the binaries use: paper-like by default,
 /// shortened when `NOCOUT_FAST=1` is set (CI smoke runs).
@@ -24,91 +43,10 @@ pub fn seeds() -> SeedSet {
     }
 }
 
-/// One measured performance point.
-#[derive(Debug, Clone)]
-pub struct PerfPoint {
-    /// Mean aggregate IPC across seeds.
-    pub ipc: f64,
-    /// 95% confidence half-width.
-    pub ci95: f64,
-    /// Full metrics of the last seed (activity, latencies, LLC stats).
-    pub metrics: SystemMetrics,
-}
-
-/// Runs `workload` (a synthetic [`Workload`] or any [`WorkloadClass`])
-/// on `chip` over the standard window and seed set.
-pub fn perf_point(chip: ChipConfig, workload: impl Into<WorkloadClass>) -> PerfPoint {
-    let spec = RunSpec {
-        chip,
-        workload: workload.into(),
-        window: measurement_window(),
-        seed: 1,
-    };
-    let r = nocout::run_replicated(&spec, &seeds());
-    PerfPoint {
-        ipc: r.mean_ipc,
-        ci95: r.ci95,
-        metrics: r.last,
-    }
-}
-
-/// Runs every `(chip, workload)` point over the standard window and seed
-/// set on `runner`'s worker pool, returning results keyed by point index.
-///
-/// The whole point × seed grid is flattened into one batch, so a
-/// multi-point figure parallelizes across *all* its runs, not just the
-/// seeds of one point. Per point the replication statistics accumulate in
-/// seed order — results are bit-identical to calling [`perf_point`] in a
-/// loop, at any worker count.
-pub fn perf_points<W>(runner: &BatchRunner, points: &[(ChipConfig, W)]) -> Vec<PerfPoint>
-where
-    W: Clone + Into<WorkloadClass>,
-{
-    let window = measurement_window();
-    let seed_set = seeds();
-    let mut per_point = Vec::with_capacity(points.len());
-    let mut specs = Vec::new();
-    for (chip, workload) in points {
-        let workload: WorkloadClass = workload.clone().into();
-        // Seed-insensitive points (trace replay) collapse to one run —
-        // the same rule `run_replicated` applies (see
-        // `nocout::runner::replication_seeds`).
-        let runs = if workload.is_seed_sensitive() {
-            seed_set.len()
-        } else {
-            1
-        };
-        per_point.push(runs);
-        specs.extend(seed_set.iter().take(runs).map(|seed| RunSpec {
-            chip: *chip,
-            workload: workload.clone(),
-            window,
-            seed,
-        }));
-    }
-    let all = runner.run_batch(&specs);
-    let mut off = 0;
-    per_point
-        .into_iter()
-        .map(|runs| {
-            let per_seed = &all[off..off + runs];
-            off += runs;
-            let mut stats = RunningStats::new();
-            for m in per_seed {
-                stats.record(m.aggregate_ipc());
-            }
-            PerfPoint {
-                ipc: stats.mean(),
-                ci95: stats.ci95_half_width(),
-                metrics: per_seed.last().expect("non-empty seed set").clone(),
-            }
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nocout::runner::BatchRunner;
 
     #[test]
     fn window_respects_fast_env() {
@@ -119,13 +57,13 @@ mod tests {
     }
 
     #[test]
-    fn perf_point_runs() {
+    fn campaign_helper_runs_a_point() {
         std::env::set_var("NOCOUT_FAST", "1");
-        let p = perf_point(
-            ChipConfig::with_cores(Organization::Mesh, 16),
-            Workload::MapReduceC,
-        );
-        assert!(p.ipc > 0.0);
+        let frame = campaign()
+            .fixed(ChipConfig::with_cores(Organization::Mesh, 16))
+            .workloads([Workload::MapReduceC])
+            .run(&BatchRunner::serial());
+        assert!(frame.results()[0].ipc > 0.0);
         std::env::remove_var("NOCOUT_FAST");
     }
 }

@@ -117,29 +117,16 @@ pub fn report_csv(name: &str, records: &[Vec<String>]) {
     }
 }
 
-/// Writes records as a CSV file (naive quoting: fields containing commas
-/// are double-quoted).
+/// Writes records as a CSV file. Escaping happens in exactly one place
+/// for the whole workspace — [`nocout::campaign::csv_render`] (RFC 4180:
+/// fields containing commas, quotes or line breaks are double-quoted,
+/// embedded quotes doubled) — shared with `ResultFrame::to_csv`.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from writing the file.
 pub fn write_csv(path: &Path, records: &[Vec<String>]) -> io::Result<()> {
-    let mut out = String::new();
-    for rec in records {
-        let fields: Vec<String> = rec
-            .iter()
-            .map(|f| {
-                if f.contains(',') || f.contains('"') {
-                    format!("\"{}\"", f.replace('"', "\"\""))
-                } else {
-                    f.clone()
-                }
-            })
-            .collect();
-        out.push_str(&fields.join(","));
-        out.push('\n');
-    }
-    std::fs::write(path, out)
+    std::fs::write(path, nocout::campaign::csv_render(records))
 }
 
 #[cfg(test)]
@@ -171,12 +158,16 @@ mod tests {
         let dir = std::env::temp_dir().join("nocout_csv_test.csv");
         write_csv(
             &dir,
-            &[vec!["a,b".into(), "c\"d\"".into()], vec!["1".into(), "2".into()]],
+            &[
+                vec!["a,b".into(), "c\"d\"".into()],
+                vec!["1".into(), "new\nline".into()],
+            ],
         )
         .unwrap();
         let s = std::fs::read_to_string(&dir).unwrap();
         assert!(s.contains("\"a,b\""));
         assert!(s.contains("\"c\"\"d\"\"\""));
+        assert!(s.contains("\"new\nline\""));
         let _ = std::fs::remove_file(dir);
     }
 }

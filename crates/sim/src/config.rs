@@ -102,6 +102,15 @@ impl SeedSet {
     }
 }
 
+impl<'a> IntoIterator for &'a SeedSet {
+    type Item = u64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.seeds.iter().copied()
+    }
+}
+
 impl FromIterator<u64> for SeedSet {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
         SeedSet {

@@ -344,9 +344,15 @@ impl Utilization {
 }
 
 /// Geometric mean of a slice of positive values, the aggregation the paper
-/// uses for Fig. 7 and Fig. 9 ("GMean").
+/// uses for Fig. 7 and Fig. 9 ("GMean") and the one
+/// `nocout::campaign::NormalizedFrame::geomean` relies on.
 ///
-/// Returns 0 for an empty slice.
+/// Edge cases (pinned by `geometric_mean_edge_cases`): an empty slice
+/// yields 0; a single element yields itself; non-positive elements are
+/// clamped to 1e-300 before the log — the result stays finite and
+/// non-negative (collapsing toward 0) instead of going NaN, so a
+/// degenerate normalization (a zero-IPC point) poisons a GMean visibly
+/// but never propagates NaN into a table.
 ///
 /// # Examples
 ///
@@ -460,5 +466,28 @@ mod tests {
         assert_eq!(geometric_mean(&[]), 0.0);
         assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
         assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_edge_cases() {
+        // The contract ResultFrame's normalization helpers rely on:
+        // empty slice → exactly 0 (not NaN).
+        let empty = geometric_mean(&[]);
+        assert_eq!(empty, 0.0);
+        assert!(!empty.is_nan());
+        // Single element → itself, bit-for-bit (ln/exp round-trip must
+        // not wobble the figures' single-workload GMeans).
+        for v in [1.0, 0.734, 42.5] {
+            assert!((geometric_mean(&[v]) - v).abs() < 1e-12, "{v}");
+        }
+        // A zero element: clamped to 1e-300, so the mean collapses
+        // toward zero but stays finite and non-negative — never NaN,
+        // never negative, and strictly below every honest value.
+        let g = geometric_mean(&[0.0, 2.0]);
+        assert!(g.is_finite() && g >= 0.0, "{g}");
+        assert!(g < 1e-100, "{g}");
+        // Same guarantee for a negative outlier (clamped identically).
+        let n = geometric_mean(&[-1.0, 2.0]);
+        assert!(n.is_finite() && n >= 0.0, "{n}");
     }
 }

@@ -14,7 +14,12 @@ use nocout_repro::prelude::*;
 use nocout_repro::runner::BatchRunner;
 
 fn main() {
-    let mut cli = Cli::parse("compare_topologies", "[WORKLOAD]");
+    let mut cli = Cli::parse(
+        "compare_topologies",
+        "Runs one workload on all three organizations plus the \
+         contention-free ideal and prints IPC normalized to the mesh.",
+        "[WORKLOAD]",
+    );
     let mut workload = Workload::WebSearch;
     while let Some(tok) = cli.next_flag() {
         match parse_workload(&tok) {

@@ -1,9 +1,12 @@
 //! Quickstart: build the paper's 64-core NOC-Out chip, run a scale-out
-//! workload, and inspect what the interconnect did.
+//! workload, inspect what the interconnect did — then let a declarative
+//! [`Campaign`] run the mesh comparison grid and query it by
+//! coordinates.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use nocout_repro::prelude::*;
+use nocout_repro::runner::BatchRunner;
 
 fn main() {
     // The paper's Table 1 configuration with the NOC-Out organization:
@@ -46,5 +49,30 @@ fn main() {
     println!(
         "  memory: {} line reads, {} writes over 4 channels",
         metrics.memory.reads, metrics.memory.writes
+    );
+
+    // Grids are declarative: a Campaign expands typed axes, runs them as
+    // one batch, and hands back a frame queryable by coordinates — no
+    // point vectors, no flat-index arithmetic (docs/campaign-api.md).
+    let frame = Campaign::new()
+        .orgs([Organization::Mesh, Organization::NocOut])
+        .workloads([Workload::WebSearch, Workload::DataServing])
+        .window(MeasurementWindow::new(10_000, 20_000))
+        .seeds([42])
+        .run(&BatchRunner::from_env());
+    let norm = frame.normalize_to(Organization::Mesh);
+    println!("\nNOC-Out speedup over the mesh (same window, seed 42):");
+    for w in [Workload::WebSearch, Workload::DataServing] {
+        println!(
+            "  {:<14} {:.3}x  (IPC {:.3} vs {:.3})",
+            w.name(),
+            norm.get(Organization::NocOut, w),
+            frame.get(Organization::NocOut, w).ipc,
+            frame.get(Organization::Mesh, w).ipc,
+        );
+    }
+    println!(
+        "  geomean        {:.3}x",
+        norm.geomean(Organization::NocOut)
     );
 }

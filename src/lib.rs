@@ -4,8 +4,9 @@
 //! public API (`nocout`) and hosts the cross-crate integration tests in
 //! `tests/` and the runnable examples in `examples/`.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for a tour, `docs/campaign-api.md` for the campaign
+//! layer every experiment binary is built on, and
+//! `docs/trace-format.md` for the trace workload format.
 
 pub use nocout::*;
 
