@@ -93,6 +93,70 @@ fn fullload_block_vs_perinstr(org: Organization, cycles: u64) -> (f64, f64) {
     (total / tb, total / tp)
 }
 
+/// Core/L1 structure microbenches (the memory-path hot structures:
+/// ring-buffer ROB + line-indexed wakeup, array-backed MSHR file, and
+/// the end-to-end core tick on an L1-resident ALU stream). Returns
+/// operations per second for each: one ROB "op" is a full
+/// dispatch→fill→retire round over 8 lines at the paper's MSHR bound,
+/// one MSHR "op" is an allocate→merge→fill cycle on a cold line, one
+/// core "op" is a tick.
+fn core_l1_micro(iters: u64) -> (f64, f64, f64) {
+    use nocout_bench::memopt;
+    use nocout_sim::Cycle;
+
+    let (mut rob, mut idx) = memopt::rob_and_index();
+    let t = Instant::now();
+    for round in 0..iters {
+        memopt::rob_fill_wakeup_round(&mut rob, &mut idx, round);
+    }
+    let rob_rate = iters as f64 / t.elapsed().as_secs_f64();
+    assert!(rob.is_empty());
+
+    let mut l1 = memopt::a15_l1();
+    let mut scratch = Vec::new();
+    let mut next_line = 0u64;
+    let t = Instant::now();
+    for _ in 0..iters {
+        memopt::mshr_alloc_merge_fill(&mut l1, &mut scratch, &mut next_line);
+    }
+    let mshr_rate = iters as f64 / t.elapsed().as_secs_f64();
+
+    let (mut core, mut src) = memopt::resident_alu_core();
+    let mut out = Vec::new();
+    let t = Instant::now();
+    for c in 1..=iters {
+        memopt::resident_alu_tick(&mut core, &mut src, &mut out, Cycle(c));
+    }
+    let core_rate = iters as f64 / t.elapsed().as_secs_f64();
+    (rob_rate, mshr_rate, core_rate)
+}
+
+/// Full-load tick rate per organization on the *data-miss-heavy* Data
+/// Serving workload (vast LLC-missing dataset → the L1-D MSHR file and
+/// the fill-wakeup path run hot, unlike the instruction-bound MapReduce
+/// stream behind `tick_rate_*`). The cross-PR delta of this key is the
+/// measured end-to-end win of the memory-path structures.
+fn fullload_memheavy_rates(cycles: u64) -> Vec<(Organization, f64)> {
+    [
+        Organization::Mesh,
+        Organization::FlattenedButterfly,
+        Organization::NocOut,
+    ]
+    .into_iter()
+    .map(|org| {
+        let mut chip = ScaleOutChip::new(ChipConfig::paper(org), Workload::DataServing, 1);
+        for _ in 0..2_000 {
+            chip.tick();
+        }
+        let t = Instant::now();
+        for _ in 0..cycles {
+            chip.tick();
+        }
+        (org, cycles as f64 / t.elapsed().as_secs_f64())
+    })
+    .collect()
+}
+
 /// Trace-replay throughput: tick rate of a full-load Mesh chip replaying
 /// a captured (looping) MapReduce-C trace, next to the same chip driven
 /// by the synthetic generator — the decode-from-disk cost of the trace
@@ -148,13 +212,70 @@ fn sweep_grid(window: MeasurementWindow) -> Vec<RunSpec> {
     specs
 }
 
+/// Appends one record line to the `BENCH_batch.json` trajectory.
+fn append_record(record: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let body = existing.trim_end().trim_end_matches(']').trim_end();
+    let out = if body.is_empty() || body == "[" {
+        format!("[\n{record}\n]\n")
+    } else {
+        format!("{},\n{record}\n]\n", body.trim_end_matches(','))
+    };
+    match std::fs::write(path, out) {
+        Ok(()) => println!("recorded trajectory point in BENCH_batch.json"),
+        Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
+    }
+}
+
+fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn org_key(org: Organization) -> String {
+    format!("{org}").to_lowercase().replace([' ', '-'], "_")
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
-    let (tick_cycles, window) = if smoke {
+    let micro_quick = std::env::args().any(|a| a == "--micro-quick");
+    let (tick_cycles, window) = if smoke || micro_quick {
         (5_000, MeasurementWindow::new(500, 1_000))
     } else {
         (50_000, MeasurementWindow::new(5_000, 10_000))
     };
+
+    if micro_quick {
+        // CI's core/L1 bench smoke: seconds-scale iteration counts, but
+        // unlike `--test` the measured keys ARE appended to
+        // BENCH_batch.json, so every CI run demonstrates the microbench
+        // keys land in the trajectory (the absolute numbers of a quick
+        // run are noisy; the committed trajectory points come from full
+        // `cargo bench -p nocout-bench --bench batch` runs).
+        let (rob, mshr, core) = core_l1_micro(200_000);
+        println!("micro/rob_fill_wakeup     {rob:>12.0} rounds/s");
+        println!("micro/l1_mshr_cycle       {mshr:>12.0} ops/s");
+        println!("micro/core_alu_tick       {core:>12.0} ticks/s");
+        let mut record = String::from("  {");
+        let _ = write!(
+            record,
+            "\"unix_time\": {}, \"quick\": true, \
+             \"micro_rob_wakeup_rate\": {rob:.0}, \
+             \"micro_l1_mshr_rate\": {mshr:.0}, \
+             \"micro_core_alu_tick_rate\": {core:.0}",
+            unix_time()
+        );
+        for (org, rate) in fullload_memheavy_rates(tick_cycles) {
+            println!("fullload_memheavy/{org:<20} {rate:>12.0} cycles/s");
+            let _ = write!(record, ", \"fullload_memheavy_rate_{}\": {rate:.0}", org_key(org));
+        }
+        record.push('}');
+        append_record(&record);
+        return;
+    }
 
     let orgs = [
         Organization::Mesh,
@@ -201,6 +322,18 @@ fn main() {
         100.0 * (trace_replay_rate / trace_synth_rate - 1.0)
     );
 
+    // Core/L1 memory-path structure microbenches.
+    let (rob_rate, mshr_rate, core_alu_rate) = core_l1_micro(2_000_000);
+    println!("micro/rob_fill_wakeup     {rob_rate:>12.0} rounds/s");
+    println!("micro/l1_mshr_cycle       {mshr_rate:>12.0} ops/s");
+    println!("micro/core_alu_tick       {core_alu_rate:>12.0} ticks/s");
+
+    // Full-load, data-miss-heavy end-to-end tick rate.
+    let memheavy = fullload_memheavy_rates(tick_cycles);
+    for (org, rate) in &memheavy {
+        println!("fullload_memheavy/{org:<20} {rate:>12.0} cycles/s");
+    }
+
     let specs = sweep_grid(window);
     let t = Instant::now();
     let serial = BatchRunner::serial().run_batch(&specs);
@@ -236,18 +369,14 @@ fn main() {
         "\"unix_time\": {}, \"hardware_threads\": {jobs}, \"parallel_jobs\": {}, \
          \"sweep_serial_s\": {serial_s:.3}, \"sweep_parallel_s\": {parallel_s:.3}, \
          \"sweep_speedup\": {speedup:.3}",
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0),
+        unix_time(),
         parallel_runner.jobs()
     );
     for (org, rate) in &tick_rates {
-        let key = format!("{org}").to_lowercase().replace([' ', '-'], "_");
-        let _ = write!(record, ", \"tick_rate_{key}\": {rate:.0}");
+        let _ = write!(record, ", \"tick_rate_{}\": {rate:.0}", org_key(*org));
     }
     for (org, active, full) in &idle16_rates {
-        let key = format!("{org}").to_lowercase().replace([' ', '-'], "_");
+        let key = org_key(*org);
         let _ = write!(
             record,
             ", \"idle16_tick_rate_{key}\": {active:.0}, \
@@ -255,7 +384,7 @@ fn main() {
         );
     }
     for (org, block, perinstr) in &fullload_rates {
-        let key = format!("{org}").to_lowercase().replace([' ', '-'], "_");
+        let key = org_key(*org);
         let _ = write!(
             record,
             ", \"fullload_block_rate_{key}\": {block:.0}, \
@@ -265,20 +394,14 @@ fn main() {
     let _ = write!(
         record,
         ", \"trace_replay_tick_rate_mesh\": {trace_replay_rate:.0}, \
-         \"trace_replay_synth_rate_mesh\": {trace_synth_rate:.0}"
+         \"trace_replay_synth_rate_mesh\": {trace_synth_rate:.0}, \
+         \"micro_rob_wakeup_rate\": {rob_rate:.0}, \
+         \"micro_l1_mshr_rate\": {mshr_rate:.0}, \
+         \"micro_core_alu_tick_rate\": {core_alu_rate:.0}"
     );
-    record.push('}');
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let body = existing.trim_end().trim_end_matches(']').trim_end();
-    let out = if body.is_empty() || body == "[" {
-        format!("[\n{record}\n]\n")
-    } else {
-        format!("{},\n{record}\n]\n", body.trim_end_matches(','))
-    };
-    match std::fs::write(path, out) {
-        Ok(()) => println!("recorded trajectory point in BENCH_batch.json"),
-        Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
+    for (org, rate) in &memheavy {
+        let _ = write!(record, ", \"fullload_memheavy_rate_{}\": {rate:.0}", org_key(*org));
     }
+    record.push('}');
+    append_record(&record);
 }

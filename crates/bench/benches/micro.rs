@@ -95,6 +95,62 @@ fn bench_chip_tick(c: &mut Criterion) {
     g.finish();
 }
 
+/// Core hot-path structures: the ring-buffer ROB with line-indexed
+/// wakeup (dispatch → fill → retire round trips) and the end-to-end core
+/// tick on an L1-resident ALU stream (pure ring push/pop at full width).
+/// The op definitions live in `nocout_bench::memopt`, shared with the
+/// recorded trajectory keys in `benches/batch.rs`.
+fn bench_core_structs(c: &mut Criterion) {
+    use nocout_bench::memopt;
+
+    let mut g = c.benchmark_group("core");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("rob_fill_wakeup_1k_rounds", |b| {
+        let (mut rob, mut idx) = memopt::rob_and_index();
+        b.iter(|| {
+            for round in 0..1000u64 {
+                memopt::rob_fill_wakeup_round(&mut rob, &mut idx, round);
+            }
+            black_box(rob.len())
+        })
+    });
+    g.bench_function("core_tick_1k_resident_alu", |b| {
+        let (mut core, mut src) = memopt::resident_alu_core();
+        let mut out = Vec::new();
+        let mut now = Cycle(0);
+        b.iter(|| {
+            for _ in 0..1000 {
+                now += 1;
+                memopt::resident_alu_tick(&mut core, &mut src, &mut out, now);
+            }
+            black_box(core.stats.retired.value())
+        })
+    });
+    g.finish();
+}
+
+/// L1 MSHR file: the allocate → merge → fill cycle on always-cold lines
+/// (each op exercises a slot claim, a waiter merge and an out-param
+/// release plus the tag-array install).
+fn bench_l1_mshr(c: &mut Criterion) {
+    use nocout_bench::memopt;
+
+    let mut g = c.benchmark_group("l1");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("mshr_alloc_merge_fill_1k", |b| {
+        let mut l1 = memopt::a15_l1();
+        let mut scratch = Vec::new();
+        let mut next_line = 0u64;
+        b.iter(|| {
+            for _ in 0..1000u64 {
+                memopt::mshr_alloc_merge_fill(&mut l1, &mut scratch, &mut next_line);
+            }
+            black_box(l1.outstanding_misses())
+        })
+    });
+    g.finish();
+}
+
 /// LLC tile: request service throughput.
 fn bench_llc(c: &mut Criterion) {
     c.bench_function("llc_tile_1k_hits", |b| {
@@ -190,7 +246,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = micro;
     config = config();
-    targets = bench_mesh_tick, bench_chip_tick, bench_llc, bench_cache_array,
-              bench_workload_gen, bench_rng
+    targets = bench_mesh_tick, bench_chip_tick, bench_core_structs, bench_l1_mshr,
+              bench_llc, bench_cache_array, bench_workload_gen, bench_rng
 }
 criterion_main!(micro);

@@ -17,3 +17,79 @@
 pub fn bench_window() -> nocout_sim::config::MeasurementWindow {
     nocout_sim::config::MeasurementWindow::new(500, 1_500)
 }
+
+/// The core/L1 memory-path microbench operations, defined once so the
+/// criterion bench (`benches/micro.rs`) and the recorded trajectory
+/// keys (`benches/batch.rs`, `micro_*` in `BENCH_batch.json`) can never
+/// drift apart in what "one op" means.
+pub mod memopt {
+    use nocout_cpu::model::{Core, CoreConfig};
+    use nocout_cpu::rob::{RingRob, WakeupIndex};
+    use nocout_cpu::source::{FetchedInstr, Op, ScriptedSource};
+    use nocout_cpu::MissRequest;
+    use nocout_mem::addr::Addr;
+    use nocout_mem::l1::{L1Access, L1Cache, L1Config};
+    use nocout_sim::Cycle;
+
+    /// One ROB round: 8 waiting dispatches across 8 lines, 8 fills, 8
+    /// retires — the paper-configuration MSHR-bound MLP pattern.
+    #[inline]
+    pub fn rob_fill_wakeup_round(rob: &mut RingRob, idx: &mut WakeupIndex, round: u64) {
+        for l in 0..8u64 {
+            let slot = rob.push_waiting();
+            idx.enqueue(l, slot, rob);
+        }
+        for l in 0..8u64 {
+            idx.wake_line(l, Cycle(round), rob);
+        }
+        for _ in 0..8 {
+            rob.pop_front();
+        }
+    }
+
+    /// One MSHR op: allocate → merge → out-param fill on an always-cold
+    /// line (`next_line` advances so every round misses).
+    #[inline]
+    pub fn mshr_alloc_merge_fill(l1: &mut L1Cache, scratch: &mut Vec<u64>, next_line: &mut u64) {
+        let a = Addr::from_line_index(*next_line);
+        *next_line += 1;
+        assert_eq!(l1.access(a, false, 0), L1Access::Miss);
+        assert_eq!(l1.access(a, true, 1), L1Access::MergedMiss);
+        scratch.clear();
+        let _ = l1.fill(a, false, scratch);
+    }
+
+    /// A warmed core on an L1-resident single-line ALU stream: every
+    /// tick is pure ring push/pop at full width (no misses possible).
+    pub fn resident_alu_core() -> (Core, ScriptedSource) {
+        let src = ScriptedSource::new(vec![FetchedInstr {
+            fetch_line: Addr(0),
+            op: Op::Alu { latency: 1 },
+        }]);
+        let mut core = Core::new(CoreConfig::a15());
+        core.warm_l1i(Addr(0));
+        (core, src)
+    }
+
+    /// Ticks a [`resident_alu_core`] once; `out` must stay empty.
+    #[inline]
+    pub fn resident_alu_tick(
+        core: &mut Core,
+        src: &mut ScriptedSource,
+        out: &mut Vec<MissRequest>,
+        now: Cycle,
+    ) {
+        core.tick(now, src, out);
+        debug_assert!(out.is_empty(), "resident stream must not miss");
+    }
+
+    /// A fresh paper-configuration ROB + wakeup index pair.
+    pub fn rob_and_index() -> (RingRob, WakeupIndex) {
+        (RingRob::new(64), WakeupIndex::new(8))
+    }
+
+    /// A fresh paper-configuration L1.
+    pub fn a15_l1() -> L1Cache {
+        L1Cache::new(L1Config::a15())
+    }
+}

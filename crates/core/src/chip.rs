@@ -536,7 +536,10 @@ impl ScaleOutChip {
     /// source trait object one at a time (`Core::tick_reference`) instead
     /// of in blocks. Kept as the oracle for differential testing of both
     /// the active-set scheduler and the block-based delivery path (and as
-    /// the honest baseline for their microbenchmarks).
+    /// the honest baseline for their microbenchmarks). Both flavours run
+    /// on the same ring-ROB/array-MSHR core structures; those are proved
+    /// equivalent to their pre-refactor containers separately
+    /// (`tests/chip_golden_metrics.rs`, `tests/proptest_core.rs`).
     pub fn tick_reference(&mut self) {
         self.tick_impl(true);
     }
@@ -547,16 +550,15 @@ impl ScaleOutChip {
         // 1. Cores execute and emit miss requests.
         let mut injections = std::mem::take(&mut self.inject_buf);
         for ai in 0..self.active.len() {
-            let (c, _) = self.active[ai];
-            let (core_idx, source) = {
+            let (c, source) = {
                 let entry = &mut self.active[ai];
                 (entry.0, &mut entry.1)
             };
             self.req_buf.clear();
             if full_scan {
-                self.cores[core_idx].tick_reference(now, source, &mut self.req_buf);
+                self.cores[c].tick_reference(now, source, &mut self.req_buf);
             } else {
-                self.cores[core_idx].tick(now, source, &mut self.req_buf);
+                self.cores[c].tick(now, source, &mut self.req_buf);
             }
             for r in self.req_buf.drain(..) {
                 let txn = self.txns.alloc(c as u16, r.line, r.kind);
@@ -906,7 +908,7 @@ impl ScaleOutChip {
     /// Resets all statistics at the warmup/measurement boundary.
     pub fn reset_stats(&mut self) {
         for (c, _) in &self.active {
-            self.cores[*c].stats.reset();
+            self.cores[*c].reset_stats(self.now);
         }
         for llc in &mut self.llcs {
             llc.stats.reset();

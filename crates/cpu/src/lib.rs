@@ -18,7 +18,9 @@
 //! fills orchestrated by the chip model in the `nocout` crate.
 
 pub mod model;
+pub mod rob;
 pub mod source;
 
 pub use model::{Core, CoreConfig, CoreIdle, CoreStats, MissRequest};
+pub use rob::{RingRob, WakeupIndex};
 pub use source::{FetchedInstr, InstructionSource, Op};

@@ -1,12 +1,15 @@
 //! The out-of-order core pipeline model.
 
+use crate::rob::{RingRob, WakeupIndex};
 use crate::source::{FetchedInstr, InstrBlock, InstructionSource, Op};
 use nocout_mem::addr::Addr;
 use nocout_mem::l1::{L1Access, L1Cache, L1Config};
 use nocout_mem::protocol::AccessKind;
 use nocout_sim::stats::Counter;
 use nocout_sim::Cycle;
-use std::collections::VecDeque;
+
+/// Sentinel line index for "no line" (no resolved fetch line, no stall).
+const NO_LINE: u64 = u64::MAX;
 
 /// Core microarchitecture parameters (Table 1 defaults via
 /// [`CoreConfig::a15`]).
@@ -77,6 +80,10 @@ pub struct CoreStats {
     pub ifetch_misses: Counter,
     /// L1-D miss requests issued.
     pub data_misses: Counter,
+    /// Total cycles between an L1-I miss stalling fetch and the fill
+    /// that cleared it (the interconnect round-trip latency the fetch
+    /// engine actually observed, summed over all stalls).
+    pub ifetch_fill_wait_cycles: Counter,
 }
 
 impl CoreStats {
@@ -93,19 +100,6 @@ impl CoreStats {
     pub fn reset(&mut self) {
         *self = CoreStats::default();
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum RobState {
-    /// Completes at the given cycle.
-    Ready(Cycle),
-    /// Waiting for a data fill of the given line.
-    WaitingData(Addr),
-}
-
-#[derive(Debug, Clone, Copy)]
-struct RobEntry {
-    state: RobState,
 }
 
 /// The core: pipeline state plus private L1-I and L1-D.
@@ -147,19 +141,37 @@ pub struct Core {
     cfg: CoreConfig,
     l1i: L1Cache,
     l1d: L1Cache,
-    rob: VecDeque<RobEntry>,
-    /// Line currently being fetched from (hits in it are free).
-    current_fetch_line: Option<Addr>,
-    /// Fetch stalled on this line until its fill arrives.
-    fetch_stall: Option<Addr>,
+    /// Fixed-capacity ring-buffer reorder buffer (see [`crate::rob`]).
+    rob: RingRob,
+    /// Line-indexed wakeup chains threaded through the ROB slots: a data
+    /// fill wakes exactly the entries waiting on its line, and the
+    /// index's waiting total *is* the outstanding-data (MLP) count.
+    wakeup: WakeupIndex,
+    /// Resolved line index currently being fetched from (hits in it are
+    /// free); [`NO_LINE`] before the first fetch resolves. Holding the
+    /// index (not an `Option<Addr>`) makes the per-instruction
+    /// line-crossing check a single integer compare.
+    fetch_line: u64,
+    /// Line/set-base decode of the last L1-I probe — reused when the
+    /// same line is re-probed (blocked-retry) so the crossing path does
+    /// the tag-array geometry math once per resolved line.
+    probe_line: u64,
+    probe_set_base: u32,
+    /// Fetch stalled on this line index until its fill arrives
+    /// ([`NO_LINE`] when fetch is running).
+    stall_line: u64,
+    /// Cycle the current fetch stall began (fill-latency accounting).
+    stall_started: Cycle,
     /// Instruction pulled from the source but not yet dispatched.
     staged: Option<FetchedInstr>,
     /// Buffered instructions from the source: [`Core::tick`] consumes
     /// from here and crosses the `dyn InstructionSource` boundary only
     /// when the block drains.
     block: InstrBlock,
-    /// Outstanding data-miss ROB entries (MLP in flight).
-    outstanding_data: usize,
+    /// Reusable buffer for the waiter tags an L1 fill releases (the
+    /// core does not use the tags; the buffer exists so fills allocate
+    /// nothing).
+    waiter_scratch: Vec<u64>,
     /// Per-core statistics.
     pub stats: CoreStats,
 }
@@ -171,12 +183,16 @@ impl Core {
             cfg,
             l1i: L1Cache::new(cfg.l1),
             l1d: L1Cache::new(cfg.l1),
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            current_fetch_line: None,
-            fetch_stall: None,
+            rob: RingRob::new(cfg.rob_entries),
+            wakeup: WakeupIndex::new(cfg.l1.mshr_capacity),
+            fetch_line: NO_LINE,
+            probe_line: NO_LINE,
+            probe_set_base: 0,
+            stall_line: NO_LINE,
+            stall_started: Cycle::ZERO,
             staged: None,
             block: InstrBlock::new(),
-            outstanding_data: 0,
+            waiter_scratch: Vec::with_capacity(cfg.lsq_entries),
             stats: CoreStats::default(),
         }
     }
@@ -186,14 +202,16 @@ impl Core {
         self.cfg
     }
 
-    /// Outstanding data misses (diagnostics; bounded by the LSQ).
+    /// Outstanding data misses (diagnostics; bounded by the LSQ). Reads
+    /// the wakeup index's total: the waiter chains are the only place a
+    /// waiting ROB entry can live, so this count cannot drift from them.
     pub fn outstanding_data_misses(&self) -> usize {
-        self.outstanding_data
+        self.wakeup.waiting()
     }
 
     /// Whether fetch is currently stalled on an instruction miss.
     pub fn fetch_stalled(&self) -> bool {
-        self.fetch_stall.is_some()
+        self.stall_line != NO_LINE
     }
 
     /// Classifies the core's upcoming cycles for the chip-level
@@ -201,17 +219,13 @@ impl Core {
     /// predictable: dispatch is disabled, so a tick can only retire ready
     /// ROB entries and bump counters.
     pub fn idle_state(&self) -> CoreIdle {
-        if self.fetch_stall.is_none() {
+        if self.stall_line == NO_LINE {
             return CoreIdle::Busy;
         }
         match self.rob.front() {
             None => CoreIdle::Stalled,
-            Some(RobEntry {
-                state: RobState::WaitingData(_),
-            }) => CoreIdle::Stalled,
-            Some(RobEntry {
-                state: RobState::Ready(at),
-            }) => CoreIdle::StalledUntil(*at),
+            Some(slot) if slot.is_waiting() => CoreIdle::Stalled,
+            Some(slot) => CoreIdle::StalledUntil(slot.ready_at()),
         }
     }
 
@@ -221,13 +235,10 @@ impl Core {
     /// else can). The caller must not fast-forward across the
     /// [`CoreIdle::StalledUntil`] boundary.
     pub fn fast_forward_stalled(&mut self, delta: u64) {
-        debug_assert!(self.fetch_stall.is_some(), "only a stalled core skips");
+        debug_assert!(self.stall_line != NO_LINE, "only a stalled core skips");
         self.stats.cycles.add(delta);
         self.stats.fetch_stall_cycles.add(delta);
-        if let Some(RobEntry {
-            state: RobState::WaitingData(_),
-        }) = self.rob.front()
-        {
+        if self.rob.front().is_some_and(|slot| slot.is_waiting()) {
             self.stats.mem_stall_cycles.add(delta);
         }
     }
@@ -275,7 +286,7 @@ impl Core {
     ) {
         self.stats.cycles.incr();
         self.retire(now);
-        if self.fetch_stall.is_some() {
+        if self.stall_line != NO_LINE {
             self.stats.fetch_stall_cycles.incr();
         } else {
             self.dispatch(now, source, requests, use_block);
@@ -283,25 +294,20 @@ impl Core {
     }
 
     fn retire(&mut self, now: Cycle) {
+        // Fast path: one integer compare per retired entry (a waiting
+        // slot's sentinel completion cycle can never be `<= now`).
         let mut retired = 0;
         while retired < self.cfg.width {
-            match self.rob.front() {
-                Some(RobEntry {
-                    state: RobState::Ready(at),
-                    ..
-                }) if *at <= now => {
-                    self.rob.pop_front();
-                    self.stats.retired.incr();
-                    retired += 1;
-                }
-                Some(RobEntry {
-                    state: RobState::WaitingData(_),
-                    ..
-                }) if retired == 0 => {
+            let Some(slot) = self.rob.front() else { break };
+            if slot.retirable(now) {
+                self.rob.pop_front();
+                self.stats.retired.incr();
+                retired += 1;
+            } else {
+                if retired == 0 && slot.is_waiting() {
                     self.stats.mem_stall_cycles.incr();
-                    break;
                 }
-                _ => break,
+                break;
             }
         }
     }
@@ -314,7 +320,7 @@ impl Core {
         use_block: bool,
     ) {
         for _ in 0..self.cfg.width {
-            if self.rob.len() >= self.cfg.rob_entries {
+            if self.rob.is_full() {
                 break;
             }
             let instr = match self.staged.take() {
@@ -330,24 +336,38 @@ impl Core {
                 },
             };
             // Instruction-fetch side: crossing into a new line costs an
-            // L1-I access.
-            if self.current_fetch_line != Some(instr.fetch_line.line()) {
-                match self.l1i.access(instr.fetch_line, false, 0) {
+            // L1-I access. The current line is held as a resolved index,
+            // so staying within it — the overwhelmingly common case — is
+            // one compare; a crossing decodes the new line's set base
+            // once and caches it for blocked-retry re-probes.
+            let line_idx = instr.fetch_line.line_index();
+            if line_idx != self.fetch_line {
+                let set_base = if self.probe_line == line_idx {
+                    self.probe_set_base
+                } else {
+                    let b = self.l1i.set_base_of(line_idx);
+                    self.probe_line = line_idx;
+                    self.probe_set_base = b;
+                    b
+                };
+                match self.l1i.access_indexed(line_idx, set_base, false, 0) {
                     L1Access::Hit => {
-                        self.current_fetch_line = Some(instr.fetch_line.line());
+                        self.fetch_line = line_idx;
                     }
                     L1Access::Miss => {
                         self.stats.ifetch_misses.incr();
                         requests.push(MissRequest {
-                            line: instr.fetch_line.line(),
+                            line: Addr::from_line_index(line_idx),
                             kind: AccessKind::InstrFetch,
                         });
-                        self.fetch_stall = Some(instr.fetch_line.line());
+                        self.stall_line = line_idx;
+                        self.stall_started = now;
                         self.staged = Some(instr);
                         return;
                     }
                     L1Access::MergedMiss => {
-                        self.fetch_stall = Some(instr.fetch_line.line());
+                        self.stall_line = line_idx;
+                        self.stall_started = now;
                         self.staged = Some(instr);
                         return;
                     }
@@ -359,12 +379,10 @@ impl Core {
             }
             match instr.op {
                 Op::Alu { latency } => {
-                    self.rob.push_back(RobEntry {
-                        state: RobState::Ready(now + latency.max(1) as u64),
-                    });
+                    self.rob.push_ready(now + latency.max(1) as u64);
                 }
                 Op::Load { addr, dependent } => {
-                    if dependent && self.outstanding_data > 0 {
+                    if dependent && self.wakeup.waiting() > 0 {
                         // Dependent load: wait for earlier misses (low-MLP
                         // behaviour of scale-out workloads).
                         self.staged = Some(instr);
@@ -393,14 +411,12 @@ impl Core {
         now: Cycle,
         requests: &mut Vec<MissRequest>,
     ) -> bool {
-        if self.outstanding_data >= self.cfg.lsq_entries {
+        if self.wakeup.waiting() >= self.cfg.lsq_entries {
             return false;
         }
         match self.l1d.access(addr, kind.is_write(), 0) {
             L1Access::Hit => {
-                self.rob.push_back(RobEntry {
-                    state: RobState::Ready(now + self.l1d.latency()),
-                });
+                self.rob.push_ready(now + self.l1d.latency());
                 true
             }
             L1Access::Miss => {
@@ -409,17 +425,13 @@ impl Core {
                     line: addr.line(),
                     kind,
                 });
-                self.rob.push_back(RobEntry {
-                    state: RobState::WaitingData(addr.line()),
-                });
-                self.outstanding_data += 1;
+                let slot = self.rob.push_waiting();
+                self.wakeup.enqueue(addr.line_index(), slot, &mut self.rob);
                 true
             }
             L1Access::MergedMiss => {
-                self.rob.push_back(RobEntry {
-                    state: RobState::WaitingData(addr.line()),
-                });
-                self.outstanding_data += 1;
+                let slot = self.rob.push_waiting();
+                self.wakeup.enqueue(addr.line_index(), slot, &mut self.rob);
                 true
             }
             L1Access::Blocked => false,
@@ -427,38 +439,54 @@ impl Core {
     }
 
     /// Delivers a data line (completing the GetS/GetX the chip sent for
-    /// it): fills the L1-D and wakes ROB entries waiting on the line.
+    /// it): fills the L1-D and wakes exactly the ROB entries chained on
+    /// the line in the wakeup index — no scan of the other entries.
     /// Returns the evicted victim, if any — dirty victims must be written
     /// back to the home LLC tile by the caller.
     pub fn fill_data(&mut self, line: Addr, now: Cycle) -> Option<nocout_mem::cache::Evicted> {
         let evicted = if self.l1d.miss_pending(line) {
-            self.l1d.fill(line, false).1
+            self.waiter_scratch.clear();
+            self.l1d.fill(line, false, &mut self.waiter_scratch)
         } else {
             None
         };
         let ready = now + self.l1d.latency();
-        for e in &mut self.rob {
-            if let RobState::WaitingData(l) = e.state {
-                if l == line.line() {
-                    e.state = RobState::Ready(ready);
-                    self.outstanding_data = self.outstanding_data.saturating_sub(1);
-                }
-            }
-        }
+        // Waking the chain also retires its count from the outstanding
+        // total (stale fills resolve no chain and change nothing).
+        self.wakeup.wake_line(line.line_index(), ready, &mut self.rob);
         evicted
     }
 
     /// Delivers an instruction line: fills the L1-I and clears the fetch
-    /// stall if it was waiting on this line.
+    /// stall if it was waiting on this line, charging the observed
+    /// miss-to-fill interval to
+    /// [`CoreStats::ifetch_fill_wait_cycles`].
     pub fn fill_ifetch(&mut self, line: Addr, now: Cycle) {
         if self.l1i.miss_pending(line) {
-            let _ = self.l1i.fill(line, false);
+            self.waiter_scratch.clear();
+            let _ = self.l1i.fill(line, false, &mut self.waiter_scratch);
         }
-        if self.fetch_stall == Some(line.line()) {
-            self.fetch_stall = None;
-            self.current_fetch_line = Some(line.line());
+        let idx = line.line_index();
+        if self.stall_line == idx {
+            self.stats
+                .ifetch_fill_wait_cycles
+                .add(now.raw().saturating_sub(self.stall_started.raw()));
+            self.stall_line = NO_LINE;
+            self.fetch_line = idx;
         }
-        let _ = now;
+    }
+
+    /// Resets the statistics at a warmup/measurement boundary. Prefer
+    /// this over resetting the `stats` field directly: a fetch stall in
+    /// flight at the boundary is re-anchored to `now`, so the
+    /// [`CoreStats::ifetch_fill_wait_cycles`] its fill eventually books
+    /// covers only the post-reset window (consistent with how
+    /// `fetch_stall_cycles` accrues per in-window tick).
+    pub fn reset_stats(&mut self, now: Cycle) {
+        self.stats.reset();
+        if self.stall_line != NO_LINE {
+            self.stall_started = now;
+        }
     }
 
     /// Warms the L1-I with a line (checkpoint-style initialization).
@@ -663,6 +691,90 @@ mod tests {
             core.tick(Cycle(t), &mut src, &mut out);
         }
         assert!(core.stats.retired.value() > before);
+    }
+
+    #[test]
+    fn multi_waiter_same_line_fill_wakes_all_in_one_step() {
+        // Two independent loads to the same line: the second merges into
+        // the first's MSHR and both ROB entries chain on one wakeup
+        // line. The single fill must wake both, and the outstanding-MLP
+        // count — owned by the wakeup index — must go 2 → 0 in that one
+        // step (the pre-refactor code decremented it once per matching
+        // entry inside the full-ROB scan).
+        let script = vec![
+            FetchedInstr {
+                fetch_line: Addr(0),
+                op: Op::Load {
+                    addr: Addr(0x5000),
+                    dependent: false,
+                },
+            },
+            FetchedInstr {
+                fetch_line: Addr(0),
+                op: Op::Load {
+                    addr: Addr(0x5008),
+                    dependent: false,
+                },
+            },
+            FetchedInstr {
+                fetch_line: Addr(0),
+                op: Op::Alu { latency: 1 },
+            },
+        ];
+        let mut src = ScriptedSource::new(script);
+        let mut core = Core::new(CoreConfig::a15());
+        let mut out = Vec::new();
+        core.tick(Cycle(0), &mut src, &mut out);
+        core.fill_ifetch(Addr(0), Cycle(0));
+        out.clear();
+        core.tick(Cycle(1), &mut src, &mut out);
+        // One miss request on the wire, two entries waiting on its line.
+        let loads = out.iter().filter(|r| r.kind == AccessKind::Load).count();
+        assert_eq!(loads, 1, "second load must merge, not re-request");
+        assert_eq!(core.outstanding_data_misses(), 2);
+        core.fill_data(Addr(0x5000), Cycle(5));
+        assert_eq!(
+            core.outstanding_data_misses(),
+            0,
+            "the fill retires the whole chain from the outstanding count"
+        );
+        let before = core.stats.retired.value();
+        for t in 6..=10 {
+            core.tick(Cycle(t), &mut src, &mut out);
+        }
+        assert!(
+            core.stats.retired.value() >= before + 2,
+            "both woken loads must retire"
+        );
+    }
+
+    #[test]
+    fn ifetch_fill_wait_cycles_record_miss_to_fill_interval() {
+        let mut src = alu_stream();
+        let mut core = Core::new(CoreConfig::a15());
+        let mut out = Vec::new();
+        // Miss at cycle 0; the fill lands at cycle 10.
+        core.tick(Cycle(0), &mut src, &mut out);
+        assert!(core.fetch_stalled());
+        core.fill_ifetch(Addr(0), Cycle(10));
+        assert_eq!(core.stats.ifetch_fill_wait_cycles.value(), 10);
+        // A stale fill for a line fetch never stalled on adds nothing.
+        core.fill_ifetch(Addr(0x4000), Cycle(25));
+        assert_eq!(core.stats.ifetch_fill_wait_cycles.value(), 10);
+    }
+
+    #[test]
+    fn reset_stats_reanchors_inflight_stall_interval() {
+        // A stall spanning the warmup boundary must book only its
+        // post-reset portion into the fill-wait counter.
+        let mut src = alu_stream();
+        let mut core = Core::new(CoreConfig::a15());
+        let mut out = Vec::new();
+        core.tick(Cycle(0), &mut src, &mut out);
+        assert!(core.fetch_stalled());
+        core.reset_stats(Cycle(50));
+        core.fill_ifetch(Addr(0), Cycle(60));
+        assert_eq!(core.stats.ifetch_fill_wait_cycles.value(), 10);
     }
 
     #[test]

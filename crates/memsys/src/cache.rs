@@ -133,6 +133,48 @@ impl CacheArray {
         set * self.geometry.ways..(set + 1) * self.geometry.ways
     }
 
+    /// Resolves a line number (address >> line shift) to the base index
+    /// of its set's ways — the geometry math of a lookup, exposed so hot
+    /// callers can decode a line once and reuse the result across the
+    /// line-crossing check, the tag probe and retries (see
+    /// [`CacheArray::lookup_at`]).
+    #[inline]
+    pub fn set_base_of_line(&self, line_index: u64) -> u32 {
+        (((line_index as usize) & (self.sets - 1)) * self.geometry.ways) as u32
+    }
+
+    /// [`CacheArray::lookup`] with the geometry pre-resolved: `set_base`
+    /// must be `self.set_base_of_line(line_index)`. Identical recency
+    /// behaviour (the LRU stamp advances on every lookup, hit or miss).
+    #[inline]
+    pub fn lookup_at(&mut self, set_base: u32, line_index: u64) -> Lookup {
+        debug_assert_eq!(set_base, self.set_base_of_line(line_index));
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let base = set_base as usize;
+        for w in &mut self.ways[base..base + self.geometry.ways] {
+            if w.valid && w.tag == line_index {
+                w.lru = stamp;
+                return Lookup::Hit;
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// [`CacheArray::mark_dirty`] with the geometry pre-resolved.
+    #[inline]
+    pub fn mark_dirty_at(&mut self, set_base: u32, line_index: u64) -> bool {
+        debug_assert_eq!(set_base, self.set_base_of_line(line_index));
+        let base = set_base as usize;
+        for w in &mut self.ways[base..base + self.geometry.ways] {
+            if w.valid && w.tag == line_index {
+                w.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Probes for a line without updating recency.
     pub fn probe(&self, addr: Addr) -> Lookup {
         let set = self.set_index(addr);
@@ -149,32 +191,14 @@ impl CacheArray {
 
     /// Looks up a line, updating LRU recency on a hit.
     pub fn lookup(&mut self, addr: Addr) -> Lookup {
-        let set = self.set_index(addr);
-        let tag = self.tag(addr);
-        self.stamp += 1;
-        let stamp = self.stamp;
-        let range = self.set_range(set);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == tag {
-                w.lru = stamp;
-                return Lookup::Hit;
-            }
-        }
-        Lookup::Miss
+        let idx = self.tag(addr);
+        self.lookup_at(self.set_base_of_line(idx), idx)
     }
 
     /// Marks a present line dirty (returns whether it was present).
     pub fn mark_dirty(&mut self, addr: Addr) -> bool {
-        let set = self.set_index(addr);
-        let tag = self.tag(addr);
-        let range = self.set_range(set);
-        for w in &mut self.ways[range] {
-            if w.valid && w.tag == tag {
-                w.dirty = true;
-                return true;
-            }
-        }
-        false
+        let idx = self.tag(addr);
+        self.mark_dirty_at(self.set_base_of_line(idx), idx)
     }
 
     /// Inserts a line (after a fill), evicting the LRU way if the set is

@@ -7,8 +7,8 @@
 
 use crate::addr::Addr;
 use crate::cache::{CacheArray, CacheGeometry, Evicted, Lookup};
+use crate::mshr::{MshrFile, MshrRequest};
 use nocout_sim::stats::Counter;
-use std::collections::HashMap;
 
 /// Result of an L1 access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +59,8 @@ impl L1Config {
 /// let a = Addr(0x400);
 /// assert_eq!(l1.access(a, false, 1), L1Access::Miss);
 /// assert_eq!(l1.access(a, false, 2), L1Access::MergedMiss);
-/// let (waiters, evicted) = l1.fill(a, false);
+/// let mut waiters = Vec::new();
+/// let evicted = l1.fill(a, false, &mut waiters);
 /// assert_eq!(waiters, vec![1, 2]);
 /// assert!(evicted.is_none());
 /// assert_eq!(l1.access(a, false, 3), L1Access::Hit);
@@ -68,8 +69,9 @@ impl L1Config {
 pub struct L1Cache {
     cfg: L1Config,
     array: CacheArray,
-    /// line index → waiter tags (opaque, chosen by the core model).
-    mshrs: HashMap<u64, MshrEntry>,
+    /// Fixed array of `mshr_capacity` slots, line-index addressed (see
+    /// [`crate::mshr`] for why this beats a `HashMap` at L1 scale).
+    mshrs: MshrFile,
     /// Statistics.
     pub hits: Counter,
     /// Misses that allocated a new MSHR.
@@ -80,20 +82,26 @@ pub struct L1Cache {
     pub blocked: Counter,
 }
 
-#[derive(Debug, Default)]
-struct MshrEntry {
-    waiters: Vec<u64>,
-    /// Whether any waiter needs write permission (upgrades the fill).
-    wants_write: bool,
-}
-
 impl L1Cache {
     /// Creates an empty L1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's line size differs from the global
+    /// [`crate::addr::LINE_BYTES`]: the L1's MSHRs and pre-decoded
+    /// access path address lines by the global line index, so a
+    /// different per-array line size would make the tag array and the
+    /// MSHR file disagree about what a "line" is.
     pub fn new(cfg: L1Config) -> Self {
+        assert_eq!(
+            cfg.geometry.line_bytes,
+            crate::addr::LINE_BYTES,
+            "L1 line size must match the global line size"
+        );
         L1Cache {
             cfg,
             array: CacheArray::new(cfg.geometry),
-            mshrs: HashMap::new(),
+            mshrs: MshrFile::new(cfg.mshr_capacity),
             hits: Counter::new(),
             misses: Counter::new(),
             merged: Counter::new(),
@@ -119,37 +127,53 @@ impl L1Cache {
     /// raised by the chip model when the directory demands it; our L1 does
     /// not track S/E distinction — see DESIGN.md §3.3).
     pub fn access(&mut self, addr: Addr, is_write: bool, waiter: u64) -> L1Access {
-        let line = addr.line();
-        match self.array.lookup(line) {
+        let idx = addr.line_index();
+        self.access_indexed(idx, self.array.set_base_of_line(idx), is_write, waiter)
+    }
+
+    /// [`L1Cache::access`] with the line geometry pre-resolved: `line_index`
+    /// is the line number of the accessed address and `set_base` its
+    /// resolved set base ([`L1Cache::set_base_of`]). The core's fetch path
+    /// decodes the current fetch line once and reuses the result across
+    /// the line-crossing check, this access, and blocked-retry re-probes.
+    #[inline]
+    pub fn access_indexed(
+        &mut self,
+        line_index: u64,
+        set_base: u32,
+        is_write: bool,
+        waiter: u64,
+    ) -> L1Access {
+        match self.array.lookup_at(set_base, line_index) {
             Lookup::Hit => {
                 if is_write {
-                    self.array.mark_dirty(line);
+                    self.array.mark_dirty_at(set_base, line_index);
                 }
                 self.hits.incr();
                 L1Access::Hit
             }
-            Lookup::Miss => {
-                if let Some(entry) = self.mshrs.get_mut(&line.line_index()) {
-                    entry.waiters.push(waiter);
-                    entry.wants_write |= is_write;
+            Lookup::Miss => match self.mshrs.request(line_index, waiter, is_write) {
+                MshrRequest::Merged => {
                     self.merged.incr();
                     L1Access::MergedMiss
-                } else if self.mshrs.len() >= self.cfg.mshr_capacity {
+                }
+                MshrRequest::Full => {
                     self.blocked.incr();
                     L1Access::Blocked
-                } else {
-                    self.mshrs.insert(
-                        line.line_index(),
-                        MshrEntry {
-                            waiters: vec![waiter],
-                            wants_write: is_write,
-                        },
-                    );
+                }
+                MshrRequest::Allocated => {
                     self.misses.incr();
                     L1Access::Miss
                 }
-            }
+            },
         }
+    }
+
+    /// Resolves a line number to its set base in the tag array (for
+    /// [`L1Cache::access_indexed`] callers caching the decode).
+    #[inline]
+    pub fn set_base_of(&self, line_index: u64) -> u32 {
+        self.array.set_base_of_line(line_index)
     }
 
     /// Number of outstanding misses.
@@ -159,23 +183,22 @@ impl L1Cache {
 
     /// Whether a miss for this line is outstanding.
     pub fn miss_pending(&self, addr: Addr) -> bool {
-        self.mshrs.contains_key(&addr.line().line_index())
+        self.mshrs.contains(addr.line_index())
     }
 
-    /// Completes a miss: installs the line and releases its MSHR. Returns
-    /// the waiter tags and any evicted victim.
+    /// Completes a miss: installs the line and releases its MSHR,
+    /// appending the miss's waiter tags (in request order) to `waiters` —
+    /// a caller-provided scratch buffer the caller clears, mirroring the
+    /// `MemoryChannel::tick` out-param pattern so a fill allocates
+    /// nothing. Returns any evicted victim.
     ///
     /// # Panics
     ///
     /// Panics if no miss is outstanding for the line.
-    pub fn fill(&mut self, addr: Addr, dirty: bool) -> (Vec<u64>, Option<Evicted>) {
+    pub fn fill(&mut self, addr: Addr, dirty: bool, waiters: &mut Vec<u64>) -> Option<Evicted> {
         let line = addr.line();
-        let entry = self
-            .mshrs
-            .remove(&line.line_index())
-            .expect("fill without outstanding miss");
-        let evicted = self.array.insert(line, dirty || entry.wants_write);
-        (entry.waiters, evicted)
+        let wants_write = self.mshrs.release(line.line_index(), waiters);
+        self.array.insert(line, dirty || wants_write)
     }
 
     /// Installs a line without timing effects (checkpoint-style cache
@@ -215,6 +238,12 @@ mod tests {
         L1Cache::new(L1Config::a15())
     }
 
+    /// `fill` discarding the waiters (most tests don't inspect them).
+    fn fill(c: &mut L1Cache, addr: Addr) -> Option<Evicted> {
+        let mut scratch = Vec::new();
+        c.fill(addr, false, &mut scratch)
+    }
+
     #[test]
     fn miss_allocates_then_merges() {
         let mut c = l1();
@@ -223,7 +252,8 @@ mod tests {
         assert_eq!(c.access(Addr(0x1008), false, 11), L1Access::MergedMiss);
         assert_eq!(c.outstanding_misses(), 1);
         assert!(c.miss_pending(a));
-        let (waiters, _) = c.fill(a, false);
+        let mut waiters = Vec::new();
+        c.fill(a, false, &mut waiters);
         assert_eq!(waiters, vec![10, 11]);
         assert_eq!(c.outstanding_misses(), 0);
     }
@@ -238,7 +268,7 @@ mod tests {
         assert_eq!(c.access(Addr(0x1000), false, 1), L1Access::Miss);
         assert_eq!(c.access(Addr(0x2000), false, 2), L1Access::Blocked);
         assert_eq!(c.blocked.value(), 1);
-        c.fill(Addr(0x0000), false);
+        fill(&mut c, Addr(0x0000));
         assert_eq!(c.access(Addr(0x2000), false, 3), L1Access::Miss);
     }
 
@@ -247,7 +277,7 @@ mod tests {
         let mut c = l1();
         let a = Addr(0x40);
         c.access(a, false, 0);
-        c.fill(a, false);
+        fill(&mut c, a);
         assert_eq!(c.access(a, true, 1), L1Access::Hit);
         let (present, dirty) = c.snoop_invalidate(a);
         assert!(present && dirty);
@@ -258,7 +288,7 @@ mod tests {
         let mut c = l1();
         let a = Addr(0x80);
         assert_eq!(c.access(a, true, 7), L1Access::Miss);
-        c.fill(a, false);
+        fill(&mut c, a);
         let (present, dirty) = c.snoop_invalidate(a);
         assert!(present && dirty, "store miss must install the line dirty");
     }
@@ -268,7 +298,7 @@ mod tests {
         let mut c = l1();
         let a = Addr(0xC0);
         c.access(a, true, 0);
-        c.fill(a, false);
+        fill(&mut c, a);
         assert!(c.snoop_downgrade(a));
         assert_eq!(c.access(a, false, 1), L1Access::Hit);
         let (present, dirty) = c.snoop_invalidate(a);
@@ -285,7 +315,7 @@ mod tests {
         for i in 0..5u64 {
             let a = Addr(i * set_stride as u64);
             c.access(a, false, i);
-            let (_, ev) = c.fill(a, false);
+            let ev = fill(&mut c, a);
             evicted = evicted.or(ev);
         }
         assert!(evicted.is_some(), "fifth line in a 4-way set must evict");
@@ -296,7 +326,7 @@ mod tests {
         let mut c = l1();
         let a = Addr(0x40);
         c.access(a, false, 0);
-        c.fill(a, false);
+        fill(&mut c, a);
         for _ in 0..9 {
             c.access(a, false, 0);
         }

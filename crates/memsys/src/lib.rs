@@ -5,6 +5,7 @@
 //! * [`addr`] — physical addresses and NUCA interleaving,
 //! * [`cache`] — set-associative LRU tag arrays,
 //! * [`l1`] — private 32 KB L1-I/L1-D caches with MSHRs,
+//! * [`mshr`] — the fixed, array-backed MSHR file behind the L1s,
 //! * [`directory`] — full-map sharer tracking co-located with the LLC,
 //! * [`llc`] — banked LLC tiles with the directory protocol engine
 //!   (GetS/GetX, forwards, invalidations, memory fetches),
@@ -36,6 +37,7 @@ pub mod directory;
 pub mod l1;
 pub mod llc;
 pub mod mem_ctrl;
+pub mod mshr;
 pub mod protocol;
 
 pub use addr::{Addr, AddressMap, LINE_BYTES};

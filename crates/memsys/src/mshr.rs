@@ -1,0 +1,255 @@
+//! Array-backed miss-status holding registers for the L1 caches.
+//!
+//! An L1 has at most a handful of MSHRs (8 in the Cortex-A15-like
+//! configuration), and every core tick probes them: a `HashMap` pays a
+//! hash plus a heap-allocated `Vec` of waiter tags per miss for a
+//! structure whose whole population fits in two cache lines. This file
+//! is the fixed-capacity replacement: one array of `mshr_capacity`
+//! slots, linearly scanned (≤ 8 compares beats any hash), with waiter
+//! tags stored inline in the slot and spilled to a slot-owned, reused
+//! `Vec` only past [`INLINE_WAITERS`] — steady state allocates nothing.
+//!
+//! Observable semantics are identical to the previous
+//! `HashMap<u64, MshrEntry>`: per-line waiter order is push order, the
+//! `wants_write` bit is the OR of all merged requests, and releasing a
+//! line that holds no miss panics. `tests/proptest_core.rs` pins the
+//! equivalence against a `HashMap` model.
+
+/// Waiter tags stored directly in an MSHR slot before spilling.
+pub const INLINE_WAITERS: usize = 4;
+
+/// Outcome of [`MshrFile::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrRequest {
+    /// A free slot was claimed for the line: issue a new miss.
+    Allocated,
+    /// The line already has a miss in flight: the waiter was merged.
+    Merged,
+    /// Every slot is busy with another line: retry later.
+    Full,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    valid: bool,
+    line_index: u64,
+    wants_write: bool,
+    inline_len: u8,
+    inline: [u64; INLINE_WAITERS],
+    /// Overflow waiters (rare: more than [`INLINE_WAITERS`] merges on
+    /// one line). Cleared on release but never shrunk, so a slot that
+    /// spilled once never allocates again.
+    spill: Vec<u64>,
+}
+
+impl Slot {
+    #[inline]
+    fn push_waiter(&mut self, waiter: u64) {
+        if (self.inline_len as usize) < INLINE_WAITERS {
+            self.inline[self.inline_len as usize] = waiter;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(waiter);
+        }
+    }
+}
+
+/// A fixed file of MSHR slots, addressed by cache-line index.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_mem::mshr::{MshrFile, MshrRequest};
+///
+/// let mut m = MshrFile::new(2);
+/// assert_eq!(m.request(5, 1, false), MshrRequest::Allocated);
+/// assert_eq!(m.request(5, 2, true), MshrRequest::Merged);
+/// assert_eq!(m.request(6, 3, false), MshrRequest::Allocated);
+/// assert_eq!(m.request(7, 4, false), MshrRequest::Full);
+/// let mut waiters = Vec::new();
+/// assert!(m.release(5, &mut waiters), "merged store upgrades the fill");
+/// assert_eq!(waiters, vec![1, 2]);
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct MshrFile {
+    slots: Box<[Slot]>,
+    used: usize,
+}
+
+impl MshrFile {
+    /// Creates a file of `capacity` free slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one slot");
+        MshrFile {
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+            used: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Outstanding misses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// Whether no miss is outstanding.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Whether a miss for `line_index` is outstanding.
+    #[inline]
+    pub fn contains(&self, line_index: u64) -> bool {
+        self.slots
+            .iter()
+            .any(|s| s.valid && s.line_index == line_index)
+    }
+
+    /// Records a miss request for `line_index`: merges into an
+    /// outstanding slot, claims a free one, or reports the file full.
+    pub fn request(&mut self, line_index: u64, waiter: u64, wants_write: bool) -> MshrRequest {
+        let mut free = None;
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if s.valid {
+                if s.line_index == line_index {
+                    s.push_waiter(waiter);
+                    s.wants_write |= wants_write;
+                    return MshrRequest::Merged;
+                }
+            } else if free.is_none() {
+                free = Some(i);
+            }
+        }
+        match free {
+            None => MshrRequest::Full,
+            Some(i) => {
+                let s = &mut self.slots[i];
+                s.valid = true;
+                s.line_index = line_index;
+                s.wants_write = wants_write;
+                s.inline_len = 1;
+                s.inline[0] = waiter;
+                self.used += 1;
+                MshrRequest::Allocated
+            }
+        }
+    }
+
+    /// Releases the slot for `line_index` (the fill arrived): appends its
+    /// waiter tags, in request order, to `waiters` — a caller-provided
+    /// scratch buffer, mirroring the `MemoryChannel::tick` out-param
+    /// pattern — and returns whether any waiter wanted write permission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no miss is outstanding for the line.
+    pub fn release(&mut self, line_index: u64, waiters: &mut Vec<u64>) -> bool {
+        let s = self
+            .slots
+            .iter_mut()
+            .find(|s| s.valid && s.line_index == line_index)
+            .expect("fill without outstanding miss");
+        waiters.extend_from_slice(&s.inline[..s.inline_len as usize]);
+        waiters.append(&mut s.spill);
+        s.valid = false;
+        s.inline_len = 0;
+        let wants_write = s.wants_write;
+        s.wants_write = false;
+        self.used -= 1;
+        wants_write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_release_round_trip() {
+        let mut m = MshrFile::new(8);
+        assert_eq!(m.request(10, 0, false), MshrRequest::Allocated);
+        assert_eq!(m.request(10, 1, false), MshrRequest::Merged);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(10));
+        let mut w = Vec::new();
+        assert!(!m.release(10, &mut w));
+        assert_eq!(w, vec![0, 1]);
+        assert!(m.is_empty());
+        assert!(!m.contains(10));
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines_but_merges() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.request(1, 0, false), MshrRequest::Allocated);
+        assert_eq!(m.request(2, 0, false), MshrRequest::Allocated);
+        assert_eq!(m.request(3, 0, false), MshrRequest::Full);
+        assert_eq!(m.request(1, 9, false), MshrRequest::Merged);
+        let mut w = Vec::new();
+        m.release(1, &mut w);
+        assert_eq!(m.request(3, 0, false), MshrRequest::Allocated);
+    }
+
+    #[test]
+    fn waiters_spill_past_inline_capacity_in_order() {
+        let mut m = MshrFile::new(1);
+        m.request(4, 100, false);
+        for t in 101..110u64 {
+            assert_eq!(m.request(4, t, false), MshrRequest::Merged);
+        }
+        let mut w = Vec::new();
+        m.release(4, &mut w);
+        assert_eq!(w, (100..110u64).collect::<Vec<_>>());
+        // The slot is reusable and starts clean.
+        m.request(5, 7, false);
+        w.clear();
+        m.release(5, &mut w);
+        assert_eq!(w, vec![7]);
+    }
+
+    #[test]
+    fn wants_write_is_or_of_all_requests() {
+        let mut m = MshrFile::new(2);
+        m.request(8, 0, false);
+        m.request(8, 1, true);
+        m.request(8, 2, false);
+        let mut w = Vec::new();
+        assert!(m.release(8, &mut w));
+        // A fresh allocation does not inherit the bit.
+        m.request(8, 3, false);
+        w.clear();
+        assert!(!m.release(8, &mut w));
+    }
+
+    #[test]
+    #[should_panic(expected = "fill without outstanding miss")]
+    fn release_without_miss_panics() {
+        let mut m = MshrFile::new(2);
+        let mut w = Vec::new();
+        m.release(42, &mut w);
+    }
+
+    #[test]
+    fn release_appends_to_existing_scratch_content() {
+        // The out-param contract: release appends, the caller owns
+        // clearing (same as MemoryChannel::tick's completion buffer).
+        let mut m = MshrFile::new(2);
+        m.request(1, 10, false);
+        m.request(2, 20, false);
+        let mut w = Vec::new();
+        m.release(1, &mut w);
+        m.release(2, &mut w);
+        assert_eq!(w, vec![10, 20]);
+    }
+}

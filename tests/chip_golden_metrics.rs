@@ -1,0 +1,98 @@
+//! Golden chip-metrics gate for the core memory-path refactor.
+//!
+//! `tests/golden/chip_metrics.txt` was captured from the build *before*
+//! the ring-buffer ROB / line-indexed wakeup / array-MSHR rework (the
+//! `VecDeque`-ROB, `HashMap`-MSHR core), across every organization, two
+//! workloads and two seeds. The refactored structures must reproduce
+//! those runs bit for bit — the same role `tests/golden/fig7_fast.csv`
+//! plays for the campaign layer, but aimed at the core/L1 hot path and
+//! covering all five organizations (fig7 evaluates only three).
+//!
+//! Regenerate (only when a *deliberate* behaviour change is shipped,
+//! which also bumps the results-cache behaviour version):
+//!
+//! ```text
+//! NOCOUT_REGEN_GOLDEN=1 cargo test --test chip_golden_metrics
+//! ```
+
+use nocout_repro::prelude::*;
+use std::fmt::Write as _;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/chip_metrics.txt"
+);
+
+/// One canonical line per run: every counter the chip aggregates, plus
+/// the stall fraction bit-exactly (hex of `to_bits`, the results-cache
+/// float convention).
+fn metric_line(org: Organization, wl: Workload, seed: u64) -> String {
+    let mut chip = ScaleOutChip::new(ChipConfig::paper(org), wl, seed);
+    chip.run_for(1_000);
+    chip.reset_stats();
+    chip.run_for(2_500);
+    let m = chip.metrics();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{org}|{wl:?}|{seed}|instr={} cycles={} stall={:016x} \
+         llc={}/{}/{} snoop={}/{} wb={} net={} mem={}/{} inflight={}/{}",
+        m.instructions,
+        m.cycles,
+        m.fetch_stall_fraction.to_bits(),
+        m.llc.accesses,
+        m.llc.hits,
+        m.llc.misses,
+        m.llc.snoops_sent,
+        m.llc.snooping_accesses,
+        m.llc.writebacks,
+        m.network.packets,
+        m.memory.reads,
+        m.memory.writes,
+        chip.inflight_messages(),
+        chip.inflight_transactions(),
+    );
+    s
+}
+
+fn current_lines() -> String {
+    let mut out = String::new();
+    for org in [
+        Organization::Mesh,
+        Organization::FlattenedButterfly,
+        Organization::NocOut,
+        Organization::IdealWire,
+        Organization::ZeroLoadMesh,
+    ] {
+        for (wl, seed) in [
+            (Workload::WebSearch, 1u64),
+            (Workload::WebSearch, 11),
+            (Workload::DataServing, 7),
+            (Workload::MapReduceC, 3),
+        ] {
+            out.push_str(&metric_line(org, wl, seed));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn chip_metrics_match_pre_refactor_golden() {
+    let lines = current_lines();
+    if std::env::var_os("NOCOUT_REGEN_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &lines).expect("write golden");
+        eprintln!("regenerated {GOLDEN}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — run with NOCOUT_REGEN_GOLDEN=1 once");
+    for (i, (got, want)) in lines.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(got, want, "line {i} diverged from the pre-refactor core");
+    }
+    assert_eq!(
+        lines.lines().count(),
+        golden.lines().count(),
+        "run-grid size changed; regenerate the golden deliberately"
+    );
+}
