@@ -124,6 +124,8 @@ pub struct ResultsCache {
     dir: PathBuf,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    store_failures: Cell<u64>,
+    quarantined: Cell<u64>,
 }
 
 impl ResultsCache {
@@ -135,6 +137,8 @@ impl ResultsCache {
             dir,
             hits: Cell::new(0),
             misses: Cell::new(0),
+            store_failures: Cell::new(0),
+            quarantined: Cell::new(0),
         })
     }
 
@@ -153,16 +157,41 @@ impl ResultsCache {
         self.misses.get()
     }
 
+    /// Entries this handle failed to store (warned once, then counted).
+    pub fn store_failures(&self) -> u64 {
+        self.store_failures.get()
+    }
+
+    /// Corrupt or key-mismatched entries this handle moved aside to
+    /// `<entry>.bad`.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.get()
+    }
+
     fn entry_path(&self, spec: &RunSpec) -> PathBuf {
         self.dir.join(format!("{:016x}.metrics", spec.content_hash()))
     }
 
     /// Looks the spec up; a corrupt, truncated, or key-mismatched entry is
-    /// reported as a miss (and will be overwritten by the next `put`).
+    /// reported as a miss. Such an entry is also *quarantined*: renamed to
+    /// `<entry>.bad` (preserving the bytes for inspection) so repeated
+    /// lookups of the same spec do not re-read and re-parse a file that
+    /// can never hit, and so the next `put` recreates the entry cleanly.
     pub fn get(&self, spec: &RunSpec) -> Option<SystemMetrics> {
-        let loaded = std::fs::read_to_string(self.entry_path(spec))
-            .ok()
-            .and_then(|text| parse_entry(&text, &spec.cache_key()));
+        let path = self.entry_path(spec);
+        let loaded = match std::fs::read_to_string(&path) {
+            Err(_) => None, // absent (or unreadable): a plain miss
+            Ok(text) => {
+                let parsed = parse_entry(&text, &spec.cache_key());
+                if parsed.is_none() {
+                    // Present but unusable: move it out of the lookup path.
+                    if std::fs::rename(&path, path.with_extension("bad")).is_ok() {
+                        self.quarantined.set(self.quarantined.get() + 1);
+                    }
+                }
+                parsed
+            }
+        };
         match &loaded {
             Some(_) => self.hits.set(self.hits.get() + 1),
             None => self.misses.set(self.misses.get() + 1),
@@ -170,9 +199,11 @@ impl ResultsCache {
         loaded
     }
 
-    /// Stores a result. Best-effort: I/O failures are reported on stderr
-    /// once per call but never fail the simulation that produced the
-    /// metrics.
+    /// Stores a result. Best-effort: an I/O failure never fails the
+    /// simulation that produced the metrics. The first failure per handle
+    /// warns on stderr; subsequent ones are only counted
+    /// ([`ResultsCache::store_failures`]) so a fully unwritable cache
+    /// directory does not drown a campaign in identical warnings.
     pub fn put(&self, spec: &RunSpec, metrics: &SystemMetrics) {
         let body = render_entry(&spec.cache_key(), metrics);
         let path = self.entry_path(spec);
@@ -180,15 +211,23 @@ impl ResultsCache {
         let result = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &path));
         if let Err(e) = result {
             let _ = std::fs::remove_file(&tmp);
-            eprintln!(
-                "warning: could not store cache entry {}: {e}",
-                path.display()
-            );
+            if self.store_failures.get() == 0 {
+                eprintln!(
+                    "warning: could not store cache entry {}: {e} \
+                     (further store failures will be counted, not repeated)",
+                    path.display()
+                );
+            }
+            self.store_failures.set(self.store_failures.get() + 1);
         }
     }
 }
 
-fn render_entry(key: &str, m: &SystemMetrics) -> String {
+/// Renders a metrics entry: the versioned header, the canonical key, then
+/// every metric field with floats as the hex of their IEEE-754 bits. Also
+/// the bit-exact payload format of `crate::distribute` result frames and
+/// the driver journal.
+pub(crate) fn render_entry(key: &str, m: &SystemMetrics) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{FORMAT}");
     let _ = writeln!(s, "key {key}");
@@ -233,7 +272,9 @@ fn render_entry(key: &str, m: &SystemMetrics) -> String {
     s
 }
 
-fn parse_entry(text: &str, expected_key: &str) -> Option<SystemMetrics> {
+/// Parses [`render_entry`] output, verifying the embedded key against
+/// `expected_key`; any mismatch, truncation or malformed field is `None`.
+pub(crate) fn parse_entry(text: &str, expected_key: &str) -> Option<SystemMetrics> {
     let mut lines = text.lines();
     if lines.next()? != FORMAT {
         return None;
@@ -474,6 +515,55 @@ mod tests {
                 "field {field}"
             );
         }
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_reparsed() {
+        let dir = std::env::temp_dir().join(format!(
+            "nocout-cache-quarantine-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultsCache::open(&dir).unwrap();
+        let s = spec();
+        cache.put(&s, &metrics());
+        assert!(cache.get(&s).is_some());
+
+        // Corrupt the entry on disk: the lookup must miss, and the bytes
+        // must move to `<entry>.bad` so the next lookup is a plain
+        // missing-file miss instead of another parse of garbage.
+        let path = cache.entry_path(&s);
+        std::fs::write(&path, "not a cache entry").unwrap();
+        assert!(cache.get(&s).is_none());
+        assert_eq!(cache.quarantined(), 1);
+        assert!(!path.exists());
+        let bad = path.with_extension("bad");
+        assert_eq!(std::fs::read_to_string(&bad).unwrap(), "not a cache entry");
+
+        // Second lookup: still a miss, but nothing new to quarantine.
+        assert!(cache.get(&s).is_none());
+        assert_eq!(cache.quarantined(), 1);
+
+        // A fresh put recreates the entry and lookups hit again.
+        cache.put(&s, &metrics());
+        assert!(cache.get(&s).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_failures_are_counted() {
+        let dir = std::env::temp_dir().join(format!(
+            "nocout-cache-storefail-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultsCache::open(&dir).unwrap();
+        // Remove the directory out from under the handle: every store now
+        // fails, and the handle counts each one (warning only once).
+        std::fs::remove_dir_all(&dir).unwrap();
+        cache.put(&spec(), &metrics());
+        cache.put(&spec().with_seed(2), &metrics());
+        assert_eq!(cache.store_failures(), 2);
     }
 
     #[test]

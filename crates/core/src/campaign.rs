@@ -58,7 +58,7 @@
 
 use crate::config::{ChipConfig, Organization};
 use crate::metrics::SystemMetrics;
-use crate::runner::{BatchRunner, RunSpec};
+use crate::runner::{BatchRunner, PointOutcome, RunSpec};
 use nocout_sim::config::{MeasurementWindow, SeedSet};
 use nocout_sim::stats::{geometric_mean, RunningStats};
 use nocout_workloads::WorkloadClass;
@@ -292,49 +292,105 @@ impl Campaign {
     }
 
     /// Executes the whole grid as one batch on `runner` — every point ×
-    /// seed in a single [`BatchRunner::run_batch`] call, so a figure's
-    /// full grid parallelizes across `--jobs` workers and memoizes
-    /// through `--cache`, exactly as the hand-rolled point vectors did —
-    /// and folds the per-seed results into a queryable [`ResultFrame`].
+    /// seed in a single [`BatchRunner::run_batch_outcomes`] call, so a
+    /// figure's full grid parallelizes across `--jobs` workers and
+    /// memoizes through `--cache`, exactly as the hand-rolled point
+    /// vectors did — and folds the per-seed results into a queryable
+    /// [`ResultFrame`].
     ///
     /// Per point, replication statistics accumulate in seed order: the
     /// frame's `ipc`/`ci95`/`metrics` are bit-identical to serial
     /// [`crate::runner::run_replicated`] calls, at any worker count.
     ///
+    /// Failure is per point, not per campaign: a spec whose simulation
+    /// panics lands in the frame's failed-point set
+    /// ([`ResultFrame::failed`]) while every other point completes.
+    ///
     /// # Panics
     ///
     /// Panics if no workload was declared or the seed axis is empty.
     pub fn run(&self, runner: &BatchRunner) -> ResultFrame {
+        self.run_on(runner)
+    }
+
+    /// [`Campaign::run`] over any [`CampaignExecutor`] — the local
+    /// [`BatchRunner`] pool or the sharded multi-process driver
+    /// ([`crate::distribute::ShardedDriver`]). Executors are required to
+    /// be bit-identical for successful points, so the folded frame does
+    /// not depend on where the points ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload was declared or the seed axis is empty.
+    pub fn run_on<E: CampaignExecutor + ?Sized>(&self, exec: &E) -> ResultFrame {
         assert!(!self.seeds.is_empty(), "campaign needs at least one seed");
         let (points, specs, per_point_runs) = self.plan();
-        let all = runner.run_batch(&specs);
+        let all = exec.execute(&specs);
         let mut off = 0;
-        let results = points
-            .into_iter()
-            .zip(per_point_runs)
-            .map(|(p, runs)| {
-                let per_seed = &all[off..off + runs];
-                off += runs;
-                let mut stats = RunningStats::new();
-                for m in per_seed {
-                    stats.record(m.aggregate_ipc());
-                }
-                PointResult {
+        let mut results = Vec::new();
+        let mut failed = Vec::new();
+        for (p, runs) in points.into_iter().zip(per_point_runs) {
+            let per_seed = &all[off..off + runs];
+            let seeds: Vec<u64> = specs[off..off + runs].iter().map(|s| s.seed).collect();
+            off += runs;
+            // A point is its replication fold; if any seed failed the
+            // fold would misrepresent the declared seed axis, so the
+            // whole point degrades into the failed set (successful seeds
+            // stay memoized in the cache for the retry).
+            if let Some((i, err)) = per_seed
+                .iter()
+                .enumerate()
+                .find_map(|(i, o)| o.as_ref().err().map(|e| (i, e)))
+            {
+                failed.push(FailedPoint {
                     label: p.label,
                     chip: p.chip,
                     workload: p.workload,
-                    seeds_run: runs,
-                    ipc: stats.mean(),
-                    ci95: stats.ci95_half_width(),
-                    metrics: per_seed.last().expect("non-empty seed set").clone(),
-                    coord: p.coord,
-                }
-            })
-            .collect();
+                    seed: seeds[i],
+                    error: err.message.clone(),
+                });
+                continue;
+            }
+            let mut stats = RunningStats::new();
+            let mut last = None;
+            for m in per_seed.iter().map(|o| o.as_ref().expect("checked above")) {
+                stats.record(m.aggregate_ipc());
+                last = Some(m);
+            }
+            results.push(PointResult {
+                label: p.label,
+                chip: p.chip,
+                workload: p.workload,
+                seeds_run: runs,
+                ipc: stats.mean(),
+                ci95: stats.ci95_half_width(),
+                metrics: last.expect("non-empty replication").clone(),
+                coord: p.coord,
+            });
+        }
         ResultFrame {
             workloads: self.workloads.clone(),
             points: results,
+            failed,
         }
+    }
+}
+
+/// Anything that can execute a campaign's spec sequence: the local
+/// [`BatchRunner`] pool, or the multi-process sharded driver
+/// ([`crate::distribute::ShardedDriver`]). Implementations must return
+/// exactly one outcome per spec, in spec order, and successful outcomes
+/// must be bit-identical to [`crate::runner::run`] on the same spec —
+/// the executor chooses *where and when* points run, never *what* they
+/// compute.
+pub trait CampaignExecutor {
+    /// Executes every spec, returning outcomes keyed by spec index.
+    fn execute(&self, specs: &[RunSpec]) -> Vec<PointOutcome>;
+}
+
+impl CampaignExecutor for BatchRunner {
+    fn execute(&self, specs: &[RunSpec]) -> Vec<PointOutcome> {
+        self.run_batch_outcomes(specs)
     }
 }
 
@@ -416,22 +472,76 @@ impl PointResult {
     }
 }
 
+/// One grid point that failed to produce metrics: its coordinates plus
+/// the failure cause. Lives on [`ResultFrame::failed`] so a partially
+/// failed campaign degrades into an explicit, queryable failure set
+/// instead of an aborted run.
+#[derive(Debug, Clone)]
+pub struct FailedPoint {
+    /// Variant label when the configuration axis is explicit.
+    pub label: Option<String>,
+    /// The chip configuration of the failed point.
+    pub chip: ChipConfig,
+    /// The workload class of the failed point.
+    pub workload: WorkloadClass,
+    /// The first seed whose run failed.
+    pub seed: u64,
+    /// The failure cause (panic message or transport failure).
+    pub error: String,
+}
+
+impl std::fmt::Display for FailedPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+impl FailedPoint {
+    fn describe(&self) -> String {
+        let mut s = format!("{} / {}", self.chip.organization, self.workload);
+        if let Some(l) = &self.label {
+            s = format!("[{l}] {s}");
+        }
+        let _ = write!(
+            s,
+            " / {} cores / {}-bit links / seed {}: {}",
+            self.chip.cores, self.chip.link_width_bits, self.seed, self.error
+        );
+        s
+    }
+}
+
 /// Results of a campaign, keyed by their axis coordinates.
 ///
 /// Points are stored in the canonical expansion order
 /// ([`ResultFrame::results`]); the query helpers ([`ResultFrame::get`],
 /// [`ResultFrame::at`], [`ResultFrame::normalize_to`]) replace the
 /// flat-index arithmetic the experiment binaries used to hand-roll.
+/// Points whose execution failed are carried separately
+/// ([`ResultFrame::failed`]): queries that land on one panic naming the
+/// failure instead of reporting a hole in the grid.
 #[derive(Debug, Clone)]
 pub struct ResultFrame {
     workloads: Vec<WorkloadClass>,
     points: Vec<PointResult>,
+    failed: Vec<FailedPoint>,
 }
 
 impl ResultFrame {
     /// Every point in canonical expansion order.
     pub fn results(&self) -> &[PointResult] {
         &self.points
+    }
+
+    /// Every point that failed to execute, in canonical expansion order.
+    /// Empty on a fully successful campaign.
+    pub fn failed(&self) -> &[FailedPoint] {
+        &self.failed
+    }
+
+    /// Whether every declared point produced metrics.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
     }
 
     /// Number of grid points.
@@ -597,18 +707,34 @@ impl<'f> Sel<'f> {
         self
     }
 
-    fn matches(&self, p: &PointResult) -> bool {
-        self.org.is_none_or(|o| p.chip.organization == o)
-            && self.cores.is_none_or(|n| p.chip.cores == n)
-            && self.link_bits.is_none_or(|b| p.chip.link_width_bits == b)
-            && self
-                .workload
-                .as_ref()
-                .is_none_or(|w| p.workload == *w)
+    fn matches_parts(
+        &self,
+        chip: &ChipConfig,
+        workload: &WorkloadClass,
+        label: Option<&str>,
+    ) -> bool {
+        self.org.is_none_or(|o| chip.organization == o)
+            && self.cores.is_none_or(|n| chip.cores == n)
+            && self.link_bits.is_none_or(|b| chip.link_width_bits == b)
+            && self.workload.as_ref().is_none_or(|w| *workload == *w)
             && self
                 .label
                 .as_ref()
-                .is_none_or(|l| p.label.as_deref() == Some(l.as_str()))
+                .is_none_or(|l| label == Some(l.as_str()))
+    }
+
+    fn matches(&self, p: &PointResult) -> bool {
+        self.matches_parts(&p.chip, &p.workload, p.label.as_deref())
+    }
+
+    /// Failed points this query would have matched — what turns a silent
+    /// "no point matches" into a named failure.
+    fn matching_failures(&self) -> Vec<&'f FailedPoint> {
+        self.frame
+            .failed
+            .iter()
+            .filter(|f| self.matches_parts(&f.chip, &f.workload, f.label.as_deref()))
+            .collect()
     }
 
     fn describe(&self) -> String {
@@ -645,10 +771,23 @@ impl<'f> Sel<'f> {
     /// # Panics
     ///
     /// Panics — naming the query — if no point or more than one point
-    /// matches.
+    /// matches. When a point the query would have matched is in the
+    /// frame's failed set, the message names that point and its failure
+    /// cause instead of claiming the point does not exist.
     pub fn one(&self) -> &'f PointResult {
         let mut it = self.iter();
         let first = it.next().unwrap_or_else(|| {
+            let failures = self.matching_failures();
+            if let Some(f) = failures.first() {
+                panic!(
+                    "campaign point matching {} failed to execute ({} matching \
+                     failure{}): {}",
+                    self.describe(),
+                    failures.len(),
+                    if failures.len() == 1 { "" } else { "s" },
+                    f.describe()
+                );
+            }
             panic!("no campaign point matches {}", self.describe())
         });
         if let Some(second) = it.next() {
@@ -707,7 +846,16 @@ impl NormalizedFrame {
             .collect();
         match matches.as_slice() {
             [i] => self.values[*i],
-            [] => panic!("no campaign point matches {}", sel.describe()),
+            [] => {
+                if let Some(f) = sel.matching_failures().first() {
+                    panic!(
+                        "campaign point matching {} failed to execute: {}",
+                        sel.describe(),
+                        f.describe()
+                    );
+                }
+                panic!("no campaign point matches {}", sel.describe())
+            }
             _ => panic!("query {} is ambiguous", sel.describe()),
         }
     }
@@ -920,6 +1068,51 @@ mod tests {
         assert_eq!(p.ci95.to_bits(), r.ci95.to_bits());
         assert_eq!(p.metrics.instructions, r.last.instructions);
         assert_eq!(p.seeds_run, 2);
+    }
+
+    #[test]
+    fn failed_point_degrades_into_failed_set() {
+        // One poisoned variant (NOC-Out at 24 cores trips the chip
+        // constructor) among good ones: the campaign completes, the good
+        // points fold normally, and the poisoned point lands in the
+        // failed set with its cause.
+        let frame = Campaign::new()
+            .variants([
+                ("good mesh", ChipConfig::with_cores(Organization::Mesh, 16)),
+                ("poisoned", ChipConfig::with_cores(Organization::NocOut, 24)),
+            ])
+            .workloads([Workload::WebSearch])
+            .window(MeasurementWindow::fast())
+            .run(&BatchRunner::serial());
+        assert_eq!(frame.len(), 1);
+        assert!(!frame.is_complete());
+        assert_eq!(frame.failed().len(), 1);
+        let f = &frame.failed()[0];
+        assert_eq!(f.label.as_deref(), Some("poisoned"));
+        assert!(f.error.contains("NOC-Out requires"), "{}", f.error);
+        assert!(frame.at().label("good mesh").one().ipc > 0.0);
+    }
+
+    #[test]
+    fn query_on_failed_point_names_the_failure() {
+        let frame = Campaign::new()
+            .variants([
+                ("good mesh", ChipConfig::with_cores(Organization::Mesh, 16)),
+                ("poisoned", ChipConfig::with_cores(Organization::NocOut, 24)),
+            ])
+            .workloads([Workload::WebSearch])
+            .window(MeasurementWindow::fast())
+            .run(&BatchRunner::serial());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            frame.at().label("poisoned").one()
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message")
+            .clone();
+        assert!(msg.contains("failed to execute"), "{msg}");
+        assert!(msg.contains("NOC-Out requires"), "{msg}");
     }
 
     #[test]

@@ -48,6 +48,28 @@ impl fmt::Display for Organization {
     }
 }
 
+impl std::str::FromStr for Organization {
+    type Err = String;
+
+    /// Parses the stable identifier (the `Debug` variant name, as used in
+    /// cache keys and shard-request wire records).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "Mesh" => Organization::Mesh,
+            "FlattenedButterfly" => Organization::FlattenedButterfly,
+            "NocOut" => Organization::NocOut,
+            "IdealWire" => Organization::IdealWire,
+            "ZeroLoadMesh" => Organization::ZeroLoadMesh,
+            _ => {
+                return Err(format!(
+                    "`{s}` is not an organization (expected Mesh, \
+                     FlattenedButterfly, NocOut, IdealWire or ZeroLoadMesh)"
+                ))
+            }
+        })
+    }
+}
+
 /// Full chip configuration (Table 1 defaults via [`ChipConfig::paper`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChipConfig {

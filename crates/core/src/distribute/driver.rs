@@ -1,0 +1,695 @@
+//! The sharded campaign driver: partitions a spec sequence into shards,
+//! dispatches them to workers, and survives every failure mode the wire
+//! can produce.
+//!
+//! The driver is a [`CampaignExecutor`]: `Campaign::run_on(&driver)`
+//! behaves exactly like running on a local [`crate::runner::BatchRunner`]
+//! — bit-identically, for every successful point — except that points
+//! execute on worker endpoints ([`Endpoint::Tcp`] peers, or
+//! [`Endpoint::Process`] workers the driver spawns itself).
+//!
+//! ## Failure model
+//!
+//! * **Dead or silent worker** — every read carries the
+//!   [`DriverConfig::read_timeout`]; workers heartbeat far more often
+//!   than that, so a timeout means the worker is gone, not slow.
+//! * **Failed shard attempt** — the shard returns to the queue after a
+//!   seeded exponential backoff with jitter
+//!   ([`DriverConfig::backoff_base`]/`backoff_cap`/`backoff_seed`), up
+//!   to [`DriverConfig::max_attempts`] dispatches. Any surviving
+//!   endpoint can pick up the retry.
+//! * **Straggler** — once a shard's only dispatch has been running
+//!   longer than [`DriverConfig::speculate_after`], an idle endpoint
+//!   re-dispatches it speculatively; the first completion wins and the
+//!   loser is discarded (results are bit-identical either way).
+//! * **Flaky endpoint** — an endpoint that fails
+//!   [`DriverConfig::endpoint_failure_limit`] consecutive attempts
+//!   retires; its queued work drains to the survivors.
+//! * **Exhausted retries / no survivors** — the affected points degrade
+//!   into [`PointError`]s naming the last transport error; the campaign
+//!   completes and reports them in its failed set instead of aborting.
+//! * **Driver crash** — with [`DriverConfig::journal`], every completed
+//!   point is journaled (flushed per record); `resume: true` replays the
+//!   journal and dispatches only what it does not cover
+//!   (`super::journal`).
+
+use super::journal::{Journal, JournalRecord};
+use super::wire::{read_frame, write_frame, Message, WireError};
+use crate::cache::{parse_entry, render_entry};
+use crate::campaign::CampaignExecutor;
+use crate::runner::{PointError, PointOutcome, RunSpec};
+use nocout_sim::rng::SimRng;
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a worker lives.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// An already-running worker listening on `host:port`.
+    Tcp(String),
+    /// A worker process the driver spawns. `--listen 127.0.0.1:0` is
+    /// appended to `args`; the worker must print `listening <addr>` on
+    /// stdout once bound (as `nocout-worker` does). The driver kills the
+    /// process when execution finishes.
+    Process {
+        /// The worker executable.
+        program: PathBuf,
+        /// Arguments before the appended `--listen`.
+        args: Vec<String>,
+    },
+}
+
+/// Tuning knobs of the sharded driver. The defaults suit local process
+/// pools on a loaded machine: generous timeouts, fast first retry.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Specs per shard (the retry/journal granularity).
+    pub shard_points: usize,
+    /// Total dispatch attempts per shard before its points degrade into
+    /// [`PointError`]s.
+    pub max_attempts: u32,
+    /// First-retry backoff; attempt *n* waits `base * 2^(n-1)`, capped.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Seed of the deterministic backoff jitter (each delay is scaled by
+    /// a factor in `[0.5, 1.0)` drawn from
+    /// `SimRng::new(seed ^ shard ^ attempt)` — reproducible schedules
+    /// for tests, decorrelated retries in production).
+    pub backoff_seed: u64,
+    /// Per-read deadline. Workers heartbeat every ~200 ms, so this is a
+    /// liveness bound, not a per-point time budget; keep it large (the
+    /// default is 30 s) — a expiry means a dead worker.
+    pub read_timeout: Duration,
+    /// Re-dispatch a shard speculatively once its only dispatch has been
+    /// in flight this long and an endpoint is idle. `None` disables
+    /// speculation.
+    pub speculate_after: Option<Duration>,
+    /// Consecutive failed attempts after which an endpoint retires.
+    pub endpoint_failure_limit: u32,
+    /// Campaign manifest journal path (`super::journal`).
+    pub journal: Option<PathBuf>,
+    /// Replay an existing journal instead of truncating it.
+    pub resume: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            shard_points: 4,
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            backoff_seed: 0x6e6f_636f_7574, // "nocout"
+            read_timeout: Duration::from_secs(30),
+            speculate_after: None,
+            endpoint_failure_limit: 3,
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// What one execution did, for reporting and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriverStats {
+    /// Shards the spec sequence partitioned into (after journal replay).
+    pub shards: u64,
+    /// Shard dispatches, including retries and speculation.
+    pub dispatches: u64,
+    /// Re-dispatches caused by failed attempts.
+    pub retries: u64,
+    /// Speculative re-dispatches of stragglers.
+    pub speculative: u64,
+    /// Failed shard attempts (transport or protocol errors).
+    pub failed_attempts: u64,
+    /// Points recovered from the journal instead of dispatched.
+    pub journal_resumed: u64,
+    /// Points that degraded into [`PointError`]s.
+    pub failed_points: u64,
+}
+
+/// A fault-tolerant [`CampaignExecutor`] over worker endpoints.
+#[derive(Debug)]
+pub struct ShardedDriver {
+    endpoints: Vec<Endpoint>,
+    cfg: DriverConfig,
+    last_stats: Mutex<DriverStats>,
+}
+
+impl ShardedDriver {
+    /// A driver dispatching to `endpoints` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints` is empty or `cfg.shard_points`/
+    /// `cfg.max_attempts` is zero.
+    pub fn new(endpoints: Vec<Endpoint>, cfg: DriverConfig) -> Self {
+        assert!(!endpoints.is_empty(), "a sharded driver needs at least one endpoint");
+        assert!(cfg.shard_points > 0, "shard_points must be positive");
+        assert!(cfg.max_attempts > 0, "max_attempts must be positive");
+        ShardedDriver {
+            endpoints,
+            cfg,
+            last_stats: Mutex::new(DriverStats::default()),
+        }
+    }
+
+    /// Statistics of the most recent [`CampaignExecutor::execute`] call.
+    pub fn stats(&self) -> DriverStats {
+        *self.last_stats.lock().expect("stats lock")
+    }
+
+    /// Executes the spec sequence across the endpoints; one outcome per
+    /// spec, in spec order. Never panics on worker/transport failures —
+    /// those degrade into per-point [`PointError`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on *configuration* errors: an unusable journal (wrong
+    /// campaign, unwritable path) — misconfigurations to surface, not
+    /// tolerate.
+    pub fn execute_sharded(&self, specs: &[RunSpec]) -> Vec<PointOutcome> {
+        let mut outcomes: Vec<Option<PointOutcome>> = vec![None; specs.len()];
+        let mut stats = DriverStats::default();
+
+        let journal = self.open_journal(specs, &mut outcomes, &mut stats);
+
+        // Shard the points the journal did not cover.
+        let pending: Vec<usize> = (0..specs.len()).filter(|&i| outcomes[i].is_none()).collect();
+        let shards: Vec<Shard> = pending
+            .chunks(self.cfg.shard_points)
+            .enumerate()
+            .map(|(id, indices)| Shard {
+                id: id as u64,
+                indices: indices.to_vec(),
+            })
+            .collect();
+        stats.shards = shards.len() as u64;
+
+        if !shards.is_empty() {
+            let (addrs, mut children) = self.resolve_endpoints();
+            self.dispatch(specs, shards, &addrs, journal, &mut outcomes, &mut stats);
+            for child in &mut children {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+
+        stats.failed_points = outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(Err(_))))
+            .count() as u64;
+        *self.last_stats.lock().expect("stats lock") = stats;
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every spec resolves to an outcome"))
+            .collect()
+    }
+
+    fn open_journal(
+        &self,
+        specs: &[RunSpec],
+        outcomes: &mut [Option<PointOutcome>],
+        stats: &mut DriverStats,
+    ) -> Option<Journal> {
+        let path = self.cfg.journal.as_ref()?;
+        if self.cfg.resume {
+            let (journal, recovered) = Journal::resume(path, specs)
+                .unwrap_or_else(|e| panic!("cannot resume journal {}: {e}", path.display()));
+            for (i, record) in recovered.into_iter().enumerate() {
+                let Some(record) = record else { continue };
+                stats.journal_resumed += 1;
+                outcomes[i] = Some(match record {
+                    JournalRecord::Ok(entry) => parse_entry(&entry, &specs[i].cache_key())
+                        .map(Ok)
+                        .expect("resume() validated every recovered entry"),
+                    JournalRecord::Failed(message) => Err(PointError {
+                        cache_key: specs[i].cache_key(),
+                        message,
+                    }),
+                });
+            }
+            Some(journal)
+        } else {
+            Some(
+                Journal::create(path, specs).unwrap_or_else(|e| {
+                    panic!("cannot create journal {}: {e}", path.display())
+                }),
+            )
+        }
+    }
+
+    /// Spawns process endpoints and collects every endpoint's address.
+    /// An endpoint that fails to come up is skipped with a warning — the
+    /// survivors (or, failing all, the no-live-workers path) carry on.
+    fn resolve_endpoints(&self) -> (Vec<String>, Vec<Child>) {
+        let mut addrs = Vec::new();
+        let mut children = Vec::new();
+        for ep in &self.endpoints {
+            match ep {
+                Endpoint::Tcp(addr) => addrs.push(addr.clone()),
+                Endpoint::Process { program, args } => {
+                    match spawn_worker(program, args) {
+                        Ok((addr, child)) => {
+                            addrs.push(addr);
+                            children.push(child);
+                        }
+                        Err(e) => eprintln!(
+                            "warning: worker endpoint {} failed to start: {e}",
+                            program.display()
+                        ),
+                    }
+                }
+            }
+        }
+        (addrs, children)
+    }
+
+    fn dispatch(
+        &self,
+        specs: &[RunSpec],
+        shards: Vec<Shard>,
+        addrs: &[String],
+        journal: Option<Journal>,
+        outcomes: &mut Vec<Option<PointOutcome>>,
+        stats: &mut DriverStats,
+    ) {
+        let fail_all = |outcomes: &mut Vec<Option<PointOutcome>>, shards: &[Shard], why: &str| {
+            for shard in shards {
+                for &gi in &shard.indices {
+                    outcomes[gi] = Some(Err(PointError {
+                        cache_key: specs[gi].cache_key(),
+                        message: why.to_string(),
+                    }));
+                }
+            }
+        };
+        if addrs.is_empty() {
+            fail_all(outcomes, &shards, "no worker endpoint is reachable");
+            return;
+        }
+
+        let state = Mutex::new(State {
+            queue: shards.iter().map(|s| (Instant::now(), s.id)).collect(),
+            shards: shards
+                .iter()
+                .map(|s| {
+                    (
+                        s.id,
+                        ShardState {
+                            indices: s.indices.clone(),
+                            attempts: 0,
+                            in_flight: 0,
+                            started: None,
+                            speculated: false,
+                            done: false,
+                        },
+                    )
+                })
+                .collect(),
+            outcomes: std::mem::take(outcomes),
+            remaining: shards.len(),
+            active_endpoints: addrs.len(),
+            journal,
+            stats: std::mem::take(stats),
+        });
+        let cv = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for addr in addrs {
+                scope.spawn(|| self.endpoint_loop(addr, specs, &state, &cv));
+            }
+        });
+
+        let mut st = state.into_inner().expect("state lock");
+        *outcomes = std::mem::take(&mut st.outcomes);
+        *stats = st.stats;
+    }
+
+    /// One endpoint's worker loop: claim a shard (fresh, retried, or
+    /// speculative), run it, and fold the result into the shared state.
+    fn endpoint_loop(
+        &self,
+        addr: &str,
+        specs: &[RunSpec],
+        state: &Mutex<State>,
+        cv: &Condvar,
+    ) {
+        let mut consecutive_failures = 0u32;
+        loop {
+            let Some((shard_id, shard_specs, indices)) = self.claim(specs, state, cv) else {
+                return;
+            };
+            match run_shard_on(addr, shard_id, &shard_specs, self.cfg.read_timeout) {
+                Ok(results) => {
+                    consecutive_failures = 0;
+                    let mut st = state.lock().expect("state lock");
+                    st.complete(shard_id, &indices, results, specs);
+                    cv.notify_all();
+                }
+                Err(e) => {
+                    consecutive_failures += 1;
+                    let mut st = state.lock().expect("state lock");
+                    st.fail_attempt(shard_id, &e, specs, &self.cfg);
+                    if consecutive_failures >= self.cfg.endpoint_failure_limit {
+                        st.retire_endpoint(specs);
+                        cv.notify_all();
+                        return;
+                    }
+                    cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Blocks until there is a shard to run (or nothing left to do).
+    /// Returns the shard id, its specs, and their global indices.
+    fn claim(
+        &self,
+        specs: &[RunSpec],
+        state: &Mutex<State>,
+        cv: &Condvar,
+    ) -> Option<(u64, Vec<RunSpec>, Vec<usize>)> {
+        let mut st = state.lock().expect("state lock");
+        loop {
+            if st.remaining == 0 {
+                return None;
+            }
+            let now = Instant::now();
+            let stx = &mut *st;
+            // Fresh or retried work first.
+            if let Some(pos) = stx.queue.iter().position(|&(ready, _)| ready <= now) {
+                let (_, id) = stx.queue.swap_remove(pos);
+                let s = stx.shards.get_mut(&id).expect("queued shard exists");
+                s.in_flight += 1;
+                s.started = Some(now);
+                let indices = s.indices.clone();
+                stx.stats.dispatches += 1;
+                let shard_specs = indices.iter().map(|&i| specs[i].clone()).collect();
+                return Some((id, shard_specs, indices));
+            }
+            // Otherwise speculate on a straggler.
+            if let Some(after) = self.cfg.speculate_after {
+                let candidate = stx.shards.iter_mut().find_map(|(&id, s)| {
+                    let straggling = !s.done
+                        && s.in_flight == 1
+                        && !s.speculated
+                        && s.started.is_some_and(|t| now.duration_since(t) >= after);
+                    if straggling {
+                        s.in_flight += 1;
+                        s.speculated = true;
+                        Some((id, s.indices.clone()))
+                    } else {
+                        None
+                    }
+                });
+                if let Some((id, indices)) = candidate {
+                    stx.stats.dispatches += 1;
+                    stx.stats.speculative += 1;
+                    let shard_specs = indices.iter().map(|&i| specs[i].clone()).collect();
+                    return Some((id, shard_specs, indices));
+                }
+            }
+            // Nothing runnable: sleep until the earliest backoff expiry
+            // (or a completion wakes us).
+            let wait = st
+                .queue
+                .iter()
+                .map(|&(ready, _)| ready.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(100))
+                .max(Duration::from_millis(1));
+            let (guard, _) = cv.wait_timeout(st, wait).expect("state lock");
+            st = guard;
+        }
+    }
+}
+
+impl CampaignExecutor for ShardedDriver {
+    fn execute(&self, specs: &[RunSpec]) -> Vec<PointOutcome> {
+        self.execute_sharded(specs)
+    }
+}
+
+/// One shard: consecutive pending points of the spec sequence.
+struct Shard {
+    id: u64,
+    indices: Vec<usize>,
+}
+
+struct ShardState {
+    indices: Vec<usize>,
+    /// Failed attempts so far.
+    attempts: u32,
+    /// Concurrent dispatches (2 while a speculative twin runs).
+    in_flight: u32,
+    /// When the latest dispatch started.
+    started: Option<Instant>,
+    /// This generation already has a speculative twin.
+    speculated: bool,
+    done: bool,
+}
+
+struct State {
+    /// Shards awaiting (re-)dispatch, each with its earliest start time.
+    queue: Vec<(Instant, u64)>,
+    shards: HashMap<u64, ShardState>,
+    outcomes: Vec<Option<PointOutcome>>,
+    /// Shards not yet done.
+    remaining: usize,
+    active_endpoints: usize,
+    journal: Option<Journal>,
+    stats: DriverStats,
+}
+
+impl State {
+    fn complete(
+        &mut self,
+        shard_id: u64,
+        indices: &[usize],
+        results: Vec<PointOutcome>,
+        specs: &[RunSpec],
+    ) {
+        let s = self.shards.get_mut(&shard_id).expect("completed shard exists");
+        s.in_flight = s.in_flight.saturating_sub(1);
+        if s.done {
+            return; // the speculative twin already delivered
+        }
+        s.done = true;
+        self.remaining -= 1;
+        for (&gi, outcome) in indices.iter().zip(results) {
+            if let Some(journal) = &mut self.journal {
+                let io = match &outcome {
+                    Ok(metrics) => {
+                        journal.record_ok(gi, &render_entry(&specs[gi].cache_key(), metrics))
+                    }
+                    Err(e) => journal.record_failed(gi, e),
+                };
+                if let Err(e) = io {
+                    eprintln!("warning: journal write failed: {e} (resume will re-run this point)");
+                }
+            }
+            self.outcomes[gi] = Some(outcome);
+        }
+    }
+
+    fn fail_attempt(
+        &mut self,
+        shard_id: u64,
+        err: &WireError,
+        specs: &[RunSpec],
+        cfg: &DriverConfig,
+    ) {
+        self.stats.failed_attempts += 1;
+        let s = self.shards.get_mut(&shard_id).expect("failed shard exists");
+        s.in_flight = s.in_flight.saturating_sub(1);
+        if s.done {
+            return; // the twin already delivered
+        }
+        s.attempts += 1;
+        if s.in_flight > 0 {
+            return; // a twin is still running; it may yet deliver
+        }
+        let attempts = s.attempts;
+        if attempts >= cfg.max_attempts {
+            // Exhausted: the shard's points degrade into explicit errors.
+            s.done = true;
+            let indices = s.indices.clone();
+            self.remaining -= 1;
+            let message = format!(
+                "shard {shard_id} exhausted {attempts} dispatch attempts; last error: {err}"
+            );
+            for gi in indices {
+                self.outcomes[gi] = Some(Err(PointError {
+                    cache_key: specs[gi].cache_key(),
+                    message: message.clone(),
+                }));
+            }
+        } else {
+            s.speculated = false; // the retry may be speculated anew
+            self.stats.retries += 1;
+            let delay = backoff_delay(cfg, shard_id, attempts);
+            self.queue.push((Instant::now() + delay, shard_id));
+        }
+    }
+
+    /// An endpoint gave up. If it was the last one, drain every
+    /// unfinished shard into explicit point errors — with no workers
+    /// left, waiting would hang the campaign forever.
+    fn retire_endpoint(&mut self, specs: &[RunSpec]) {
+        self.active_endpoints = self.active_endpoints.saturating_sub(1);
+        if self.active_endpoints > 0 || self.remaining == 0 {
+            return;
+        }
+        let undone: Vec<u64> = self
+            .shards
+            .iter()
+            .filter(|(_, s)| !s.done)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in undone {
+            let s = self.shards.get_mut(&id).expect("shard exists");
+            s.done = true;
+            let indices = s.indices.clone();
+            self.remaining -= 1;
+            for gi in indices {
+                self.outcomes[gi] = Some(Err(PointError {
+                    cache_key: specs[gi].cache_key(),
+                    message: "no live worker endpoints remain".to_string(),
+                }));
+            }
+        }
+    }
+}
+
+/// Deterministic backoff: exponential in the attempt number, capped,
+/// scaled by a jitter factor in `[0.5, 1.0)` seeded from
+/// `(backoff_seed, shard, attempt)` — the schedule is a pure function of
+/// the configuration, never of wall-clock or thread timing.
+fn backoff_delay(cfg: &DriverConfig, shard: u64, attempt: u32) -> Duration {
+    let exp = cfg
+        .backoff_base
+        .saturating_mul(1u32 << (attempt - 1).min(16))
+        .min(cfg.backoff_cap);
+    let mut rng = SimRng::new(
+        cfg.backoff_seed
+            ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(attempt),
+    );
+    exp.mul_f64(0.5 + 0.5 * rng.next_f64())
+}
+
+/// Dispatches one shard over one fresh connection and collects its
+/// results. Any protocol irregularity — short stream, wrong shard id,
+/// an entry that does not verify against its spec's canonical key — is
+/// an error (and therefore a retry), never silently wrong data.
+fn run_shard_on(
+    addr: &str,
+    shard_id: u64,
+    shard_specs: &[RunSpec],
+    read_timeout: Duration,
+) -> Result<Vec<PointOutcome>, WireError> {
+    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+    stream.set_read_timeout(Some(read_timeout)).map_err(WireError::Io)?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = &stream;
+    write_frame(
+        &mut writer,
+        &Message::ShardRequest {
+            shard: shard_id,
+            specs: shard_specs.to_vec(),
+        },
+    )?;
+    let mut reader = &stream;
+    let mut got: Vec<Option<PointOutcome>> = vec![None; shard_specs.len()];
+    loop {
+        match read_frame(&mut reader)? {
+            Message::Heartbeat => {}
+            Message::PointOk { shard, index, entry } => {
+                let i = check_point(shard_id, shard, index, shard_specs.len())?;
+                let key = shard_specs[i].cache_key();
+                let metrics = parse_entry(&entry, &key).ok_or_else(|| {
+                    WireError::Malformed(format!(
+                        "result entry for point {index} does not verify against its spec"
+                    ))
+                })?;
+                got[i] = Some(Ok(metrics));
+            }
+            Message::PointFailed { shard, index, error } => {
+                let i = check_point(shard_id, shard, index, shard_specs.len())?;
+                got[i] = Some(Err(PointError {
+                    cache_key: shard_specs[i].cache_key(),
+                    message: error,
+                }));
+            }
+            Message::ShardDone { shard, points } => {
+                if shard != shard_id {
+                    return Err(WireError::Malformed(format!(
+                        "shard-done for shard {shard}, expected {shard_id}"
+                    )));
+                }
+                if points as usize != shard_specs.len() || got.iter().any(Option::is_none) {
+                    return Err(WireError::Malformed(format!(
+                        "short shard: worker sent {points} of {} points",
+                        shard_specs.len()
+                    )));
+                }
+                return Ok(got.into_iter().map(|o| o.expect("checked above")).collect());
+            }
+            Message::ShardRequest { .. } => {
+                return Err(WireError::Malformed(
+                    "worker sent a shard request to the driver".into(),
+                ))
+            }
+        }
+    }
+}
+
+fn check_point(expected: u64, shard: u64, index: u32, len: usize) -> Result<usize, WireError> {
+    if shard != expected {
+        return Err(WireError::Malformed(format!(
+            "result for shard {shard}, expected {expected}"
+        )));
+    }
+    let i = index as usize;
+    if i >= len {
+        return Err(WireError::Malformed(format!(
+            "point index {index} out of range (shard has {len} points)"
+        )));
+    }
+    Ok(i)
+}
+
+/// Spawns a worker process with `--listen 127.0.0.1:0` and reads its
+/// `listening <addr>` banner.
+fn spawn_worker(
+    program: &std::path::Path,
+    args: &[String],
+) -> std::io::Result<(String, Child)> {
+    let mut child = Command::new(program)
+        .args(args)
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout is piped");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout).read_line(&mut line)?;
+    match line.trim().strip_prefix("listening ") {
+        Some(addr) if !addr.is_empty() => Ok((addr.to_string(), child)),
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(std::io::Error::other(format!(
+                "worker did not announce its address (got `{}`)",
+                line.trim()
+            )))
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Fault-tolerant sharded campaign execution.
+//!
+//! A campaign's spec sequence is a pure plan — every point a pure
+//! function of its [`crate::runner::RunSpec`] — so it can execute
+//! anywhere that has the same simulator build and (for trace workloads)
+//! the same trace store. This module splits execution into:
+//!
+//! * [`wire`] — the length-prefixed, versioned, digest-verified frame
+//!   protocol shard requests and bit-exact metric records travel over,
+//! * [`worker`] — the serving side: a [`crate::runner::BatchRunner`]
+//!   behind the protocol, with heartbeats and deterministic fault
+//!   injection ([`FaultPlan`]) for tests and the chaos CI gate,
+//! * [`driver`] — the dispatching side: shard partitioning,
+//!   retry/backoff, straggler speculation, endpoint retirement, and
+//!   per-point degradation into [`crate::runner::PointError`]s,
+//! * [`journal`] — the crash-safe manifest that makes a driver run
+//!   resumable after a crash.
+//!
+//! The invariant everything here preserves: **merged sharded results
+//! are byte-identical to a local [`crate::runner::BatchRunner`] run.**
+//! Successful metrics travel as the results cache's bit-exact entry
+//! text and are verified against each point's canonical key on receipt,
+//! so distribution can change where and when points run — never what
+//! they compute. `docs/distributed-campaigns.md` walks through the
+//! protocol, the failure taxonomy, and the resume semantics.
+
+pub mod driver;
+pub mod journal;
+pub mod wire;
+pub mod worker;
+
+pub use driver::{DriverConfig, DriverStats, Endpoint, ShardedDriver};
+pub use journal::{campaign_fingerprint, Journal, JournalRecord};
+pub use wire::{
+    decode_frame, encode_frame, parse_spec, read_frame, render_spec, write_frame, Message,
+    WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};
+pub use worker::{FaultPlan, Worker};

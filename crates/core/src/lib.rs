@@ -23,6 +23,10 @@
 //!   on; see `docs/campaign-api.md`),
 //! * [`cache`] — the on-disk, spec-keyed results cache campaigns opt
 //!   into with `--cache DIR`,
+//! * [`distribute`] — fault-tolerant sharded campaign execution: the
+//!   shard wire protocol, the `nocout-worker` serving side, the
+//!   retrying/resuming driver, and the crash-safe journal (see
+//!   `docs/distributed-campaigns.md`),
 //! * [`metrics`] — what a run reports,
 //! * [`sop`] — the Scale-Out Processor configuration methodology (§2.2).
 //!
@@ -49,6 +53,7 @@ pub mod cache;
 pub mod campaign;
 pub mod chip;
 pub mod config;
+pub mod distribute;
 pub mod metrics;
 pub mod runner;
 pub mod sop;

@@ -70,7 +70,78 @@ use crate::metrics::SystemMetrics;
 use nocout_sim::config::{MeasurementWindow, SeedSet};
 use nocout_sim::stats::RunningStats;
 use nocout_workloads::WorkloadClass;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A seed set was empty where at least one seed is required.
+///
+/// Replication folds (`run_replicated`, campaign execution) cannot produce
+/// a result from zero runs; this error carries the actionable message the
+/// old bare `expect(..)` panics lacked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptySeedSetError;
+
+impl fmt::Display for EmptySeedSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(
+            "seed set is empty — replication needs at least one seed \
+             (declare one with SeedSet::single(..) or Campaign::seeds([..]))",
+        )
+    }
+}
+
+impl std::error::Error for EmptySeedSetError {}
+
+/// Why one simulation point failed to produce metrics.
+///
+/// Points are pure functions of their spec, so the only local failure
+/// mode is a panic inside the simulator (a spec outside the model's
+/// domain, an internal invariant trip). The distribution layer
+/// (`crate::distribute`) adds transport failures on top — a shard
+/// exhausted its retries — which also land here so one type describes
+/// every way a point can be missing from a result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointError {
+    /// The canonical `RunSpec::cache_key` of the point that failed.
+    pub cache_key: String,
+    /// Human-readable cause (panic payload or transport failure).
+    pub message: String,
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "point `{}` failed: {}", self.cache_key, self.message)
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// What executing one point produced: metrics, or an isolated failure.
+pub type PointOutcome = Result<SystemMetrics, PointError>;
+
+/// Renders a caught panic payload as text (`&str` and `String` payloads
+/// verbatim, anything else generically).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// [`run`] with per-point panic isolation: a panicking spec returns a
+/// [`PointError`] naming the spec and the panic message instead of
+/// unwinding into the caller (or, worse, tearing down a whole
+/// [`BatchRunner`] scope and losing every other point of the batch).
+pub fn run_outcome(spec: &RunSpec) -> PointOutcome {
+    catch_unwind(AssertUnwindSafe(|| run(spec))).map_err(|payload| PointError {
+        cache_key: spec.cache_key(),
+        message: panic_message(payload),
+    })
+}
 
 /// One simulation point: chip × workload class × window × seed.
 ///
@@ -165,21 +236,31 @@ pub struct ReplicatedResult {
 ///
 /// # Panics
 ///
-/// Panics if `seeds` is empty.
+/// Panics (with the [`EmptySeedSetError`] message) if `seeds` is empty;
+/// use [`try_run_replicated`] to handle that as a value.
 pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
-    assert!(!seeds.is_empty(), "need at least one seed");
+    try_run_replicated(spec, seeds).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_replicated`] with the empty-seed-set case as a typed error.
+pub fn try_run_replicated(
+    spec: &RunSpec,
+    seeds: &SeedSet,
+) -> Result<ReplicatedResult, EmptySeedSetError> {
     let mut stats = RunningStats::new();
     let mut last = None;
-    for seed in replication_seeds(spec, seeds).iter() {
+    for seed in replication_seeds(spec, seeds)?.iter() {
         let metrics = run(&spec.clone().with_seed(seed));
         stats.record(metrics.aggregate_ipc());
         last = Some(metrics);
     }
-    ReplicatedResult {
+    Ok(ReplicatedResult {
         mean_ipc: stats.mean(),
         ci95: stats.ci95_half_width(),
-        last: last.expect("at least one seed ran"),
-    }
+        // `replication_seeds` returned a non-empty set, so at least one
+        // seed ran.
+        last: last.ok_or(EmptySeedSetError)?,
+    })
 }
 
 /// Seed-insensitive workloads ([`WorkloadClass::is_seed_sensitive`] —
@@ -190,11 +271,21 @@ pub fn run_replicated(spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
 /// run carries all the information. The campaign layers
 /// (`run_replicated`, `BatchRunner`, `crate::campaign::Campaign`) all
 /// route through this one rule.
-pub fn replication_seeds(spec: &RunSpec, seeds: &SeedSet) -> SeedSet {
+///
+/// # Errors
+///
+/// [`EmptySeedSetError`] if `seeds` is empty.
+pub fn replication_seeds(
+    spec: &RunSpec,
+    seeds: &SeedSet,
+) -> Result<SeedSet, EmptySeedSetError> {
     if spec.workload.is_seed_sensitive() {
-        seeds.clone()
+        if seeds.is_empty() {
+            return Err(EmptySeedSetError);
+        }
+        Ok(seeds.clone())
     } else {
-        SeedSet::single(seeds.iter().next().expect("non-empty seed set"))
+        Ok(SeedSet::single(seeds.first().ok_or(EmptySeedSetError)?))
     }
 }
 
@@ -297,27 +388,48 @@ impl BatchRunner {
     /// identical to mapping [`run`] over the slice. With an attached
     /// cache, hits skip simulation entirely (entries round-trip
     /// bit-exactly) and only the misses go to the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec's simulation panics, naming the spec and the
+    /// panic message. Use [`BatchRunner::run_batch_outcomes`] to isolate
+    /// such failures per point instead.
     pub fn run_batch(&self, specs: &[RunSpec]) -> Vec<SystemMetrics> {
+        self.run_batch_outcomes(specs)
+            .into_iter()
+            .map(|o| o.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// [`BatchRunner::run_batch`] with per-point panic isolation: a
+    /// pathological spec fails *its own* point ([`PointError`]) while the
+    /// rest of the batch completes — a panic no longer unwinds a pool
+    /// thread (which, under `std::thread::scope`, would re-panic on scope
+    /// exit and discard the whole batch). Successful points are cached
+    /// exactly as in [`BatchRunner::run_batch`]; failed points are not.
+    pub fn run_batch_outcomes(&self, specs: &[RunSpec]) -> Vec<PointOutcome> {
         let Some(cache) = &self.cache else {
             return self.run_batch_uncached(specs);
         };
-        let mut out: Vec<Option<SystemMetrics>> =
-            specs.iter().map(|s| cache.get(s)).collect();
+        let mut out: Vec<Option<PointOutcome>> =
+            specs.iter().map(|s| cache.get(s).map(Ok)).collect();
         let todo: Vec<usize> = (0..specs.len()).filter(|&i| out[i].is_none()).collect();
         let todo_specs: Vec<RunSpec> = todo.iter().map(|&i| specs[i].clone()).collect();
         let fresh = self.run_batch_uncached(&todo_specs);
-        for (&i, m) in todo.iter().zip(fresh) {
-            cache.put(&specs[i], &m);
-            out[i] = Some(m);
+        for (&i, o) in todo.iter().zip(fresh) {
+            if let Ok(m) = &o {
+                cache.put(&specs[i], m);
+            }
+            out[i] = Some(o);
         }
         out.into_iter()
             .map(|m| m.expect("every spec is cached or simulated"))
             .collect()
     }
 
-    fn run_batch_uncached(&self, specs: &[RunSpec]) -> Vec<SystemMetrics> {
+    fn run_batch_uncached(&self, specs: &[RunSpec]) -> Vec<PointOutcome> {
         if self.jobs == 1 || specs.len() <= 1 {
-            return specs.iter().map(run).collect();
+            return specs.iter().map(run_outcome).collect();
         }
         let next = AtomicUsize::new(0);
         let (tx, rx) = std::sync::mpsc::channel();
@@ -330,20 +442,20 @@ impl BatchRunner {
                     if i >= specs.len() {
                         break;
                     }
-                    let metrics = run(&specs[i]);
-                    if tx.send((i, metrics)).is_err() {
+                    let outcome = run_outcome(&specs[i]);
+                    if tx.send((i, outcome)).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            let mut out: Vec<Option<SystemMetrics>> =
+            let mut out: Vec<Option<PointOutcome>> =
                 (0..specs.len()).map(|_| None).collect();
-            for (i, metrics) in rx {
-                out[i] = Some(metrics);
+            for (i, outcome) in rx {
+                out[i] = Some(outcome);
             }
             out.into_iter()
-                .map(|m| m.expect("every spec produces metrics"))
+                .map(|m| m.expect("every spec produces an outcome"))
                 .collect()
         })
     }
@@ -354,21 +466,33 @@ impl BatchRunner {
     ///
     /// # Panics
     ///
-    /// Panics if `seeds` is empty.
+    /// Panics (with the [`EmptySeedSetError`] message) if `seeds` is
+    /// empty; use [`BatchRunner::try_run_replicated`] to handle that as a
+    /// value.
     pub fn run_replicated(&self, spec: &RunSpec, seeds: &SeedSet) -> ReplicatedResult {
-        assert!(!seeds.is_empty(), "need at least one seed");
-        let seeds = replication_seeds(spec, seeds);
+        self.try_run_replicated(spec, seeds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BatchRunner::run_replicated`] with the empty-seed-set case as a
+    /// typed error.
+    pub fn try_run_replicated(
+        &self,
+        spec: &RunSpec,
+        seeds: &SeedSet,
+    ) -> Result<ReplicatedResult, EmptySeedSetError> {
+        let seeds = replication_seeds(spec, seeds)?;
         let specs: Vec<RunSpec> = seeds.iter().map(|s| spec.clone().with_seed(s)).collect();
         let all = self.run_batch(&specs);
         let mut stats = RunningStats::new();
         for m in &all {
             stats.record(m.aggregate_ipc());
         }
-        ReplicatedResult {
+        Ok(ReplicatedResult {
             mean_ipc: stats.mean(),
             ci95: stats.ci95_half_width(),
-            last: all.into_iter().last().expect("at least one seed ran"),
-        }
+            last: all.into_iter().last().ok_or(EmptySeedSetError)?,
+        })
     }
 }
 
@@ -451,6 +575,69 @@ mod tests {
     fn zero_jobs_means_hardware_threads() {
         assert!(BatchRunner::new(0).jobs() >= 1);
         assert_eq!(BatchRunner::serial().jobs(), 1);
+    }
+
+    /// A spec outside the model's domain: NOC-Out requires cores
+    /// divisible across its column layout, so the chip constructor
+    /// panics for 24 cores.
+    fn poisoned_spec() -> RunSpec {
+        RunSpec::new(
+            ChipConfig::with_cores(Organization::NocOut, 24),
+            Workload::WebSearch,
+        )
+        .fast()
+    }
+
+    #[test]
+    fn empty_seed_set_is_a_typed_error() {
+        let spec = RunSpec::new(
+            ChipConfig::with_cores(Organization::Mesh, 16),
+            Workload::WebSearch,
+        )
+        .fast();
+        let empty: SeedSet = [].into_iter().collect();
+        assert_eq!(
+            try_run_replicated(&spec, &empty).unwrap_err(),
+            EmptySeedSetError
+        );
+        assert_eq!(
+            BatchRunner::serial()
+                .try_run_replicated(&spec, &empty)
+                .unwrap_err(),
+            EmptySeedSetError
+        );
+        assert_eq!(replication_seeds(&spec, &empty).unwrap_err(), EmptySeedSetError);
+        // The message is actionable, not a bare expect.
+        assert!(EmptySeedSetError.to_string().contains("at least one seed"));
+    }
+
+    #[test]
+    fn panicking_spec_yields_point_error() {
+        let spec = poisoned_spec();
+        let err = run_outcome(&spec).unwrap_err();
+        assert_eq!(err.cache_key, spec.cache_key());
+        assert!(err.message.contains("NOC-Out requires"), "{}", err.message);
+    }
+
+    #[test]
+    fn batch_isolates_panicking_point() {
+        let good = RunSpec::new(
+            ChipConfig::with_cores(Organization::Mesh, 16),
+            Workload::MapReduceC,
+        )
+        .fast();
+        let specs = vec![good.clone(), poisoned_spec(), good.clone()];
+        for jobs in [1, 2] {
+            let outcomes = BatchRunner::new(jobs).run_batch_outcomes(&specs);
+            assert_eq!(outcomes.len(), 3);
+            let serial = run(&good);
+            for i in [0, 2] {
+                let m = outcomes[i].as_ref().expect("good point completes");
+                assert_eq!(m.instructions, serial.instructions);
+            }
+            let err = outcomes[1].as_ref().unwrap_err();
+            assert!(err.message.contains("NOC-Out requires"), "{}", err.message);
+        }
     }
 
     #[test]

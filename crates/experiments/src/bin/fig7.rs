@@ -7,11 +7,14 @@
 //!
 //! Run with `cargo run --release -p nocout-experiments --bin fig7`
 //! (set `NOCOUT_FAST=1` for a quick smoke run, `--jobs N` to spread the
-//! 18-point grid over N workers).
+//! 18-point grid over N workers). The campaign grid and the table live in
+//! [`nocout_experiments::figures`], shared with the sharded execution
+//! path (`shard-run`), whose CSV must stay byte-identical to this one.
 
 use nocout::prelude::*;
 use nocout_experiments::cli::Cli;
-use nocout_experiments::{campaign, report_csv, Table};
+use nocout_experiments::figures::{fig7_campaign, fig7_table};
+use nocout_experiments::report_csv;
 
 const ABOUT: &str = "Reproduces Figure 7: the 3 evaluated organizations \
 (mesh, flattened butterfly, NOC-Out) x 6 CloudSuite-style workloads at \
@@ -23,39 +26,10 @@ fn main() {
     let runner = cli.runner();
     cli.finish();
 
-    let paper_fbfly = [1.31, 1.15, 1.20, 1.12, 1.16, 1.07];
-    let paper_nocout = [1.27, 1.15, 1.21, 1.12, 1.16, 1.12];
-
-    let mut table = Table::new(
-        "Figure 7 — System performance normalized to mesh (128-bit links)",
-        vec![
-            "Workload".into(),
-            "Mesh".into(),
-            "FBfly".into(),
-            "NOC-Out".into(),
-            "FBfly(paper)".into(),
-            "NOC-Out(paper)".into(),
-        ],
-    );
     // The whole organization × workload grid as one declarative campaign
     // (every point × seed executes as a single parallel batch).
-    let frame = campaign()
-        .orgs(Organization::EVALUATED)
-        .workloads(Workload::ALL)
-        .run(&runner);
-    let norm = frame.normalize_to(Organization::Mesh);
-
-    for (i, &w) in Workload::ALL.iter().enumerate() {
-        let fbn = norm.get(Organization::FlattenedButterfly, w);
-        let non = norm.get(Organization::NocOut, w);
-        table.row(vec![
-            w.name().into(),
-            "1.000".into(),
-            format!("{fbn:.3}"),
-            format!("{non:.3}"),
-            format!("{:.2}", paper_fbfly[i]),
-            format!("{:.2}", paper_nocout[i]),
-        ]);
+    let frame = fig7_campaign().run(&runner);
+    for &w in Workload::ALL.iter() {
         let mesh = frame.get(Organization::Mesh, w);
         let fb = frame.get(Organization::FlattenedButterfly, w);
         let no = frame.get(Organization::NocOut, w);
@@ -69,14 +43,7 @@ fn main() {
             no.metrics.network.mean_latency,
         );
     }
-    table.row(vec![
-        "GMean".into(),
-        "1.000".into(),
-        format!("{:.3}", norm.geomean(Organization::FlattenedButterfly)),
-        format!("{:.3}", norm.geomean(Organization::NocOut)),
-        "1.17".into(),
-        "1.17".into(),
-    ]);
+    let table = fig7_table(&frame);
     table.print();
     report_csv("fig7.csv", &table.csv_records());
 }

@@ -1,0 +1,141 @@
+//! `shard-run`: the Figure 7 campaign through the fault-tolerant sharded
+//! driver.
+//!
+//! Exercises the whole `nocout::distribute` stack end to end: partitions
+//! the fig7 grid into shards, dispatches them to `nocout-worker`
+//! endpoints (spawned locally with `--workers N`, or already running and
+//! reached with `--connect ADDR`), retries failed shards with seeded
+//! backoff, optionally speculates on stragglers and journals completed
+//! points for `--resume` after a driver crash. The merged frame renders
+//! through the same shared table as `fig7`, so `out/fig7_sharded.csv` is
+//! byte-identical to `out/fig7.csv` — the CI sharded-execution gate
+//! `cmp`s them.
+//!
+//! The `--fault-*` flags are forwarded to the *first* spawned worker, so
+//! one chaos invocation can prove a worker crash mid-shard is survived.
+
+use nocout::distribute::{DriverConfig, Endpoint, ShardedDriver};
+use nocout_experiments::cli::{Cli, FaultArgs};
+use nocout_experiments::figures::{fig7_campaign, fig7_table};
+use nocout_experiments::report_csv;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const ABOUT: &str = "Runs the Figure 7 campaign through the fault-tolerant \
+sharded driver: the 18-point grid is partitioned into shards, dispatched \
+to nocout-worker endpoints (spawned locally with --workers, or reached \
+with --connect), retried with seeded exponential backoff on failure, and \
+optionally journaled (--journal, --resume) so a crashed driver restarts \
+where it stopped. Successful merged results are byte-identical to fig7's; \
+writes out/fig7_sharded.csv (override with --out). --fault-* flags are \
+forwarded to the first spawned worker for chaos testing.";
+
+fn main() {
+    let mut cli = Cli::parse(
+        "shard-run",
+        ABOUT,
+        &format!(
+            "[--workers N] [--worker-bin PATH] [--connect ADDR]... \
+             [--shard-points N] [--attempts N] [--timeout-ms N] \
+             [--speculate-ms N] [--journal PATH] [--resume] [--out NAME] {}",
+            FaultArgs::USAGE
+        ),
+    );
+    let mut workers: usize = 2;
+    let mut worker_bin: Option<PathBuf> = None;
+    let mut connect: Vec<String> = Vec::new();
+    let mut cfg = DriverConfig::default();
+    let mut out = String::from("fig7_sharded.csv");
+    let mut faults = FaultArgs::default();
+    while let Some(flag) = cli.next_flag() {
+        match flag.as_str() {
+            "--workers" => workers = cli.parsed(&flag),
+            "--worker-bin" => worker_bin = Some(PathBuf::from(cli.value(&flag))),
+            "--connect" => connect.push(cli.value(&flag)),
+            "--shard-points" => cfg.shard_points = cli.parsed(&flag),
+            "--attempts" => cfg.max_attempts = cli.parsed(&flag),
+            "--timeout-ms" => cfg.read_timeout = Duration::from_millis(cli.parsed(&flag)),
+            "--speculate-ms" => {
+                cfg.speculate_after = Some(Duration::from_millis(cli.parsed(&flag)));
+            }
+            "--journal" => cfg.journal = Some(PathBuf::from(cli.value(&flag))),
+            "--resume" => cfg.resume = true,
+            "--out" => out = cli.value(&flag),
+            _ => {
+                if !faults.accept(&flag, &mut cli) {
+                    cli.unknown(&flag);
+                }
+            }
+        }
+    }
+    if workers == 0 && connect.is_empty() {
+        cli.fail("need --workers N > 0 or at least one --connect ADDR");
+    }
+    if workers == 0 && faults.plan().is_armed() {
+        eprintln!(
+            "shard-run: warning: --fault-* flags only reach workers this \
+             driver spawns; --connect endpoints are unaffected"
+        );
+    }
+
+    // The local runner is never simulated on — it carries the --jobs /
+    // --cache settings every spawned worker inherits.
+    let runner = cli.runner();
+    let mut endpoints: Vec<Endpoint> = connect.into_iter().map(Endpoint::Tcp).collect();
+    let program = worker_bin.unwrap_or_else(default_worker_bin);
+    let mut base_args = vec!["--jobs".to_string(), runner.jobs().to_string()];
+    if let Some(cache) = runner.cache() {
+        base_args.push("--cache".into());
+        base_args.push(cache.dir().display().to_string());
+    }
+    for i in 0..workers {
+        let mut args = base_args.clone();
+        if i == 0 {
+            args.extend(faults.to_args());
+        }
+        endpoints.push(Endpoint::Process {
+            program: program.clone(),
+            args,
+        });
+    }
+    cli.finish();
+
+    let driver = ShardedDriver::new(endpoints, cfg);
+    let frame = fig7_campaign().run_on(&driver);
+    let stats = driver.stats();
+    eprintln!(
+        "shard-run: {} shards, {} dispatches ({} retries, {} speculative), \
+         {} failed attempts, {} points resumed from journal, {} failed points",
+        stats.shards,
+        stats.dispatches,
+        stats.retries,
+        stats.speculative,
+        stats.failed_attempts,
+        stats.journal_resumed,
+        stats.failed_points,
+    );
+    if !frame.is_complete() {
+        for f in frame.failed() {
+            eprintln!("shard-run: failed point: {f}");
+        }
+        eprintln!(
+            "shard-run: {} of {} points failed; not writing a table \
+             (re-run with --resume to retry only the missing points)",
+            frame.failed().len(),
+            frame.len() + frame.failed().len(),
+        );
+        std::process::exit(1);
+    }
+    let table = fig7_table(&frame);
+    table.print();
+    report_csv(&out, &table.csv_records());
+}
+
+/// The `nocout-worker` binary next to this one — both are built into the
+/// same target directory.
+fn default_worker_bin() -> PathBuf {
+    let exe = std::env::current_exe().expect("shard-run knows its own path");
+    exe.parent()
+        .expect("the executable lives in a directory")
+        .join("nocout-worker")
+}

@@ -199,6 +199,71 @@ impl Cli {
     }
 }
 
+/// The deterministic fault-injection flags shared by `nocout-worker`
+/// (which applies them) and `shard-run` (which forwards them to the
+/// first worker it spawns). Keeping the flag names and the
+/// [`FaultPlan`](nocout::distribute::FaultPlan) mapping in one place
+/// means the chaos CI gate and the integration tests cannot drift from
+/// the binaries.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FaultArgs {
+    /// `--fault-drop-after N`: drop the connection instead of sending
+    /// the N-th result frame.
+    pub drop_after: Option<u64>,
+    /// `--fault-delay-ms N`: sleep N ms before every result frame.
+    pub delay_ms: Option<u64>,
+    /// `--fault-corrupt-frame N`: corrupt the N-th result frame's
+    /// payload after its digest is computed.
+    pub corrupt_frame: Option<u64>,
+    /// `--fault-panic-point K`: panic while executing the K-th point.
+    pub panic_point: Option<u64>,
+}
+
+impl FaultArgs {
+    /// The usage fragment for binaries accepting these flags.
+    pub const USAGE: &'static str = "[--fault-drop-after N] [--fault-delay-ms N] \
+[--fault-corrupt-frame N] [--fault-panic-point K]";
+
+    /// Consumes `flag` (and its value from `cli`) if it is a fault flag;
+    /// returns whether it was.
+    pub fn accept(&mut self, flag: &str, cli: &mut Cli) -> bool {
+        match flag {
+            "--fault-drop-after" => self.drop_after = Some(cli.parsed(flag)),
+            "--fault-delay-ms" => self.delay_ms = Some(cli.parsed(flag)),
+            "--fault-corrupt-frame" => self.corrupt_frame = Some(cli.parsed(flag)),
+            "--fault-panic-point" => self.panic_point = Some(cli.parsed(flag)),
+            _ => return false,
+        }
+        true
+    }
+
+    /// The equivalent [`FaultPlan`](nocout::distribute::FaultPlan).
+    pub fn plan(&self) -> nocout::distribute::FaultPlan {
+        nocout::distribute::FaultPlan {
+            drop_after_frames: self.drop_after,
+            delay: self.delay_ms.map(std::time::Duration::from_millis),
+            corrupt_frame: self.corrupt_frame,
+            panic_on_point: self.panic_point,
+        }
+    }
+
+    /// Re-serializes the flags for forwarding to a worker process.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = Vec::new();
+        let mut push = |flag: &str, v: Option<u64>| {
+            if let Some(v) = v {
+                args.push(flag.to_string());
+                args.push(v.to_string());
+            }
+        };
+        push("--fault-drop-after", self.drop_after);
+        push("--fault-delay-ms", self.delay_ms);
+        push("--fault-corrupt-frame", self.corrupt_frame);
+        push("--fault-panic-point", self.panic_point);
+        args
+    }
+}
+
 /// The forms a workload-class value can take, for error messages: every
 /// synthetic profile name, plus the `trace:PATH` replay form.
 pub fn workload_forms() -> String {

@@ -1,0 +1,72 @@
+//! Figure definitions shared between execution paths.
+//!
+//! The Figure 7 grid and table used to live inside the `fig7` binary;
+//! the sharded execution path (`shard-run`) must produce a CSV that is
+//! *byte-identical* to `fig7`'s, so both binaries now build their
+//! campaign and table here. Any drift between the local and distributed
+//! renderings of the figure becomes impossible by construction (and the
+//! CI sharded-execution gate `cmp`s the outputs anyway).
+
+use crate::report::campaign;
+use crate::table::Table;
+use nocout::campaign::ResultFrame;
+use nocout::prelude::*;
+
+/// Paper Figure 7 speedups for the flattened butterfly, per workload in
+/// [`Workload::ALL`] order.
+pub const FIG7_PAPER_FBFLY: [f64; 6] = [1.31, 1.15, 1.20, 1.12, 1.16, 1.07];
+/// Paper Figure 7 speedups for NOC-Out, per workload in
+/// [`Workload::ALL`] order.
+pub const FIG7_PAPER_NOCOUT: [f64; 6] = [1.27, 1.15, 1.21, 1.12, 1.16, 1.12];
+
+/// The Figure 7 campaign: the 3 evaluated organizations × 6 workloads at
+/// 128-bit links, on the standard window/seed set (honours
+/// `NOCOUT_FAST=1`).
+pub fn fig7_campaign() -> Campaign {
+    campaign().orgs(Organization::EVALUATED).workloads(Workload::ALL)
+}
+
+/// Renders a [`fig7_campaign`] result frame as the Figure 7 table —
+/// normalized per workload to the mesh, with the paper's numbers
+/// alongside. Every execution path (local `fig7`, sharded `shard-run`)
+/// renders through this one function, so their CSVs cannot drift.
+///
+/// # Panics
+///
+/// Panics (naming the point and its failure) if the frame is missing a
+/// grid point.
+pub fn fig7_table(frame: &ResultFrame) -> Table {
+    let norm = frame.normalize_to(Organization::Mesh);
+    let mut table = Table::new(
+        "Figure 7 — System performance normalized to mesh (128-bit links)",
+        vec![
+            "Workload".into(),
+            "Mesh".into(),
+            "FBfly".into(),
+            "NOC-Out".into(),
+            "FBfly(paper)".into(),
+            "NOC-Out(paper)".into(),
+        ],
+    );
+    for (i, &w) in Workload::ALL.iter().enumerate() {
+        let fbn = norm.get(Organization::FlattenedButterfly, w);
+        let non = norm.get(Organization::NocOut, w);
+        table.row(vec![
+            w.name().into(),
+            "1.000".into(),
+            format!("{fbn:.3}"),
+            format!("{non:.3}"),
+            format!("{:.2}", FIG7_PAPER_FBFLY[i]),
+            format!("{:.2}", FIG7_PAPER_NOCOUT[i]),
+        ]);
+    }
+    table.row(vec![
+        "GMean".into(),
+        "1.000".into(),
+        format!("{:.3}", norm.geomean(Organization::FlattenedButterfly)),
+        format!("{:.3}", norm.geomean(Organization::NocOut)),
+        "1.17".into(),
+        "1.17".into(),
+    ]);
+    table
+}

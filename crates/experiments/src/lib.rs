@@ -13,9 +13,11 @@
 //! vectors and flat-index arithmetic; see `docs/campaign-api.md`.
 
 pub mod cli;
+pub mod figures;
 pub mod report;
 pub mod table;
 
 pub use cli::Cli;
+pub use figures::{fig7_campaign, fig7_table};
 pub use report::{campaign, measurement_window, seeds};
 pub use table::{out_path, report_csv, write_csv, Table};

@@ -46,6 +46,24 @@ impl Workload {
         }
     }
 
+    /// The stable identifier used in cache keys and on the shard-request
+    /// wire (`nocout::distribute`): the enum variant name.
+    pub fn key(self) -> &'static str {
+        match self {
+            Workload::DataServing => "DataServing",
+            Workload::MapReduceC => "MapReduceC",
+            Workload::MapReduceW => "MapReduceW",
+            Workload::SatSolver => "SatSolver",
+            Workload::WebFrontend => "WebFrontend",
+            Workload::WebSearch => "WebSearch",
+        }
+    }
+
+    /// Inverse of [`Workload::key`], for decoding wire/journal records.
+    pub fn from_key(key: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.key() == key)
+    }
+
     /// The calibrated profile.
     pub fn profile(self) -> WorkloadProfile {
         match self {

@@ -1,0 +1,259 @@
+//! End-to-end tests of fault-tolerant sharded campaign execution:
+//! in-process `Worker`s behind real TCP listeners, a `ShardedDriver`
+//! dispatching to them, and every promised failure mode exercised —
+//! worker crash mid-shard, injected point panics, stragglers, and
+//! crash-safe journal resume.
+//!
+//! The invariant everything here defends: for successful points, the
+//! sharded path is **bit-identical** to the local `BatchRunner` path, no
+//! matter which worker ran a point, how often a shard was retried, or
+//! whether a result came from the journal instead of the wire.
+//!
+//! Timing margins are generous (multi-second timeouts, tiny backoffs):
+//! the CI container pins a single CPU, so wall-clock assumptions tighter
+//! than seconds would flake.
+
+use nocout_repro::config::{ChipConfig, Organization};
+use nocout_repro::distribute::{
+    DriverConfig, Endpoint, FaultPlan, ShardedDriver, Worker,
+};
+use nocout_repro::runner::{BatchRunner, PointOutcome, RunSpec};
+use nocout_repro::prelude::*;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A small campaign: 2 organizations × 2 workloads on the fast window.
+fn specs() -> Vec<RunSpec> {
+    let mut v = Vec::new();
+    for org in [Organization::Mesh, Organization::NocOut] {
+        for w in [Workload::WebSearch, Workload::DataServing] {
+            v.push(RunSpec::new(ChipConfig::paper(org), w).fast().with_seed(1));
+        }
+    }
+    v
+}
+
+/// Starts an in-process worker with `fault` on an OS-assigned port;
+/// returns its endpoint. The serving thread is detached — it dies with
+/// the test process.
+fn spawn_worker(fault: FaultPlan) -> Endpoint {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker listener");
+    let addr = listener.local_addr().expect("listener address").to_string();
+    std::thread::spawn(move || {
+        let worker = Worker::new(BatchRunner::new(1))
+            .with_heartbeat(Duration::from_millis(50))
+            .with_faults(fault);
+        let _ = worker.serve_listener(&listener);
+    });
+    Endpoint::Tcp(addr)
+}
+
+/// Driver tuning for tests: small shards, quick backoff, timeouts far
+/// above anything a loaded 1-CPU container produces.
+fn test_config() -> DriverConfig {
+    DriverConfig {
+        shard_points: 2,
+        max_attempts: 6,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(100),
+        read_timeout: Duration::from_secs(60),
+        ..DriverConfig::default()
+    }
+}
+
+/// Bit-exact comparison of outcomes (`f64` Debug formatting is the
+/// shortest round-trip representation, so equal strings mean equal bits).
+fn canon(outcomes: &[PointOutcome]) -> Vec<String> {
+    outcomes
+        .iter()
+        .map(|o| match o {
+            Ok(m) => format!("ok {m:?}"),
+            Err(e) => format!("err {} {}", e.cache_key, e.message),
+        })
+        .collect()
+}
+
+fn local_baseline(specs: &[RunSpec]) -> Vec<String> {
+    canon(&BatchRunner::new(1).run_batch_outcomes(specs))
+}
+
+#[test]
+fn sharded_execution_is_bit_identical_to_local() {
+    let specs = specs();
+    let endpoints = vec![spawn_worker(FaultPlan::default()), spawn_worker(FaultPlan::default())];
+    let driver = ShardedDriver::new(endpoints, test_config());
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert!(sharded.iter().all(|s| s.starts_with("ok ")), "{sharded:?}");
+    assert_eq!(sharded, local_baseline(&specs));
+    let stats = driver.stats();
+    assert_eq!(stats.shards, 2);
+    assert_eq!(stats.failed_points, 0);
+}
+
+#[test]
+fn worker_crash_mid_shard_is_retried_on_the_survivor() {
+    let specs = specs();
+    // Worker 0 "crashes" instead of sending its very first result frame
+    // and serves nothing ever again; worker 1 is healthy.
+    let endpoints = vec![
+        spawn_worker(FaultPlan {
+            drop_after_frames: Some(0),
+            ..FaultPlan::default()
+        }),
+        spawn_worker(FaultPlan::default()),
+    ];
+    let driver = ShardedDriver::new(endpoints, test_config());
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert_eq!(sharded, local_baseline(&specs), "retried results must stay bit-identical");
+    let stats = driver.stats();
+    assert!(stats.failed_attempts >= 1, "the crash must be observed: {stats:?}");
+    assert!(stats.retries >= 1, "the crashed shard must be re-dispatched: {stats:?}");
+    assert_eq!(stats.failed_points, 0, "the survivor must absorb all work: {stats:?}");
+}
+
+#[test]
+fn injected_panic_degrades_to_a_failed_point_not_a_crash() {
+    let specs = specs();
+    let endpoints = vec![spawn_worker(FaultPlan {
+        panic_on_point: Some(0),
+        ..FaultPlan::default()
+    })];
+    let driver = ShardedDriver::new(endpoints, test_config());
+    let outcomes = driver.execute_sharded(&specs);
+    // The worker's panic isolation turns the unwind into a typed
+    // per-point failure; every other point of the same shard still runs.
+    let failed: Vec<&str> = outcomes
+        .iter()
+        .filter_map(|o| o.as_ref().err().map(|e| e.message.as_str()))
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly the poisoned point fails: {failed:?}");
+    assert!(
+        failed[0].contains("injected fault: panic on point"),
+        "the panic message must survive the wire: {failed:?}"
+    );
+    assert_eq!(driver.stats().failed_points, 1);
+}
+
+#[test]
+fn no_reachable_endpoint_degrades_every_point() {
+    let specs = specs();
+    // Nothing listens on this port (bound, never accepted, dropped).
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let cfg = DriverConfig {
+        max_attempts: 2,
+        endpoint_failure_limit: 2,
+        ..test_config()
+    };
+    let driver = ShardedDriver::new(vec![Endpoint::Tcp(dead)], cfg);
+    let outcomes = driver.execute_sharded(&specs);
+    assert!(
+        outcomes.iter().all(|o| o.is_err()),
+        "with no live workers every point must degrade, not hang"
+    );
+    assert_eq!(driver.stats().failed_points as usize, specs.len());
+}
+
+#[test]
+fn straggler_is_speculated_and_results_stay_identical() {
+    let specs = specs();
+    // Worker 0 sleeps 2 s before every frame — a straggler, not a corpse.
+    let endpoints = vec![
+        spawn_worker(FaultPlan {
+            delay: Some(Duration::from_secs(2)),
+            ..FaultPlan::default()
+        }),
+        spawn_worker(FaultPlan::default()),
+    ];
+    let cfg = DriverConfig {
+        speculate_after: Some(Duration::from_millis(300)),
+        ..test_config()
+    };
+    let driver = ShardedDriver::new(endpoints, cfg);
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert_eq!(
+        sharded,
+        local_baseline(&specs),
+        "whichever twin wins, results are bit-identical"
+    );
+    let stats = driver.stats();
+    assert!(stats.speculative >= 1, "the straggling shard must be speculated: {stats:?}");
+    assert_eq!(stats.failed_points, 0);
+}
+
+/// The crash-resume story end to end: a first driver run loses its only
+/// worker mid-campaign (completed shards journaled, the rest degrade to
+/// transport errors), a second run with `resume: true` replays the
+/// journal and dispatches only the uncovered points.
+#[test]
+fn journal_resume_dispatches_only_uncovered_points() {
+    let specs = specs();
+    let journal = temp_journal("resume");
+    let _ = std::fs::remove_file(&journal);
+
+    // First run: the worker dies instead of sending frame 5 — shard 0
+    // (frames 0,1 + done) lands in the journal, shard 1 does not.
+    let crashy = spawn_worker(FaultPlan {
+        drop_after_frames: Some(5),
+        ..FaultPlan::default()
+    });
+    let cfg1 = DriverConfig {
+        max_attempts: 1,
+        endpoint_failure_limit: 1,
+        journal: Some(journal.clone()),
+        ..test_config()
+    };
+    let driver1 = ShardedDriver::new(vec![crashy], cfg1);
+    let first = driver1.execute_sharded(&specs);
+    let ok_first = first.iter().filter(|o| o.is_ok()).count();
+    assert_eq!(ok_first, 2, "the completed shard's points succeed");
+    assert!(
+        first.iter().filter_map(|o| o.as_ref().err()).all(|e| {
+            e.message.contains("exhausted") || e.message.contains("no live worker")
+        }),
+        "lost points degrade with the transport error named"
+    );
+
+    // Second run: a healthy worker, resuming. Only shard 1 dispatches.
+    let cfg2 = DriverConfig {
+        journal: Some(journal.clone()),
+        resume: true,
+        ..test_config()
+    };
+    let driver2 = ShardedDriver::new(vec![spawn_worker(FaultPlan::default())], cfg2);
+    let second = canon(&driver2.execute_sharded(&specs));
+    assert_eq!(second, local_baseline(&specs), "resumed + fresh points are bit-identical");
+    let stats = driver2.stats();
+    assert_eq!(stats.journal_resumed, 2, "exactly the journaled points are recovered");
+    assert_eq!(stats.shards, 1, "only the uncovered shard dispatches");
+    assert_eq!(stats.failed_points, 0);
+
+    // Third run: everything is journaled now; nothing need be reachable.
+    let cfg3 = DriverConfig {
+        max_attempts: 1,
+        endpoint_failure_limit: 1,
+        journal: Some(journal.clone()),
+        resume: true,
+        ..test_config()
+    };
+    let driver3 = ShardedDriver::new(
+        vec![Endpoint::Tcp("127.0.0.1:1".into())],
+        cfg3,
+    );
+    let third = canon(&driver3.execute_sharded(&specs));
+    assert_eq!(third, local_baseline(&specs), "a full journal needs no workers at all");
+    assert_eq!(driver3.stats().journal_resumed as usize, specs.len());
+    assert_eq!(driver3.stats().dispatches, 0);
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "nocout-distribute-test-{tag}-{}.journal",
+        std::process::id()
+    ))
+}

@@ -1,0 +1,199 @@
+//! Property tests of the shard wire protocol (`nocout::distribute`).
+//!
+//! The invariants a distributed campaign leans on:
+//!
+//! * any `RunSpec` — every field randomized, synthetic or trace workload
+//!   — survives `render_spec`/`parse_spec` exactly (same value, same
+//!   cache key);
+//! * any message survives `encode_frame`/`decode_frame` exactly;
+//! * a frame truncated at *every* possible byte boundary decodes to a
+//!   typed error, never a panic, never a wrong message;
+//! * flipping any single bit of a frame's *payload* is always detected
+//!   (the header digest), and flipping any header byte is a typed error
+//!   or a differently-typed message — never a panic.
+
+use nocout_repro::config::{ChipConfig, Organization};
+use nocout_repro::distribute::{decode_frame, encode_frame, parse_spec, render_spec};
+use nocout_repro::distribute::{Message, WireError, HEADER_LEN};
+use nocout_repro::runner::RunSpec;
+use nocout_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Decodes a proptest tuple into a fully randomized spec. Serialization
+/// must not care whether the configuration is *simulable*, so the fields
+/// roam beyond what `ChipConfig::paper` would accept.
+fn spec_from(
+    (org, cores, seed, warmup, express): (u8, u64, u64, u64, bool),
+) -> RunSpec {
+    let org = Organization::EVALUATED[(org % 3) as usize];
+    let mut chip = ChipConfig::paper(org);
+    chip.cores = (cores % 512 + 1) as usize;
+    chip.link_width_bits = (seed % 4 + 1) as u32 * 64;
+    chip.mem_channels = (warmup % 8 + 1) as usize;
+    chip.active_core_override = if express { Some((cores % 64) as usize) } else { None };
+    chip.express_links = express;
+    chip.llc_rows = (seed % 3 + 1) as usize;
+    let mut spec = RunSpec::new(chip, Workload::ALL[(cores % 6) as usize]).fast();
+    spec.window = MeasurementWindow::new(warmup % 100_000, seed % 100_000 + 1);
+    spec.with_seed(seed)
+}
+
+/// The raw tuple a spec is generated from.
+type SpecBits = (u8, u64, u64, u64, bool);
+
+/// Decodes a proptest tuple into one of the five message kinds.
+fn message_from((kind, shard, index, bits, extra): (u8, u64, u32, SpecBits, u8)) -> Message {
+    let body = format!("payload {} line\nsecond {extra}", bits.1);
+    match kind % 5 {
+        0 => Message::ShardRequest {
+            shard,
+            specs: vec![spec_from(bits), spec_from((bits.0, bits.1 ^ 7, shard, bits.3, !bits.4))],
+        },
+        1 => Message::PointOk { shard, index, entry: body },
+        2 => Message::PointFailed { shard, index, error: body },
+        3 => Message::ShardDone { shard, points: index },
+        _ => Message::Heartbeat,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn specs_round_trip_bit_exactly(
+        bits in (0u8..6, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, any::<bool>())
+    ) {
+        let spec = spec_from(bits);
+        let line = render_spec(&spec).expect("synthetic specs always render");
+        let parsed = parse_spec(&line).expect("rendered specs always parse");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.cache_key(), spec.cache_key());
+    }
+
+    #[test]
+    fn frames_round_trip_every_kind(
+        bits in (
+            0u8..5,
+            0u64..u64::MAX,
+            0u32..u32::MAX,
+            (0u8..6, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, any::<bool>()),
+            0u8..255,
+        )
+    ) {
+        let msg = message_from(bits);
+        let frame = encode_frame(&msg).expect("message encodes");
+        prop_assert_eq!(decode_frame(&frame).expect("frame decodes"), msg);
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_a_typed_error(
+        bits in (
+            0u8..5,
+            0u64..1_000_000,
+            0u32..1_000_000,
+            (0u8..6, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, any::<bool>()),
+            0u8..255,
+        )
+    ) {
+        let frame = encode_frame(&message_from(bits)).expect("message encodes");
+        for cut in 0..frame.len() {
+            // Must refuse — cleanly: truncated input never decodes to a
+            // message and never panics.
+            let err = decode_frame(&frame[..cut]).unwrap_err();
+            if cut == 0 {
+                prop_assert!(matches!(err, WireError::Closed), "cut 0 is a clean close");
+            }
+        }
+    }
+
+    #[test]
+    fn any_payload_bit_flip_is_detected(
+        bits in (
+            0u8..4, // never Heartbeat: it has no payload to corrupt
+            0u64..1_000_000,
+            0u32..1_000_000,
+            (0u8..6, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, any::<bool>()),
+            0u8..255,
+        ),
+        at in 0u64..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let frame = encode_frame(&message_from(bits)).expect("message encodes");
+        prop_assert!(frame.len() > HEADER_LEN, "non-heartbeat frames carry a payload");
+        let mut bad = frame.clone();
+        let pos = HEADER_LEN + (at as usize) % (frame.len() - HEADER_LEN);
+        bad[pos] ^= 1 << bit;
+        // The payload digest makes *every* payload corruption loud — a
+        // flipped digit inside a metrics record must never decode into a
+        // plausible-but-wrong value.
+        prop_assert!(
+            decode_frame(&bad).is_err(),
+            "payload flip at byte {pos} bit {bit} went undetected"
+        );
+    }
+
+    #[test]
+    fn header_mutations_never_panic_or_impersonate(
+        at in 0u64..1_000_000,
+        bit in 0u8..8,
+        shard in 0u64..1_000_000,
+    ) {
+        let msg = Message::ShardDone { shard, points: 3 };
+        let frame = encode_frame(&msg).expect("message encodes");
+        let mut bad = frame.clone();
+        let pos = (at as usize) % HEADER_LEN;
+        bad[pos] ^= 1 << bit;
+        // Header bytes are not digest-covered; a flip may still decode
+        // (e.g. the kind byte landing on another valid kind), but it must
+        // never panic and never yield the original message back.
+        if let Ok(other) = decode_frame(&bad) {
+            prop_assert_ne!(other, msg);
+        }
+    }
+}
+
+/// Trace workloads serialize by path (the token is last on the line, so
+/// the path may contain spaces) and reload through `TraceSet::load`.
+#[test]
+fn trace_specs_round_trip_by_path() {
+    let dir = std::env::temp_dir().join(format!(
+        "nocout wire trace {}", // spaces on purpose: the format must cope
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let chip = ChipConfig::paper(Organization::Mesh);
+    let trace = nocout_repro::capture_synthetic_trace(chip, Workload::WebSearch, 1, &dir, 2_000)
+        .expect("capture trace");
+    let spec = RunSpec {
+        chip,
+        workload: WorkloadClass::from(trace),
+        window: MeasurementWindow::new(100, 400),
+        seed: 1,
+    };
+    let line = render_spec(&spec).expect("trace spec renders");
+    let parsed = parse_spec(&line).expect("trace spec parses");
+    assert_eq!(parsed.cache_key(), spec.cache_key());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A trace path containing a newline cannot be framed — rejected at
+/// render time rather than corrupting the line-oriented payload.
+#[test]
+fn newline_in_trace_path_is_rejected_at_render() {
+    let dir = std::env::temp_dir().join(format!("nocout-wire-nl-{}\n-x", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let chip = ChipConfig::paper(Organization::Mesh);
+    let trace = nocout_repro::capture_synthetic_trace(chip, Workload::WebSearch, 1, &dir, 2_000)
+        .expect("capture trace");
+    let spec = RunSpec {
+        chip,
+        workload: WorkloadClass::from(trace),
+        window: MeasurementWindow::new(100, 400),
+        seed: 1,
+    };
+    let err = render_spec(&spec).unwrap_err();
+    assert!(matches!(err, WireError::Malformed(_)), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
