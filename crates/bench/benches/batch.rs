@@ -131,6 +131,43 @@ fn core_l1_micro(iters: u64) -> (f64, f64, f64) {
     (rob_rate, mshr_rate, core_rate)
 }
 
+/// Uncore structure microbenches (the LLC tile's input ring, MSHR file
+/// and calendar-wheel output stage, the set-associative directory, and
+/// the analytic-fabric event wheel). Returns operations per second for
+/// each; one op is defined by `nocout_bench::uncoreopt`, shared with
+/// `benches/micro.rs`.
+fn uncore_micro(iters: u64) -> (f64, f64, f64) {
+    use nocout_bench::uncoreopt;
+    use nocout_noc::fabric::Fabric as _;
+    use nocout_sim::Cycle;
+
+    let mut tile = uncoreopt::warmed_nocout_tile();
+    let mut now = Cycle(0);
+    let t = Instant::now();
+    for i in 0..iters {
+        uncoreopt::llc_tile_hit_round(&mut tile, &mut now, i);
+    }
+    let llc_rate = iters as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(tile.stats.accesses.value(), iters);
+
+    let mut dir = uncoreopt::bench_directory();
+    let t = Instant::now();
+    for i in 0..iters {
+        uncoreopt::directory_round(&mut dir, i);
+    }
+    let dir_rate = iters as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(dir.tracked_lines(), 0);
+
+    let mut fab = uncoreopt::tencycle_fabric();
+    let t = Instant::now();
+    for i in 0..iters {
+        uncoreopt::fabric_wheel_round(&mut fab, i);
+    }
+    let fabric_rate = iters as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(fab.now(), Cycle(iters));
+    (llc_rate, dir_rate, fabric_rate)
+}
+
 /// Full-load tick rate per organization on the *data-miss-heavy* Data
 /// Serving workload (vast LLC-missing dataset → the L1-D MSHR file and
 /// the fill-wakeup path run hot, unlike the instruction-bound MapReduce
@@ -242,11 +279,19 @@ fn org_key(org: Organization) -> String {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let micro_quick = std::env::args().any(|a| a == "--micro-quick");
-    let (tick_cycles, window) = if smoke || micro_quick {
+    let (mut tick_cycles, window) = if smoke || micro_quick {
         (5_000, MeasurementWindow::new(500, 1_000))
     } else {
         (50_000, MeasurementWindow::new(5_000, 10_000))
     };
+    // A/B harnesses interleaving two builds override the measured-cycle
+    // count so a quick run can still integrate long enough to be stable.
+    if let Some(c) = std::env::var("NOCOUT_BENCH_TICK_CYCLES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        tick_cycles = c;
+    }
 
     if micro_quick {
         // CI's core/L1 bench smoke: seconds-scale iteration counts, but
@@ -259,13 +304,20 @@ fn main() {
         println!("micro/rob_fill_wakeup     {rob:>12.0} rounds/s");
         println!("micro/l1_mshr_cycle       {mshr:>12.0} ops/s");
         println!("micro/core_alu_tick       {core:>12.0} ticks/s");
+        let (llc, dir, fabric) = uncore_micro(200_000);
+        println!("micro/llc_tile_hit        {llc:>12.0} ops/s");
+        println!("micro/directory_round     {dir:>12.0} ops/s");
+        println!("micro/fabric_wheel        {fabric:>12.0} ops/s");
         let mut record = String::from("  {");
         let _ = write!(
             record,
             "\"unix_time\": {}, \"quick\": true, \
              \"micro_rob_wakeup_rate\": {rob:.0}, \
              \"micro_l1_mshr_rate\": {mshr:.0}, \
-             \"micro_core_alu_tick_rate\": {core:.0}",
+             \"micro_core_alu_tick_rate\": {core:.0}, \
+             \"micro_llc_tile_rate\": {llc:.0}, \
+             \"micro_directory_rate\": {dir:.0}, \
+             \"micro_fabric_wheel_rate\": {fabric:.0}",
             unix_time()
         );
         for (org, rate) in fullload_memheavy_rates(tick_cycles) {
@@ -327,6 +379,12 @@ fn main() {
     println!("micro/rob_fill_wakeup     {rob_rate:>12.0} rounds/s");
     println!("micro/l1_mshr_cycle       {mshr_rate:>12.0} ops/s");
     println!("micro/core_alu_tick       {core_alu_rate:>12.0} ticks/s");
+
+    // Uncore structure microbenches.
+    let (llc_rate, dir_rate, fabric_rate) = uncore_micro(2_000_000);
+    println!("micro/llc_tile_hit        {llc_rate:>12.0} ops/s");
+    println!("micro/directory_round     {dir_rate:>12.0} ops/s");
+    println!("micro/fabric_wheel        {fabric_rate:>12.0} ops/s");
 
     // Full-load, data-miss-heavy end-to-end tick rate.
     let memheavy = fullload_memheavy_rates(tick_cycles);
@@ -397,7 +455,10 @@ fn main() {
          \"trace_replay_synth_rate_mesh\": {trace_synth_rate:.0}, \
          \"micro_rob_wakeup_rate\": {rob_rate:.0}, \
          \"micro_l1_mshr_rate\": {mshr_rate:.0}, \
-         \"micro_core_alu_tick_rate\": {core_alu_rate:.0}"
+         \"micro_core_alu_tick_rate\": {core_alu_rate:.0}, \
+         \"micro_llc_tile_rate\": {llc_rate:.0}, \
+         \"micro_directory_rate\": {dir_rate:.0}, \
+         \"micro_fabric_wheel_rate\": {fabric_rate:.0}"
     );
     for (org, rate) in &memheavy {
         let _ = write!(record, ", \"fullload_memheavy_rate_{}\": {rate:.0}", org_key(*org));

@@ -4,8 +4,6 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nocout_cpu::source::InstructionSource;
 use nocout_mem::addr::Addr;
 use nocout_mem::cache::{CacheArray, CacheGeometry};
-use nocout_mem::llc::{LlcConfig, LlcInput, LlcTile};
-use nocout_mem::protocol::{CoreId, RequestKind, TxnId};
 use nocout_noc::topology::mesh::{build_mesh, MeshSpec};
 use nocout_noc::topology::nocout::{build_nocout, NocOutSpec};
 use nocout_noc::types::MessageClass;
@@ -151,30 +149,46 @@ fn bench_l1_mshr(c: &mut Criterion) {
     g.finish();
 }
 
-/// LLC tile: request service throughput.
-fn bench_llc(c: &mut Criterion) {
-    c.bench_function("llc_tile_1k_hits", |b| {
-        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
-        // Warm 1k lines.
-        for i in 0..1000u64 {
-            tile.warm(Addr::from_line_index(i));
-        }
+/// Uncore hot-path structures: LLC tile service (input ring, MSHR file
+/// and calendar-wheel output stage), the set-associative directory, and
+/// the analytic-fabric event wheel. The op definitions live in
+/// `nocout_bench::uncoreopt`, shared with the recorded trajectory keys
+/// in `benches/batch.rs`.
+fn bench_uncore(c: &mut Criterion) {
+    use nocout_bench::uncoreopt;
+
+    let mut g = c.benchmark_group("uncore");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("llc_tile_1k_hits", |b| {
+        let mut tile = uncoreopt::warmed_nocout_tile();
         let mut now = Cycle(0);
         b.iter(|| {
             for i in 0..1000u64 {
-                tile.submit(LlcInput::Core {
-                    txn: TxnId(i as u32),
-                    core: CoreId((i % 64) as u16),
-                    addr: Addr::from_line_index(i % 1000),
-                    kind: RequestKind::GetS,
-                });
-                tile.tick(now);
-                while tile.pop_ready(now).is_some() {}
-                now += 1;
+                uncoreopt::llc_tile_hit_round(&mut tile, &mut now, i);
             }
             black_box(tile.stats.accesses.value())
         })
     });
+    g.bench_function("directory_1k_rounds", |b| {
+        let mut dir = uncoreopt::bench_directory();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                uncoreopt::directory_round(&mut dir, i);
+            }
+            black_box(dir.tracked_lines())
+        })
+    });
+    g.bench_function("fabric_wheel_1k_rounds", |b| {
+        use nocout_noc::fabric::Fabric;
+        let mut fab = uncoreopt::tencycle_fabric();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                uncoreopt::fabric_wheel_round(&mut fab, i);
+            }
+            black_box(fab.now())
+        })
+    });
+    g.finish();
 }
 
 /// Tag-array operations.
@@ -247,6 +261,6 @@ criterion_group! {
     name = micro;
     config = config();
     targets = bench_mesh_tick, bench_chip_tick, bench_core_structs, bench_l1_mshr,
-              bench_llc, bench_cache_array, bench_workload_gen, bench_rng
+              bench_uncore, bench_cache_array, bench_workload_gen, bench_rng
 }
 criterion_main!(micro);

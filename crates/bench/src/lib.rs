@@ -93,3 +93,97 @@ pub mod memopt {
         L1Cache::new(L1Config::a15())
     }
 }
+
+/// The uncore microbench operations — LLC tile service, directory
+/// tracking, and the analytic-fabric event wheel — defined once for the
+/// same reason as [`memopt`]: the criterion bench and the recorded
+/// trajectory keys (`micro_llc_tile_rate`, `micro_directory_rate`,
+/// `micro_fabric_wheel_rate`) must agree on what "one op" means.
+pub mod uncoreopt {
+    use nocout_mem::addr::Addr;
+    use nocout_mem::directory::Directory;
+    use nocout_mem::llc::{LlcConfig, LlcInput, LlcTile};
+    use nocout_mem::protocol::{CoreId, RequestKind, TxnId};
+    use nocout_noc::fabric::Fabric;
+    use nocout_noc::latency::LatencyFabric;
+    use nocout_noc::types::{MessageClass, TerminalId};
+    use nocout_sim::Cycle;
+
+    /// Lines warmed into the benchmark tile, so every submitted request
+    /// hits.
+    pub const LLC_WARM_LINES: u64 = 1000;
+
+    /// A NOC-Out LLC tile with [`LLC_WARM_LINES`] resident lines.
+    pub fn warmed_nocout_tile() -> LlcTile {
+        let mut tile = LlcTile::new(LlcConfig::nocout_tile());
+        for i in 0..LLC_WARM_LINES {
+            tile.warm(Addr::from_line_index(i));
+        }
+        tile
+    }
+
+    /// One LLC op: submit a GetS that hits, then tick and drain the tile
+    /// across two cycles — one trip through the input ring, the MSHR-file
+    /// merge probe, bank arbitration, the directory update and the
+    /// calendar-wheel output stage. Two cycles per request is the tile's
+    /// exact service capacity (2 banks × 4-cycle occupancy, consecutive
+    /// line indices alternating banks), so the input queue stays bounded
+    /// and every request is granted on its submit tick.
+    #[inline]
+    pub fn llc_tile_hit_round(tile: &mut LlcTile, now: &mut Cycle, i: u64) {
+        tile.submit(LlcInput::Core {
+            txn: TxnId(i as u32),
+            core: CoreId((i % 64) as u16),
+            addr: Addr::from_line_index(i % LLC_WARM_LINES),
+            kind: RequestKind::GetS,
+        });
+        for _ in 0..2 {
+            tile.tick(*now);
+            while tile.pop_ready(*now).is_some() {}
+            *now += 1;
+        }
+    }
+
+    /// A directory with the default standalone slice geometry (256 sets
+    /// × 16 ways).
+    pub fn bench_directory() -> Directory {
+        Directory::new()
+    }
+
+    /// One directory op over a 4096-line space: track a line for two
+    /// sharers, probe its state, then invalidate both — an insert, three
+    /// set-indexed finds, and an entry drop per round, so population
+    /// churns the way L1 fills and evictions churn it.
+    #[inline]
+    pub fn directory_round(dir: &mut Directory, i: u64) {
+        let addr = Addr((i % 4096) * 64);
+        let a = CoreId((i % 64) as u16);
+        let b = CoreId(((i + 1) % 64) as u16);
+        dir.add_sharer(addr, a);
+        dir.add_sharer(addr, b);
+        debug_assert!(dir.state(addr).is_some());
+        dir.remove_core(addr, a);
+        dir.remove_core(addr, b);
+    }
+
+    /// A 64-terminal contention-free fabric with a fixed 10-cycle head
+    /// latency.
+    pub fn tencycle_fabric() -> LatencyFabric {
+        LatencyFabric::new(64, 128, Box::new(|_, _| 10))
+    }
+
+    /// One fabric op: inject a single-flit packet, advance one cycle and
+    /// drain deliveries. After the first 10 ops the wheel carries a
+    /// steady 10 packets in flight, so each round is one scheduled push,
+    /// one slot drain and one delivery pop.
+    #[inline]
+    pub fn fabric_wheel_round(fab: &mut LatencyFabric, i: u64) {
+        let src = TerminalId((i % 64) as u16);
+        let dst = TerminalId(((i * 7 + 3) % 64) as u16);
+        fab.inject(src, dst, MessageClass::Request, 0, i);
+        fab.tick();
+        while let Some(t) = fab.take_ready_terminal() {
+            while fab.poll(t).is_some() {}
+        }
+    }
+}

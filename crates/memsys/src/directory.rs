@@ -7,7 +7,6 @@
 //! of LLC accesses producing a snoop), and NOC-Out's design leans on that.
 
 use crate::protocol::CoreId;
-use std::collections::HashMap;
 
 /// A set of sharer cores (bit per core; supports up to 128 cores for the
 /// §7.1 concentration study).
@@ -78,10 +77,41 @@ pub enum DirState {
     Exclusive(CoreId),
 }
 
+/// One directory entry: the tracked line index with its state stored next
+/// to the tag, so a hit costs exactly one cache line of directory storage.
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    line: u64,
+    state: DirState,
+}
+
+/// Tag value marking a free way. Real line indices are chip addresses
+/// shifted down by the 6 line bits, so `u64::MAX` can never collide.
+const EMPTY_LINE: u64 = u64::MAX;
+
+/// Location of a tracked line: a way in the set-associative array, or an
+/// index into the conflict spill list.
+#[derive(Debug, Clone, Copy)]
+enum Pos {
+    Way(usize),
+    Spill(usize),
+}
+
 /// A directory slice: line → sharer state, for lines cached in any L1.
 ///
 /// Lines not present map to "uncached above the LLC". Entries are dropped
 /// eagerly when their sharer set empties.
+///
+/// Storage is a set-associative array mirroring the data slice's
+/// [`crate::cache::CacheArray`] geometry (construct with
+/// [`Directory::with_geometry`] from the slice's set count, ways and NUCA
+/// stride): a lookup is the same shift+mask the tag array uses followed by
+/// a ≤ `ways` linear tag scan, replacing the per-line
+/// `HashMap<u64, DirState>`. Because directory population is not *exactly*
+/// the slice's resident set (a line can be re-tracked while an in-flight
+/// MSHR completes after its slice victimization), set-conflict overflow
+/// falls back to a small spill list, preserving the map's semantics
+/// bit-for-bit while keeping the hot lookup allocation-free.
 ///
 /// # Examples
 ///
@@ -97,46 +127,160 @@ pub enum DirState {
 /// dir.set_exclusive(a, CoreId(5));
 /// assert_eq!(dir.state(a), Some(DirState::Exclusive(CoreId(5))));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Directory {
-    lines: HashMap<u64, DirState>,
+    sets: usize,
+    ways: usize,
+    stride: u64,
+    entries: Vec<DirEntry>,
+    spill: Vec<DirEntry>,
+    len: usize,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory::new()
+    }
 }
 
 impl Directory {
-    /// Creates an empty directory.
+    /// Hard ceiling on tracked lines: 128 cores (the §7.1 concentration
+    /// study maximum) × 64 KB of private L1 (I + D) per core / 64 B lines.
+    /// The directory only tracks lines held in some L1, so population
+    /// beyond this bound means an eviction path failed to drop its lines.
+    pub const MAX_TRACKED_LINES: usize = 128 * (64 * 1024 / 64);
+
+    /// Creates an empty directory with a default standalone geometry
+    /// (256 sets × 16 ways, unit stride).
     pub fn new() -> Self {
-        Directory::default()
+        Directory::with_geometry(256, 16, 1)
+    }
+
+    /// Creates a directory slice mirroring a cache slice's geometry:
+    /// `sets` must be a power of two, and `stride` is the NUCA interleave
+    /// (chip line indices are divided by it before set selection, exactly
+    /// like the data slice's local addressing).
+    pub fn with_geometry(sets: usize, ways: usize, stride: u64) -> Self {
+        assert!(sets.is_power_of_two(), "directory sets must be a power of two");
+        assert!(ways > 0 && stride > 0);
+        Directory {
+            sets,
+            ways,
+            stride,
+            entries: vec![
+                DirEntry {
+                    line: EMPTY_LINE,
+                    state: DirState::Shared(SharerSet::empty()),
+                };
+                sets * ways
+            ],
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn set_base(&self, line_index: u64) -> usize {
+        (((line_index / self.stride) as usize) & (self.sets - 1)) * self.ways
+    }
+
+    #[inline]
+    fn find(&self, line_index: u64) -> Option<Pos> {
+        debug_assert_ne!(line_index, EMPTY_LINE);
+        let base = self.set_base(line_index);
+        for i in 0..self.ways {
+            if self.entries[base + i].line == line_index {
+                return Some(Pos::Way(base + i));
+            }
+        }
+        if !self.spill.is_empty() {
+            if let Some(i) = self.spill.iter().position(|e| e.line == line_index) {
+                return Some(Pos::Spill(i));
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn state_at(&mut self, pos: Pos) -> &mut DirState {
+        match pos {
+            Pos::Way(i) => &mut self.entries[i].state,
+            Pos::Spill(i) => &mut self.spill[i].state,
+        }
+    }
+
+    fn insert(&mut self, line_index: u64, state: DirState) {
+        self.len += 1;
+        debug_assert!(
+            self.len <= Self::MAX_TRACKED_LINES,
+            "directory population {} exceeds total L1 capacity in lines — \
+             an eviction path is leaking entries",
+            self.len
+        );
+        let base = self.set_base(line_index);
+        for i in 0..self.ways {
+            if self.entries[base + i].line == EMPTY_LINE {
+                self.entries[base + i] = DirEntry {
+                    line: line_index,
+                    state,
+                };
+                return;
+            }
+        }
+        self.spill.push(DirEntry {
+            line: line_index,
+            state,
+        });
+    }
+
+    fn remove_at(&mut self, pos: Pos) {
+        match pos {
+            Pos::Way(i) => self.entries[i].line = EMPTY_LINE,
+            Pos::Spill(i) => {
+                self.spill.swap_remove(i);
+            }
+        }
+        self.len -= 1;
     }
 
     /// Current state of a line (None = uncached in all L1s).
     pub fn state(&self, addr: crate::addr::Addr) -> Option<DirState> {
-        self.lines.get(&addr.line_index()).copied()
+        match self.find(addr.line_index())? {
+            Pos::Way(i) => Some(self.entries[i].state),
+            Pos::Spill(i) => Some(self.spill[i].state),
+        }
     }
 
     /// Records `core` as a sharer (demotes Exclusive to Shared, keeping the
     /// former owner as a sharer — the FwdGetS path).
     pub fn add_sharer(&mut self, addr: crate::addr::Addr, core: CoreId) {
-        let entry = self
-            .lines
-            .entry(addr.line_index())
-            .or_insert(DirState::Shared(SharerSet::empty()));
-        *entry = match *entry {
-            DirState::Shared(mut s) => {
-                s.insert(core);
-                DirState::Shared(s)
+        let idx = addr.line_index();
+        match self.find(idx) {
+            Some(pos) => {
+                let entry = self.state_at(pos);
+                *entry = match *entry {
+                    DirState::Shared(mut s) => {
+                        s.insert(core);
+                        DirState::Shared(s)
+                    }
+                    DirState::Exclusive(owner) => {
+                        let mut s = SharerSet::single(owner);
+                        s.insert(core);
+                        DirState::Shared(s)
+                    }
+                };
             }
-            DirState::Exclusive(owner) => {
-                let mut s = SharerSet::single(owner);
-                s.insert(core);
-                DirState::Shared(s)
-            }
-        };
+            None => self.insert(idx, DirState::Shared(SharerSet::single(core))),
+        }
     }
 
     /// Makes `core` the exclusive owner, replacing any previous state.
     pub fn set_exclusive(&mut self, addr: crate::addr::Addr, core: CoreId) {
-        self.lines
-            .insert(addr.line_index(), DirState::Exclusive(core));
+        let idx = addr.line_index();
+        match self.find(idx) {
+            Some(pos) => *self.state_at(pos) = DirState::Exclusive(core),
+            None => self.insert(idx, DirState::Exclusive(core)),
+        }
     }
 
     /// Removes `core` from the line's sharers/ownership (writeback or
@@ -144,32 +288,39 @@ impl Directory {
     /// whether the core was recorded.
     pub fn remove_core(&mut self, addr: crate::addr::Addr, core: CoreId) -> bool {
         let idx = addr.line_index();
-        match self.lines.get_mut(&idx) {
-            None => false,
-            Some(DirState::Exclusive(owner)) if *owner == core => {
-                self.lines.remove(&idx);
-                true
-            }
-            Some(DirState::Exclusive(_)) => false,
-            Some(DirState::Shared(s)) => {
+        let Some(pos) = self.find(idx) else {
+            return false;
+        };
+        let (drop_entry, had) = match self.state_at(pos) {
+            DirState::Exclusive(owner) if *owner == core => (true, true),
+            DirState::Exclusive(_) => (false, false),
+            DirState::Shared(s) => {
                 let had = s.contains(core);
                 s.remove(core);
-                if s.is_empty() {
-                    self.lines.remove(&idx);
-                }
-                had
+                (s.is_empty(), had)
             }
+        };
+        if drop_entry {
+            self.remove_at(pos);
         }
+        had
     }
 
     /// Drops all state for a line (LLC eviction).
     pub fn drop_line(&mut self, addr: crate::addr::Addr) {
-        self.lines.remove(&addr.line_index());
+        if let Some(pos) = self.find(addr.line_index()) {
+            self.remove_at(pos);
+        }
     }
 
     /// Number of tracked lines.
     pub fn tracked_lines(&self) -> usize {
-        self.lines.len()
+        self.len
+    }
+
+    #[cfg(test)]
+    pub(crate) fn spill_is_empty_for_test(&self) -> bool {
+        self.spill.is_empty()
     }
 }
 
@@ -241,6 +392,76 @@ mod tests {
         dir.set_exclusive(a, CoreId(0));
         dir.drop_line(a);
         assert_eq!(dir.state(a), None);
+    }
+
+    #[test]
+    fn invalidate_paths_leave_lines_untracked() {
+        // Every removal path — writeback of an owned line, last-sharer
+        // invalidation, and LLC eviction — must return a line to the
+        // "uncached above the LLC" state and release its slot, so
+        // population stays bounded by what the L1s actually hold.
+        let mut dir = Directory::new();
+        for i in 0..64u64 {
+            dir.add_sharer(Addr(i * 64), CoreId((i % 8) as u16));
+        }
+        dir.set_exclusive(Addr(64 * 64), CoreId(1));
+        assert_eq!(dir.tracked_lines(), 65);
+        // Owner writeback path.
+        assert!(dir.remove_core(Addr(64 * 64), CoreId(1)));
+        assert_eq!(dir.state(Addr(64 * 64)), None);
+        // Last-sharer invalidation path.
+        for i in 0..32u64 {
+            assert!(dir.remove_core(Addr(i * 64), CoreId((i % 8) as u16)));
+        }
+        // LLC-eviction path.
+        for i in 32..64u64 {
+            dir.drop_line(Addr(i * 64));
+        }
+        assert_eq!(dir.tracked_lines(), 0);
+        for i in 0..=64u64 {
+            assert_eq!(dir.state(Addr(i * 64)), None);
+        }
+        assert!(dir.tracked_lines() <= Directory::MAX_TRACKED_LINES);
+    }
+
+    #[test]
+    fn set_conflicts_spill_without_losing_state() {
+        // 2 sets × 1 way: four lines in the same set force three into the
+        // spill list; state and removal must behave exactly like the map.
+        let mut dir = Directory::with_geometry(2, 1, 1);
+        let lines = [0u64, 2, 4, 6]; // even line indices → set 0
+        for (k, &l) in lines.iter().enumerate() {
+            dir.add_sharer(Addr(l * 64), CoreId(k as u16));
+        }
+        assert_eq!(dir.tracked_lines(), 4);
+        for (k, &l) in lines.iter().enumerate() {
+            match dir.state(Addr(l * 64)) {
+                Some(DirState::Shared(s)) => assert!(s.contains(CoreId(k as u16))),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Removing a spilled entry then reusing the freed way.
+        assert!(dir.remove_core(Addr(4 * 64), CoreId(2)));
+        assert_eq!(dir.state(Addr(4 * 64)), None);
+        dir.set_exclusive(Addr(8 * 64), CoreId(9));
+        assert_eq!(dir.state(Addr(8 * 64)), Some(DirState::Exclusive(CoreId(9))));
+        assert_eq!(dir.tracked_lines(), 4);
+        for &l in &[0u64, 2, 6, 8] {
+            dir.drop_line(Addr(l * 64));
+        }
+        assert_eq!(dir.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn nuca_stride_selects_slice_local_sets() {
+        // With stride 64 (a 64-tile interleave), chip lines 0 and 64 are
+        // consecutive slice-local lines and must land in different sets of
+        // a 2-set directory rather than aliasing.
+        let mut dir = Directory::with_geometry(2, 1, 64);
+        dir.add_sharer(Addr(0), CoreId(0));
+        dir.add_sharer(Addr(64 * 64), CoreId(1));
+        assert_eq!(dir.tracked_lines(), 2);
+        assert!(dir.spill_is_empty_for_test());
     }
 
     #[test]

@@ -12,10 +12,10 @@ use crate::addr::Addr;
 use crate::cache::{CacheArray, CacheGeometry, Lookup};
 use crate::directory::{DirState, Directory};
 use crate::protocol::{CoreId, MshrId, RequestKind, TxnId};
+use nocout_sim::ring::Ring;
 use nocout_sim::stats::Counter;
 use nocout_sim::Cycle;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Configuration of one LLC tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,12 +172,309 @@ pub enum LlcOutput {
     },
 }
 
-#[derive(Debug)]
-struct Mshr {
+/// A request merged into an in-flight MSHR, replayed on completion.
+pub type LlcWaiter = (TxnId, CoreId, RequestKind);
+
+/// Waiter tags held inline in an MSHR slot before spilling to the
+/// slot-owned vector (same threshold as the L1 `MshrFile`).
+const TILE_INLINE_WAITERS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct TileSlot {
+    valid: bool,
+    /// Bumped on release so a stale [`MshrId`] from a message still in
+    /// flight through the network can never alias a reused slot.
+    gen: u16,
     addr: Addr,
-    waiters: Vec<(TxnId, CoreId, RequestKind)>,
     pending_acks: u32,
     pending_mem: bool,
+    inline_len: u8,
+    inline: [LlcWaiter; TILE_INLINE_WAITERS],
+    spill: Vec<LlcWaiter>,
+}
+
+impl TileSlot {
+    fn free() -> Self {
+        TileSlot {
+            valid: false,
+            gen: 0,
+            addr: Addr(0),
+            pending_acks: 0,
+            pending_mem: false,
+            inline_len: 0,
+            inline: [(TxnId(0), CoreId(0), RequestKind::GetS); TILE_INLINE_WAITERS],
+            spill: Vec::new(),
+        }
+    }
+}
+
+/// Array-backed MSHR file for an LLC tile, modeled on the L1
+/// [`crate::mshr::MshrFile`]: a fixed array of `mshr_capacity` slots,
+/// linearly scanned (at ≤ 32 entries a scan beats two hash lookups), with
+/// the line-index lookup inline in the scan instead of a side
+/// `HashMap<u64, u32>`, and waiter tags inline in the slot.
+///
+/// Unlike the L1 file, tile MSHR ids travel through the network (in
+/// [`LlcOutput::Inv`] / [`LlcOutput::MemRead`] and back via
+/// [`LlcInput::InvAck`] / [`LlcInput::MemData`]), so ids are
+/// generation-tagged: the low 16 bits address the slot, the high 16 carry
+/// its allocation generation, and a stale or foreign id resolves to `None`
+/// exactly as a missing key did in the `HashMap` it replaces. `capacity`
+/// is a sizing hint, not an admission bound — the tile has never
+/// back-pressured requests, so on overflow the file grows like the
+/// `HashMap` grew.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_mem::addr::Addr;
+/// use nocout_mem::llc::TileMshrFile;
+/// use nocout_mem::protocol::{CoreId, RequestKind, TxnId};
+///
+/// let mut file = TileMshrFile::new(16);
+/// let id = file.alloc(Addr(0x40), 0, true);
+/// file.push_waiter(id, (TxnId(1), CoreId(0), RequestKind::GetS));
+/// assert_eq!(file.lookup_line(Addr(0x40).line_index()), Some(id));
+/// let mut waiters = Vec::new();
+/// assert_eq!(file.take(id, &mut waiters), Some(Addr(0x40)));
+/// assert_eq!(waiters.len(), 1);
+/// assert_eq!(file.take(id, &mut waiters), None, "stale id is ignored");
+/// ```
+#[derive(Debug)]
+pub struct TileMshrFile {
+    slots: Vec<TileSlot>,
+    used: usize,
+}
+
+impl TileMshrFile {
+    /// Creates a file with `capacity` pre-sized slots.
+    pub fn new(capacity: usize) -> Self {
+        TileMshrFile {
+            slots: (0..capacity.max(1)).map(|_| TileSlot::free()).collect(),
+            used: 0,
+        }
+    }
+
+    /// In-flight entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// True when no entry is in flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Current slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn resolve(&self, id: MshrId) -> Option<usize> {
+        let slot = (id.0 & 0xFFFF) as usize;
+        let gen = (id.0 >> 16) as u16;
+        match self.slots.get(slot) {
+            Some(s) if s.valid && s.gen == gen => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// The in-flight entry for `line_index`, if any (the merge probe).
+    #[inline]
+    pub fn lookup_line(&self, line_index: u64) -> Option<MshrId> {
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.valid && s.addr.line_index() == line_index {
+                return Some(MshrId(((s.gen as u32) << 16) | i as u32));
+            }
+        }
+        None
+    }
+
+    /// Allocates an entry for `addr` (no entry for its line may exist).
+    pub fn alloc(&mut self, addr: Addr, pending_acks: u32, pending_mem: bool) -> MshrId {
+        debug_assert!(self.lookup_line(addr.line_index()).is_none());
+        let slot = match self.slots.iter().position(|s| !s.valid) {
+            Some(i) => i,
+            None => {
+                self.slots.push(TileSlot::free());
+                self.slots.len() - 1
+            }
+        };
+        assert!(slot < (1 << 16), "mshr slot index overflows the id encoding");
+        let s = &mut self.slots[slot];
+        s.valid = true;
+        s.addr = addr;
+        s.pending_acks = pending_acks;
+        s.pending_mem = pending_mem;
+        s.inline_len = 0;
+        debug_assert!(s.spill.is_empty());
+        self.used += 1;
+        MshrId(((s.gen as u32) << 16) | slot as u32)
+    }
+
+    /// Appends a waiter to an entry; `false` if the id is stale.
+    pub fn push_waiter(&mut self, id: MshrId, waiter: LlcWaiter) -> bool {
+        let Some(slot) = self.resolve(id) else {
+            return false;
+        };
+        let s = &mut self.slots[slot];
+        if (s.inline_len as usize) < TILE_INLINE_WAITERS && s.spill.is_empty() {
+            s.inline[s.inline_len as usize] = waiter;
+            s.inline_len += 1;
+        } else {
+            s.spill.push(waiter);
+        }
+        true
+    }
+
+    /// The line address an entry is fetching/collecting for.
+    #[inline]
+    pub fn addr_of(&self, id: MshrId) -> Option<Addr> {
+        self.resolve(id).map(|slot| self.slots[slot].addr)
+    }
+
+    /// Consumes one invalidation ack. Returns whether the entry is now
+    /// complete (no acks or memory data outstanding), or `None` for a
+    /// stale id.
+    pub fn dec_ack(&mut self, id: MshrId) -> Option<bool> {
+        let slot = self.resolve(id)?;
+        let s = &mut self.slots[slot];
+        debug_assert!(s.pending_acks > 0);
+        s.pending_acks -= 1;
+        Some(s.pending_acks == 0 && !s.pending_mem)
+    }
+
+    /// Records the memory fetch returning. Returns the line address and
+    /// whether the entry is now complete, or `None` for a stale id.
+    pub fn mem_arrived(&mut self, id: MshrId) -> Option<(Addr, bool)> {
+        let slot = self.resolve(id)?;
+        let s = &mut self.slots[slot];
+        s.pending_mem = false;
+        Some((s.addr, s.pending_acks == 0))
+    }
+
+    /// Releases an entry, appending its waiters (in merge order) to
+    /// `waiters`, and returns its line address. The freed slot's
+    /// generation is bumped so the released id goes stale immediately.
+    pub fn take(&mut self, id: MshrId, waiters: &mut Vec<LlcWaiter>) -> Option<Addr> {
+        let slot = self.resolve(id)?;
+        let s = &mut self.slots[slot];
+        for i in 0..s.inline_len as usize {
+            waiters.push(s.inline[i]);
+        }
+        waiters.append(&mut s.spill);
+        s.valid = false;
+        s.gen = s.gen.wrapping_add(1);
+        s.inline_len = 0;
+        self.used -= 1;
+        Some(s.addr)
+    }
+}
+
+/// A slot-addressed calendar wheel for latency-delayed payloads.
+///
+/// Replaces the `BinaryHeap<Reverse<(at, seq)>>` + `HashMap<seq, payload>`
+/// pair behind [`LlcTile::pop_ready`]: every emission is due within the
+/// tile's small, bounded access latency, so scheduling is `at % slots`
+/// with the payload stored inline — no comparison heap, no side table, no
+/// sequence counter. Entries sharing a cycle land in the same slot in
+/// emission order, which reproduces the heap's `(at, seq)` tiebreak
+/// exactly; `pop_due`/`earliest` scan the handful of slot fronts, which at
+/// 8–16 contiguous slots is cheaper than a heap sift.
+///
+/// The wheel never misses late pops: entries are stamped with their
+/// absolute due cycle, so a consumer that falls behind still drains in
+/// global `(at, emission)` order.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_mem::llc::OutputWheel;
+///
+/// let mut w: OutputWheel<&str> = OutputWheel::new(5);
+/// w.push(3, "b");
+/// w.push(2, "a");
+/// assert_eq!(w.earliest(), Some(2));
+/// assert_eq!(w.pop_due(1), None);
+/// assert_eq!(w.pop_due(3), Some("a"));
+/// assert_eq!(w.pop_due(3), Some("b"));
+/// ```
+#[derive(Debug)]
+pub struct OutputWheel<T: Copy> {
+    slots: Vec<VecDeque<(u64, T)>>,
+    pending: usize,
+}
+
+impl<T: Copy> OutputWheel<T> {
+    /// Creates a wheel covering schedules up to `max_latency` cycles out.
+    pub fn new(max_latency: u64) -> Self {
+        let n = (max_latency + 2).next_power_of_two().max(4) as usize;
+        OutputWheel {
+            slots: (0..n).map(|_| VecDeque::new()).collect(),
+            pending: 0,
+        }
+    }
+
+    /// Schedules `payload` for absolute cycle `at`. `at` must be within
+    /// `max_latency` of the most recent push's cycle (the tile emits
+    /// monotonically), which keeps each slot's queue due-ordered.
+    #[inline]
+    pub fn push(&mut self, at: u64, payload: T) {
+        let slot = (at as usize) & (self.slots.len() - 1);
+        debug_assert!(
+            self.slots[slot].back().is_none_or(|&(prev, _)| prev <= at),
+            "push beyond the wheel horizon would break in-slot ordering"
+        );
+        self.slots[slot].push_back((at, payload));
+        self.pending += 1;
+    }
+
+    /// The earliest scheduled cycle, if anything is pending.
+    pub fn earliest(&self) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        self.slots.iter().filter_map(|s| s.front().map(|&(at, _)| at)).min()
+    }
+
+    /// Pops the earliest payload due at or before `now`, in `(at,
+    /// emission order)` priority.
+    pub fn pop_due(&mut self, now: u64) -> Option<T> {
+        if self.pending == 0 {
+            return None;
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(&(at, _)) = s.front() {
+                // Strict `<`: equal cycles share a slot, so no cross-slot
+                // tie is possible.
+                if best.is_none_or(|(b, _)| at < b) {
+                    best = Some((at, i));
+                }
+            }
+        }
+        let (at, i) = best?;
+        if at > now {
+            return None;
+        }
+        self.pending -= 1;
+        self.slots[i].pop_front().map(|(_, v)| v)
+    }
+
+    /// Scheduled entries not yet popped.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// True when nothing is scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
 }
 
 /// Statistics for one LLC tile.
@@ -261,13 +558,10 @@ pub struct LlcTile {
     cache: CacheArray,
     dir: Directory,
     banks: Vec<Cycle>,
-    queue: VecDeque<LlcInput>,
-    mshrs: HashMap<u32, Mshr>,
-    mshr_by_line: HashMap<u64, u32>,
-    next_mshr: u32,
-    out: BinaryHeap<Reverse<(u64, u64)>>,
-    out_payload: HashMap<u64, LlcOutput>,
-    out_seq: u64,
+    queue: Ring<LlcInput>,
+    mshrs: TileMshrFile,
+    out: OutputWheel<LlcOutput>,
+    waiter_scratch: Vec<LlcWaiter>,
     /// Tile statistics.
     pub stats: LlcStats,
 }
@@ -275,22 +569,24 @@ pub struct LlcTile {
 impl LlcTile {
     /// Creates a tile.
     pub fn new(cfg: LlcConfig) -> Self {
+        let geometry = CacheGeometry {
+            capacity_bytes: cfg.slice_bytes,
+            ways: cfg.ways,
+            line_bytes: 64,
+        };
         LlcTile {
             cfg,
-            cache: CacheArray::new(CacheGeometry {
-                capacity_bytes: cfg.slice_bytes,
-                ways: cfg.ways,
-                line_bytes: 64,
-            }),
-            dir: Directory::new(),
+            cache: CacheArray::new(geometry),
+            // The directory slice mirrors the data slice's geometry, so a
+            // lookup is the same shift+mask the tag array uses.
+            dir: Directory::with_geometry(geometry.sets(), cfg.ways, cfg.tile_stride as u64),
             banks: vec![Cycle::ZERO; cfg.banks],
-            queue: VecDeque::new(),
-            mshrs: HashMap::new(),
-            mshr_by_line: HashMap::new(),
-            next_mshr: 0,
-            out: BinaryHeap::new(),
-            out_payload: HashMap::new(),
-            out_seq: 0,
+            // Sized by the tile's in-flight bound: one queued request per
+            // MSHR plus a same-cycle burst of acks/writebacks.
+            queue: Ring::with_capacity(2 * cfg.mshr_capacity.max(8)),
+            mshrs: TileMshrFile::new(cfg.mshr_capacity),
+            out: OutputWheel::new(cfg.access_latency.max(1)),
+            waiter_scratch: Vec::new(),
             stats: LlcStats::default(),
         }
     }
@@ -353,48 +649,43 @@ impl LlcTile {
     /// any. With an empty input queue this is the tile's only upcoming
     /// event, which is what the chip-level fast-forward jumps to.
     pub fn next_output_at(&self) -> Option<Cycle> {
-        self.out.peek().map(|&Reverse((at, _))| Cycle(at))
+        self.out.earliest().map(Cycle)
     }
 
     fn emit(&mut self, at: Cycle, out: LlcOutput) {
-        let seq = self.out_seq;
-        self.out_seq += 1;
-        self.out.push(Reverse((at.raw(), seq)));
-        self.out_payload.insert(seq, out);
+        self.out.push(at.raw(), out);
     }
 
     /// Pops the next output whose latency has elapsed.
     pub fn pop_ready(&mut self, now: Cycle) -> Option<LlcOutput> {
-        if let Some(&Reverse((at, seq))) = self.out.peek() {
-            if at <= now.raw() {
-                self.out.pop();
-                return self.out_payload.remove(&seq);
-            }
-        }
-        None
+        self.out.pop_due(now.raw())
     }
 
     /// Advances the tile: grants queued inputs to free banks.
     pub fn tick(&mut self, now: Cycle) {
         // InvAcks and directory-only work bypass the banks; bank-bound work
-        // is granted in order, one per free bank per cycle.
+        // is granted in order, one per free bank per cycle. Ungranted
+        // entries are compacted forward in place (read cursor `r`, write
+        // cursor `w`) instead of the old `VecDeque::remove` mid-scan; the
+        // examined set, its order, and the per-entry bank-wait charging are
+        // identical — in particular, once every bank is granted the
+        // unexamined tail takes no wait charge this cycle.
         let mut grants = 0usize;
-        let mut i = 0;
-        while i < self.queue.len() && grants < self.cfg.banks {
-            let input = self.queue[i];
-            match input {
+        let n = self.queue.len();
+        let mut r = 0usize;
+        let mut w = 0usize;
+        while r < n && grants < self.cfg.banks {
+            let input = self.queue.get(r);
+            r += 1;
+            let consumed = match input {
                 LlcInput::InvAck { mshr } => {
-                    self.queue.remove(i);
                     self.handle_inv_ack(mshr, now);
-                    continue;
+                    true
                 }
-                LlcInput::Core { addr, .. }
-                | LlcInput::WriteBack { addr, .. } => {
-                    if let Some(bank) = self.try_grant_bank(addr, now) {
-                        self.queue.remove(i);
+                LlcInput::Core { addr, .. } | LlcInput::WriteBack { addr, .. } => {
+                    if self.try_grant_bank(addr, now).is_some() {
                         grants += 1;
                         let done = now + self.cfg.access_latency;
-                        let _ = bank;
                         match input {
                             LlcInput::Core {
                                 txn,
@@ -407,33 +698,44 @@ impl LlcTile {
                             }
                             _ => unreachable!(),
                         }
-                        continue;
+                        true
                     } else {
                         self.stats.bank_wait_cycles.incr();
-                        i += 1;
+                        false
                     }
                 }
-                LlcInput::MemData { mshr } => {
-                    let addr = match self.mshrs.get(&mshr.0) {
-                        Some(m) => m.addr,
-                        None => {
-                            // Should not happen; drop defensively.
-                            self.queue.remove(i);
-                            continue;
+                LlcInput::MemData { mshr } => match self.mshrs.addr_of(mshr) {
+                    // Should not happen; drop defensively.
+                    None => true,
+                    Some(addr) => {
+                        if self.try_grant_bank(addr, now).is_some() {
+                            grants += 1;
+                            let done = now + self.cfg.access_latency;
+                            self.handle_mem_data(mshr, done);
+                            true
+                        } else {
+                            self.stats.bank_wait_cycles.incr();
+                            false
                         }
-                    };
-                    if self.try_grant_bank(addr, now).is_some() {
-                        self.queue.remove(i);
-                        grants += 1;
-                        let done = now + self.cfg.access_latency;
-                        self.handle_mem_data(mshr, done);
-                        continue;
-                    } else {
-                        self.stats.bank_wait_cycles.incr();
-                        i += 1;
                     }
+                },
+            };
+            if !consumed {
+                if w != r - 1 {
+                    self.queue.set(w, input);
                 }
+                w += 1;
             }
+        }
+        if w != r {
+            // Shift the unexamined tail down over the consumed prefix.
+            while r < n {
+                let v = self.queue.get(r);
+                self.queue.set(w, v);
+                r += 1;
+                w += 1;
+            }
+            self.queue.truncate(w);
         }
     }
 
@@ -449,30 +751,13 @@ impl LlcTile {
         }
     }
 
-    fn alloc_mshr(&mut self, addr: Addr) -> u32 {
-        let id = self.next_mshr;
-        self.next_mshr = self.next_mshr.wrapping_add(1);
-        self.mshrs.insert(
-            id,
-            Mshr {
-                addr,
-                waiters: Vec::new(),
-                pending_acks: 0,
-                pending_mem: false,
-            },
-        );
-        self.mshr_by_line.insert(addr.line_index(), id);
-        id
-    }
-
     fn handle_core(&mut self, txn: TxnId, core: CoreId, addr: Addr, kind: RequestKind, done: Cycle) {
         self.stats.accesses.incr();
         let line = addr.line();
 
         // A fetch/collection already in flight for this line: piggyback.
-        if let Some(&mid) = self.mshr_by_line.get(&line.line_index()) {
-            let m = self.mshrs.get_mut(&mid).expect("mshr map consistent");
-            m.waiters.push((txn, core, kind));
+        if let Some(mid) = self.mshrs.lookup_line(line.line_index()) {
+            self.mshrs.push_waiter(mid, (txn, core, kind));
             return;
         }
 
@@ -542,11 +827,8 @@ impl LlcTile {
         } else {
             self.stats.hits.incr();
         }
-        let mid = self.alloc_mshr(line);
-        let m = self.mshrs.get_mut(&mid).expect("just inserted");
-        m.waiters.push((txn, core, kind));
-        m.pending_acks = pending_acks;
-        m.pending_mem = !hit;
+        let mid = self.mshrs.alloc(line, pending_acks, !hit);
+        self.mshrs.push_waiter(mid, (txn, core, kind));
         if pending_acks > 0 {
             self.stats.snooping_accesses.incr();
             if let Some(DirState::Shared(sharers)) = self.dir.state(line) {
@@ -555,7 +837,7 @@ impl LlcTile {
                     self.emit(
                         done,
                         LlcOutput::Inv {
-                            mshr: MshrId(mid),
+                            mshr: mid,
                             sharer,
                             addr: line,
                         },
@@ -565,7 +847,7 @@ impl LlcTile {
         }
         if !hit {
             self.emit(done, LlcOutput::MemRead {
-                mshr: MshrId(mid),
+                mshr: mid,
                 addr: line,
             });
         }
@@ -591,14 +873,8 @@ impl LlcTile {
     }
 
     fn handle_inv_ack(&mut self, mshr: MshrId, now: Cycle) {
-        let finished = {
-            let m = match self.mshrs.get_mut(&mshr.0) {
-                Some(m) => m,
-                None => return,
-            };
-            debug_assert!(m.pending_acks > 0);
-            m.pending_acks -= 1;
-            m.pending_acks == 0 && !m.pending_mem
+        let Some(finished) = self.mshrs.dec_ack(mshr) else {
+            return;
         };
         if finished {
             self.complete_mshr(mshr, now + 1);
@@ -606,13 +882,8 @@ impl LlcTile {
     }
 
     fn handle_mem_data(&mut self, mshr: MshrId, done: Cycle) {
-        let (line, finished) = {
-            let m = match self.mshrs.get_mut(&mshr.0) {
-                Some(m) => m,
-                None => return,
-            };
-            m.pending_mem = false;
-            (m.addr, m.pending_acks == 0)
+        let Some((line, finished)) = self.mshrs.mem_arrived(mshr) else {
+            return;
         };
         // Install the fetched line.
         let slice = self.slice_addr(line);
@@ -630,25 +901,27 @@ impl LlcTile {
     }
 
     fn complete_mshr(&mut self, mshr: MshrId, at: Cycle) {
-        let m = match self.mshrs.remove(&mshr.0) {
-            Some(m) => m,
-            None => return,
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        waiters.clear();
+        let Some(addr) = self.mshrs.take(mshr, &mut waiters) else {
+            self.waiter_scratch = waiters;
+            return;
         };
-        self.mshr_by_line.remove(&m.addr.line_index());
-        let any_write = m.waiters.iter().any(|&(_, _, k)| k == RequestKind::GetX);
-        for &(txn, core, _) in &m.waiters {
+        let any_write = waiters.iter().any(|&(_, _, k)| k == RequestKind::GetX);
+        for &(txn, core, _) in &waiters {
             self.emit(at, LlcOutput::Data { txn, to: core });
         }
         // Final directory state: single writer becomes exclusive; otherwise
         // everyone is a sharer (mixed waiter sets are treated as shared —
         // a timing-model simplification, see DESIGN.md).
-        if any_write && m.waiters.len() == 1 {
-            self.dir.set_exclusive(m.addr, m.waiters[0].1);
+        if any_write && waiters.len() == 1 {
+            self.dir.set_exclusive(addr, waiters[0].1);
         } else {
-            for &(_, core, _) in &m.waiters {
-                self.dir.add_sharer(m.addr, core);
+            for &(_, core, _) in &waiters {
+                self.dir.add_sharer(addr, core);
             }
         }
+        self.waiter_scratch = waiters;
     }
 }
 

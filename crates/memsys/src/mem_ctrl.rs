@@ -13,9 +13,9 @@
 //! model keep idle channels out of its per-cycle scan entirely.
 
 use crate::addr::Addr;
+use nocout_sim::ring::Ring;
 use nocout_sim::stats::Counter;
 use nocout_sim::Cycle;
-use std::collections::VecDeque;
 
 /// Timing of one DDR3 channel, in core cycles (2 GHz).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,9 +76,12 @@ pub enum MemRequest {
 #[derive(Debug)]
 pub struct MemoryChannel {
     cfg: MemChannelConfig,
-    queue: VecDeque<MemRequest>,
+    /// Waiting requests with their arrival stamps — one ring instead of
+    /// the former parallel `queue`/`arrivals` `VecDeque` pair, so the two
+    /// can never desynchronize and a pop is a single head advance.
+    queue: Ring<(MemRequest, Cycle)>,
     busy_until: Cycle,
-    completions: VecDeque<(Cycle, u64)>,
+    completions: Ring<(Cycle, u64)>,
     /// Reads serviced.
     pub reads: Counter,
     /// Writes serviced.
@@ -86,23 +89,27 @@ pub struct MemoryChannel {
     /// Total cycles requests spent queued (arrival→service), for
     /// diagnostics.
     pub queue_cycles: Counter,
-    arrivals: VecDeque<Cycle>,
     /// Deepest queue observed.
     pub peak_queue: usize,
 }
+
+/// Ring sizing hint: a channel's in-flight population is bounded by the
+/// LLC tiles' MSHRs that interleave onto it, ≤ 64 tiles × 16–32 MSHRs / 4
+/// channels in the paper's configurations; 32 covers the queues actually
+/// observed (`peak_queue`) with the ring growing on the rare burst past it.
+const CHANNEL_QUEUE_HINT: usize = 32;
 
 impl MemoryChannel {
     /// Creates an idle channel.
     pub fn new(cfg: MemChannelConfig) -> Self {
         MemoryChannel {
             cfg,
-            queue: VecDeque::new(),
+            queue: Ring::with_capacity(CHANNEL_QUEUE_HINT),
             busy_until: Cycle::ZERO,
-            completions: VecDeque::new(),
+            completions: Ring::with_capacity(CHANNEL_QUEUE_HINT),
             reads: Counter::new(),
             writes: Counter::new(),
             queue_cycles: Counter::new(),
-            arrivals: VecDeque::new(),
             peak_queue: 0,
         }
     }
@@ -114,8 +121,7 @@ impl MemoryChannel {
 
     /// Enqueues a request at `now`.
     pub fn push(&mut self, req: MemRequest, now: Cycle) {
-        self.queue.push_back(req);
-        self.arrivals.push_back(now);
+        self.queue.push_back((req, now));
         self.peak_queue = self.peak_queue.max(self.queue.len());
     }
 
@@ -157,10 +163,9 @@ impl MemoryChannel {
     pub fn tick(&mut self, now: Cycle, done: &mut Vec<u64>) {
         // Start service on the head request if the data bus is free.
         while self.busy_until <= now {
-            let Some(req) = self.queue.pop_front() else {
+            let Some((req, arrived)) = self.queue.pop_front() else {
                 break;
             };
-            let arrived = self.arrivals.pop_front().unwrap_or(now);
             self.queue_cycles.add(now.saturating_since(arrived));
             self.busy_until = now + self.cfg.occupancy;
             match req {
@@ -174,12 +179,11 @@ impl MemoryChannel {
             }
         }
         while let Some(&(at, token)) = self.completions.front() {
-            if at <= now {
-                self.completions.pop_front();
-                done.push(token);
-            } else {
+            if at > now {
                 break;
             }
+            self.completions.pop_front();
+            done.push(token);
         }
     }
 }

@@ -12,9 +12,15 @@ use crate::fabric::Fabric;
 use crate::packet::{Delivery, Packet};
 use crate::stats::NetStats;
 use crate::types::{MessageClass, TerminalId};
+use crate::wheel::EventWheel;
 use nocout_sim::Cycle;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+
+/// Initial wheel horizon: covers the largest head latency any analytic
+/// fabric in the paper's configurations computes (tens of cycles of wire
+/// delay plus serialization); the wheel grows if a latency function
+/// exceeds it.
+const LATENCY_WHEEL_SLOTS: usize = 128;
 
 /// Computes the head-flit latency between two terminals, in cycles.
 pub type LatencyFn = Box<dyn Fn(TerminalId, TerminalId) -> u64 + Send>;
@@ -41,11 +47,14 @@ pub struct LatencyFabric {
     num_terminals: usize,
     link_width_bits: u32,
     latency_fn: LatencyFn,
-    in_flight: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Payload slots scheduled on a calendar wheel keyed by delivery
+    /// cycle — replaces the former `BinaryHeap<Reverse<(u64, u64)>>` of
+    /// (deliver_at, slot) pairs.
+    in_flight: EventWheel<u64>,
+    /// Scratch for draining one wheel slot per tick without allocating.
+    due_scratch: Vec<u64>,
     payload: Vec<Option<Packet>>,
     free: Vec<usize>,
-    /// (deliver_at, slot) keyed heap entries point into `payload`; `seq`
-    /// disambiguation is folded into the slot ordering.
     delivered: Vec<VecDeque<Delivery>>,
     /// Terminals with undelivered packets, in arrival order.
     ready: VecDeque<u16>,
@@ -59,7 +68,7 @@ impl std::fmt::Debug for LatencyFabric {
         f.debug_struct("LatencyFabric")
             .field("num_terminals", &self.num_terminals)
             .field("link_width_bits", &self.link_width_bits)
-            .field("in_flight", &self.in_flight.len())
+            .field("in_flight", &self.in_flight.pending())
             .field("now", &self.now)
             .finish()
     }
@@ -72,7 +81,8 @@ impl LatencyFabric {
             num_terminals,
             link_width_bits,
             latency_fn,
-            in_flight: BinaryHeap::new(),
+            in_flight: EventWheel::with_slots(LATENCY_WHEEL_SLOTS),
+            due_scratch: Vec::new(),
             payload: Vec::new(),
             free: Vec::new(),
             delivered: (0..num_terminals).map(|_| VecDeque::new()).collect(),
@@ -119,16 +129,18 @@ impl Fabric for LatencyFabric {
         };
         self.stats.packets_injected.incr();
         self.in_flight
-            .push(Reverse((self.now.raw() + latency.max(1), slot as u64)));
+            .push(self.now, self.now + latency.max(1), slot as u64);
     }
 
     fn tick(&mut self) {
         self.now.0 += 1;
-        while let Some(&Reverse((at, slot))) = self.in_flight.peek() {
-            if at > self.now.raw() {
-                break;
-            }
-            self.in_flight.pop();
+        let mut due = std::mem::take(&mut self.due_scratch);
+        self.in_flight.drain_into(self.now, &mut due);
+        // The replaced heap popped same-cycle deliveries in ascending slot
+        // order (its tiebreak key); sorting the drained slot ids keeps the
+        // delivery order — and thus `ready` rotation — bit-identical.
+        due.sort_unstable();
+        for &slot in &due {
             let packet = self.payload[slot as usize]
                 .take()
                 .expect("slot must be live");
@@ -146,6 +158,7 @@ impl Fabric for LatencyFabric {
                 self.ready.push_back(dst as u16);
             }
         }
+        self.due_scratch = due;
     }
 
     fn poll(&mut self, terminal: TerminalId) -> Option<Delivery> {
@@ -168,11 +181,11 @@ impl Fabric for LatencyFabric {
 
     fn next_event(&self) -> crate::fabric::NextEvent {
         use crate::fabric::NextEvent;
-        match self.in_flight.peek() {
+        match self.in_flight.next_occupied_delta(self.now) {
             // A packet due at absolute cycle `at` surfaces during the tick
             // entered at `at - 1` (tick advances the clock first), so that
             // is the cycle the caller must resume normal ticking at.
-            Some(&Reverse((at, _))) => NextEvent::At(Cycle(at.saturating_sub(1))),
+            Some(dt) => NextEvent::At(Cycle((self.now.raw() + dt).saturating_sub(1))),
             None => NextEvent::Idle,
         }
     }
@@ -180,8 +193,8 @@ impl Fabric for LatencyFabric {
     fn skip_idle(&mut self, delta: u64) {
         debug_assert!(
             self.in_flight
-                .peek()
-                .is_none_or(|&Reverse((at, _))| self.now.raw() + delta < at),
+                .next_occupied_delta(self.now)
+                .is_none_or(|dt| delta < dt),
             "cannot skip past a scheduled delivery"
         );
         self.now.0 += delta;
@@ -200,7 +213,7 @@ impl Fabric for LatencyFabric {
     }
 
     fn packets_in_flight(&self) -> usize {
-        self.in_flight.len()
+        self.in_flight.pending()
     }
 }
 

@@ -25,59 +25,14 @@ use crate::router::{
 };
 use crate::stats::NetStats;
 use crate::types::{MessageClass, PortIndex, RouterId, TerminalId, CLASS_COUNT};
+use crate::wheel::EventWheel;
 use nocout_sim::Cycle;
 use std::collections::VecDeque;
 
-/// Maximum supported hop delay (pipeline + link) in cycles. The event wheel
-/// is sized to this; topology builders assert their delays fit.
+/// Maximum supported hop delay (pipeline + link) in cycles. The event wheels
+/// are sized to this; topology builders assert their delays fit, so the
+/// wheels never take their growth path here.
 pub const MAX_HOP_DELAY: u64 = 32;
-
-#[derive(Debug)]
-struct Wheel<T> {
-    slots: Vec<Vec<T>>,
-    /// Events currently scheduled anywhere in the wheel.
-    pending: usize,
-}
-
-impl<T> Wheel<T> {
-    fn new() -> Self {
-        Wheel {
-            slots: (0..MAX_HOP_DELAY as usize * 2).map(|_| Vec::new()).collect(),
-            pending: 0,
-        }
-    }
-
-    #[inline]
-    fn push(&mut self, now: Cycle, at: Cycle, ev: T) {
-        debug_assert!(at >= now, "cannot schedule in the past");
-        debug_assert!(at.raw() - now.raw() < self.slots.len() as u64);
-        let idx = (at.raw() as usize) % self.slots.len();
-        self.slots[idx].push(ev);
-        self.pending += 1;
-    }
-
-    /// Moves the events due at `now` into `out` (cleared first), swapping
-    /// buffers so slot capacity is recycled instead of reallocated every
-    /// cycle.
-    #[inline]
-    fn drain_into(&mut self, now: Cycle, out: &mut Vec<T>) {
-        let idx = (now.raw() as usize) % self.slots.len();
-        out.clear();
-        std::mem::swap(&mut self.slots[idx], out);
-        self.pending -= out.len();
-    }
-
-    /// Cycles until the earliest scheduled event at or after `now` (0 =
-    /// the next `drain(now)` will yield events), or `None` when the wheel
-    /// is empty.
-    fn next_occupied_delta(&self, now: Cycle) -> Option<u64> {
-        if self.pending == 0 {
-            return None;
-        }
-        let len = self.slots.len();
-        (0..len as u64).find(|dt| !self.slots[((now.raw() + dt) as usize) % len].is_empty())
-    }
-}
 
 #[derive(Debug, Clone, Copy)]
 enum ArrivalDest {
@@ -252,14 +207,14 @@ impl NetworkBuilder {
         let to_depth = depth;
         let in_port = {
             let rt = &mut self.routers[to.index()];
-            rt.in_ports.push(InPort {
-                vcs: Default::default(),
-                feeder: Feeder::Router {
+            rt.in_ports.push(InPort::new(
+                to_depth,
+                Feeder::Router {
                     router: from,
                     port: PortIndex::MAX, // patched below
                 },
-                credit_delay: 1 + link_delay,
-            });
+                1 + link_delay,
+            ));
             (rt.in_ports.len() - 1) as PortIndex
         };
         let out_port = {
@@ -322,11 +277,11 @@ impl NetworkBuilder {
         let depth = self.routers[router.index()].cfg.vc_depth;
         let in_port = {
             let r = &mut self.routers[router.index()];
-            r.in_ports.push(InPort {
-                vcs: Default::default(),
-                feeder: Feeder::Terminal(terminal),
-                credit_delay: 1 + self.terminal_link_delay,
-            });
+            r.in_ports.push(InPort::new(
+                depth,
+                Feeder::Terminal(terminal),
+                1 + self.terminal_link_delay,
+            ));
             (r.in_ports.len() - 1) as PortIndex
         };
         let out_port = {
@@ -385,43 +340,62 @@ impl NetworkBuilder {
         let nr = self.routers.len();
         // adjacency: for each router, (out_port, dest router, hop_delay)
         let mut adj: Vec<Vec<(PortIndex, usize, u64)>> = vec![Vec::new(); nr];
+        let mut max_hop = 1u64;
         for (ri, r) in self.routers.iter().enumerate() {
             for (pi, o) in r.out_ports.iter().enumerate() {
                 if let OutTarget::Router {
                     router, link_delay, ..
                 } = o.target
                 {
-                    let hop = r.cfg.pipeline_delay as u64 + link_delay as u64;
-                    adj[ri].push((pi as PortIndex, router.index(), hop.max(1)));
+                    let hop = (r.cfg.pipeline_delay as u64 + link_delay as u64).max(1);
+                    max_hop = max_hop.max(hop);
+                    adj[ri].push((pi as PortIndex, router.index(), hop));
                 }
             }
         }
+        // Reversed adjacency, built once for all terminals (it was
+        // formerly rebuilt inside the per-terminal loop).
+        let mut radj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); nr];
+        for (ri, edges) in adj.iter().enumerate() {
+            for &(_, to, w) in edges {
+                radj[to].push((ri, w));
+            }
+        }
+        // Dial's bucket queue in place of a BinaryHeap Dijkstra: hop
+        // delays are small integers, so every finite distance is below
+        // (nr - 1) * max_hop and scanning buckets in index order settles
+        // nodes in the same nondecreasing-distance order the heap did,
+        // producing identical `dist` and therefore identical routes.
+        // Buckets drain completely per terminal, so the allocation is
+        // reused across the whole loop.
+        let bound = (nr as u64).saturating_sub(1) * max_hop + 1;
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); bound as usize];
+        let mut dist = vec![u64::MAX; nr];
         for t in 0..self.terminals.len() {
             let term = TerminalId(t as u16);
-            // Dijkstra from the terminal's router backwards over reversed
-            // edges; distances small, use simple heap.
+            // Shortest paths from the terminal's ejection router backwards
+            // over reversed edges.
             let target_router = self.terminals[t].eject_router.index();
-            let mut dist = vec![u64::MAX; nr];
-            let mut heap = std::collections::BinaryHeap::new();
+            dist.iter_mut().for_each(|d| *d = u64::MAX);
             dist[target_router] = 0;
-            heap.push(std::cmp::Reverse((0u64, target_router)));
-            // reversed adjacency
-            let mut radj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); nr];
-            for (ri, edges) in adj.iter().enumerate() {
-                for &(_, to, w) in edges {
-                    radj[to].push((ri, w));
-                }
-            }
-            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-                if d > dist[u] {
-                    continue;
-                }
-                for &(v, w) in &radj[u] {
-                    if d + w < dist[v] {
-                        dist[v] = d + w;
-                        heap.push(std::cmp::Reverse((d + w, v)));
+            buckets[0].push(target_router);
+            let mut remaining = 1usize;
+            let mut d = 0u64;
+            while remaining > 0 {
+                while let Some(u) = buckets[d as usize].pop() {
+                    remaining -= 1;
+                    if d > dist[u] {
+                        continue; // stale entry superseded by a shorter path
+                    }
+                    for &(v, w) in &radj[u] {
+                        if d + w < dist[v] {
+                            dist[v] = d + w;
+                            buckets[(d + w) as usize].push(v);
+                            remaining += 1;
+                        }
                     }
                 }
+                d += 1;
             }
             // Choose, at each router, the lowest-index out port on a
             // shortest path.
@@ -472,8 +446,8 @@ impl NetworkBuilder {
             routers: self.routers,
             terminals: self.terminals,
             slab: PacketSlab::new(),
-            arrivals: Wheel::new(),
-            credits: Wheel::new(),
+            arrivals: EventWheel::with_slots(MAX_HOP_DELAY as usize * 2),
+            credits: EventWheel::with_slots(MAX_HOP_DELAY as usize * 2),
             stats: NetStats::new(),
             now: Cycle::ZERO,
             link_width_bits: self.link_width_bits,
@@ -497,8 +471,8 @@ pub struct Network {
     routers: Vec<Router>,
     terminals: Vec<Terminal>,
     slab: PacketSlab,
-    arrivals: Wheel<ArrivalEvent>,
-    credits: Wheel<CreditEvent>,
+    arrivals: EventWheel<ArrivalEvent>,
+    credits: EventWheel<CreditEvent>,
     stats: NetStats,
     now: Cycle,
     link_width_bits: u32,
@@ -743,9 +717,10 @@ impl Network {
             match ev.dest {
                 ArrivalDest::RouterPort { router, port } => {
                     let r = &mut self.routers[router.index()];
-                    r.in_ports[port as usize].vcs[ev.flit.class.vc()]
-                        .queue
-                        .push_back(ev.flit);
+                    let cv = ev.flit.class.vc();
+                    r.in_ports[port as usize].vcs[cv].push_back(ev.flit);
+                    r.in_ports[port as usize].occ |= 1 << cv;
+                    r.port_occ |= 1u64 << port;
                     r.buffered += 1;
                     self.buffered_flits += 1;
                     self.stats.buffer_writes.incr();
@@ -820,9 +795,10 @@ impl Network {
                 // cycle; the first hop's arbitration applies the usual
                 // router + link delay.
                 let r = &mut self.routers[router.index()];
-                r.in_ports[port as usize].vcs[flit.class.vc()]
-                    .queue
-                    .push_back(flit);
+                let cv = flit.class.vc();
+                r.in_ports[port as usize].vcs[cv].push_back(flit);
+                r.in_ports[port as usize].occ |= 1 << cv;
+                r.port_occ |= 1u64 << port;
                 r.buffered += 1;
                 self.buffered_flits += 1;
                 self.stats.buffer_writes.incr();
@@ -856,13 +832,24 @@ impl Network {
             candidates.clear();
             {
                 let r = &self.routers[ri];
-                for (ipi, ip) in r.in_ports.iter().enumerate() {
-                    for class in MessageClass::ALL {
-                        let cv = class.vc();
+                // Walk only occupied (port, VC) pairs via the occupancy
+                // bitmasks. Ascending-bit order over ports, then over VC
+                // indices within a port, reproduces the plain nested scan
+                // exactly (`MessageClass::ALL` is ascending-VC order), so
+                // the candidate list — and therefore arbitration — is
+                // bit-identical to probing every queue front.
+                let mut pm = r.port_occ;
+                while pm != 0 {
+                    let ipi = pm.trailing_zeros() as usize;
+                    pm &= pm - 1;
+                    let ip = &r.in_ports[ipi];
+                    let mut cm = ip.occ;
+                    while cm != 0 {
+                        let cv = cm.trailing_zeros() as usize;
+                        cm &= cm - 1;
+                        let class = MessageClass::from_vc(cv);
                         let vc = &ip.vcs[cv];
-                        let Some(&flit) = vc.queue.front() else {
-                            continue;
-                        };
+                        let flit = *vc.front().expect("occupancy bit set on empty VC");
                         let desired = match vc.current_out {
                             Some(p) => p,
                             None => {
@@ -894,6 +881,15 @@ impl Network {
                 }
             }
             // Grant one flit per out port among its gathered candidates.
+            // Lone candidate — the common case on a lightly contended
+            // router — skips the per-out-port grouping machinery; the
+            // arbiter still runs so round-robin state advances exactly as
+            // the general path would.
+            if let [(out, p, c)] = candidates[..] {
+                let (win_port, win_class) = self.routers[ri].arbitrate(out, &[(p, c)]);
+                self.send_flit(ri, out, win_port, win_class, now);
+                continue;
+            }
             while let Some(&(out, _, _)) = candidates.first() {
                 per_out.clear();
                 candidates.retain(|&(o, p, c)| {
@@ -926,7 +922,7 @@ impl Network {
             let r = &mut self.routers[router];
             let ip = &mut r.in_ports[in_port as usize];
             let vc = &mut ip.vcs[cv];
-            let f = vc.queue.pop_front().expect("winner queue non-empty");
+            let f = vc.pop_front().expect("winner queue non-empty");
             r.buffered -= 1;
             flit = f;
             feeder = ip.feeder;
@@ -936,6 +932,12 @@ impl Network {
             }
             if f.is_tail() {
                 vc.current_out = None;
+            }
+            if vc.len() == 0 {
+                ip.occ &= !(1 << cv);
+                if ip.occ == 0 {
+                    r.port_occ &= !(1u64 << in_port);
+                }
             }
             let o = &mut r.out_ports[out as usize];
             if f.is_head() {
@@ -1031,9 +1033,23 @@ impl Network {
                 .in_ports
                 .iter()
                 .flat_map(|ip| ip.vcs.iter())
-                .map(|vc| vc.queue.len() as u32)
+                .map(|vc| vc.len() as u32)
                 .sum();
             assert_eq!(total, r.buffered, "router {ri} buffered count drifted");
+            let mut expect_port_occ = 0u64;
+            for (ipi, ip) in r.in_ports.iter().enumerate() {
+                let mut expect_occ = 0u8;
+                for (cv, vc) in ip.vcs.iter().enumerate() {
+                    if vc.len() > 0 {
+                        expect_occ |= 1 << cv;
+                    }
+                }
+                assert_eq!(ip.occ, expect_occ, "router {ri} port {ipi} VC occupancy drifted");
+                if expect_occ != 0 {
+                    expect_port_occ |= 1u64 << ipi;
+                }
+            }
+            assert_eq!(r.port_occ, expect_port_occ, "router {ri} port occupancy drifted");
             grand_total += u64::from(r.buffered);
             for o in &r.out_ports {
                 for c in 0..CLASS_COUNT {

@@ -18,7 +18,6 @@
 use crate::flit::Flit;
 use crate::types::{MessageClass, PortIndex, RouterId, TerminalId, CLASS_COUNT};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Output arbitration policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -132,13 +131,101 @@ impl OutTarget {
     }
 }
 
-/// One virtual-channel FIFO at an input port.
-#[derive(Debug, Default)]
+/// Upper bound on the configurable VC buffer depth. The deepest ring
+/// any in-tree topology builds is 13 flits — the flattened butterfly
+/// sizes depth per link as `credit_round_trip_depth` (pipeline 3 +
+/// 2×link 4 + 2) on its longest 7-tile-span links. The cap exists so
+/// the ring can keep its storage inline (below) rather than behind a
+/// heap pointer; it is kept as tight as that bound allows because every
+/// input port carries `CLASS_COUNT` rings, so slack here is multiplied
+/// across every port of every router.
+pub(crate) const MAX_VC_DEPTH: usize = 16;
+
+/// One virtual-channel FIFO at an input port: a fixed ring sized to the
+/// port's buffer depth.
+///
+/// Credit-based flow control bounds occupancy — a sender only transmits
+/// while it holds a credit, and credits mirror the downstream slots — so
+/// the ring never grows and a push past `cap` is a protocol violation,
+/// not a capacity policy.
+///
+/// Storage is an inline array, not a `Vec`: the switch allocator probes
+/// queue fronts on every cycle, and keeping the flits on the same cache
+/// lines as the ring indices saves a dereference per probe.
+#[derive(Debug)]
 pub(crate) struct VcQueue {
-    pub(crate) queue: VecDeque<Flit>,
+    buf: [Flit; MAX_VC_DEPTH],
+    cap: u16,
+    head: u16,
+    len: u16,
     /// Output port locked by the packet currently flowing through this VC
     /// (set when its head departs, cleared when its tail departs).
     pub(crate) current_out: Option<PortIndex>,
+}
+
+/// Filler for unoccupied ring slots (never observable: reads are bounded
+/// by `len`).
+const NO_FLIT: Flit = Flit {
+    packet: crate::packet::PacketId(0),
+    seq: 0,
+    size: 0,
+    dst: TerminalId(0),
+    class: MessageClass::Request,
+};
+
+impl VcQueue {
+    pub(crate) fn new(depth: u8) -> Self {
+        assert!(depth > 0, "VC depth must be at least one flit");
+        assert!(
+            depth as usize <= MAX_VC_DEPTH,
+            "VC depth {depth} exceeds the inline ring bound {MAX_VC_DEPTH}"
+        );
+        VcQueue {
+            buf: [NO_FLIT; MAX_VC_DEPTH],
+            cap: depth as u16,
+            head: 0,
+            len: 0,
+            current_out: None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    pub(crate) fn front(&self) -> Option<&Flit> {
+        (self.len > 0).then(|| &self.buf[self.head as usize])
+    }
+
+    #[inline]
+    pub(crate) fn push_back(&mut self, flit: Flit) {
+        assert!(
+            self.len < self.cap,
+            "VC buffer overflow: credit protocol violated"
+        );
+        let mut tail = self.head + self.len;
+        if tail >= self.cap {
+            tail -= self.cap;
+        }
+        self.buf[tail as usize] = flit;
+        self.len += 1;
+    }
+
+    #[inline]
+    pub(crate) fn pop_front(&mut self) -> Option<Flit> {
+        if self.len == 0 {
+            return None;
+        }
+        let flit = self.buf[self.head as usize];
+        self.head += 1;
+        if self.head == self.cap {
+            self.head = 0;
+        }
+        self.len -= 1;
+        Some(flit)
+    }
 }
 
 /// An input port: one VC per message class plus credit-return bookkeeping.
@@ -149,6 +236,23 @@ pub(crate) struct InPort {
     /// Delay after a flit departs this buffer until the upstream sender can
     /// reuse the credit (credit wire + update).
     pub(crate) credit_delay: u8,
+    /// Occupancy bitmask over this port's VCs (bit `vc` set ⇔ that queue is
+    /// non-empty), so the switch allocator walks set bits instead of probing
+    /// every class's queue front.
+    pub(crate) occ: u8,
+}
+
+impl InPort {
+    /// Builds an input port whose VC rings hold `depth` flits each — the
+    /// same depth the sender's credit counter is initialized to.
+    pub(crate) fn new(depth: u8, feeder: Feeder, credit_delay: u8) -> Self {
+        InPort {
+            vcs: std::array::from_fn(|_| VcQueue::new(depth)),
+            feeder,
+            credit_delay,
+            occ: 0,
+        }
+    }
 }
 
 /// An output port: target, per-VC credits, and the wormhole owner lock.
@@ -184,6 +288,10 @@ pub struct Router {
     /// Number of flits currently buffered anywhere in this router, used to
     /// skip idle routers on the fast path.
     pub(crate) buffered: u32,
+    /// Occupancy bitmask over input ports (bit `p` set ⇔ some VC at input
+    /// port `p` holds flits) — the routers here top out at 16 ports (the
+    /// 15×15 flattened-butterfly radix), so a `u64` covers any topology.
+    pub(crate) port_occ: u64,
 }
 
 /// Sentinel for "no route from this router to that terminal".
@@ -197,6 +305,7 @@ impl Router {
             out_ports: Vec::new(),
             route: vec![UNROUTED; num_terminals],
             buffered: 0,
+            port_occ: 0,
         }
     }
 
@@ -275,11 +384,8 @@ mod tests {
             4,
         );
         for _ in 0..in_ports {
-            r.in_ports.push(InPort {
-                vcs: Default::default(),
-                feeder: Feeder::Terminal(TerminalId(0)),
-                credit_delay: 2,
-            });
+            r.in_ports
+                .push(InPort::new(4, Feeder::Terminal(TerminalId(0)), 2));
         }
         r.out_ports.push(OutPort {
             target: OutTarget::Terminal {
@@ -330,6 +436,49 @@ mod tests {
         assert_eq!(r.route_to(TerminalId(2)), None);
         r.route[2] = 0;
         assert_eq!(r.route_to(TerminalId(2)), Some(0));
+    }
+
+    #[test]
+    fn vc_ring_wraps_and_respects_depth() {
+        use crate::packet::PacketId;
+        let flit = |seq: u16| Flit {
+            packet: PacketId(0),
+            seq,
+            size: 100,
+            dst: TerminalId(0),
+            class: MessageClass::Request,
+        };
+        let mut vc = VcQueue::new(3);
+        assert_eq!(vc.len(), 0);
+        // Churn past the capacity several times to exercise wraparound.
+        for round in 0..5u16 {
+            for i in 0..3 {
+                vc.push_back(flit(round * 3 + i));
+            }
+            assert_eq!(vc.len(), 3);
+            assert_eq!(vc.front().unwrap().seq, round * 3);
+            for i in 0..3 {
+                assert_eq!(vc.pop_front().unwrap().seq, round * 3 + i);
+            }
+        }
+        assert_eq!(vc.pop_front(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit protocol violated")]
+    fn vc_ring_overflow_panics() {
+        use crate::packet::PacketId;
+        let flit = Flit {
+            packet: PacketId(0),
+            seq: 0,
+            size: 100,
+            dst: TerminalId(0),
+            class: MessageClass::Request,
+        };
+        let mut vc = VcQueue::new(2);
+        vc.push_back(flit);
+        vc.push_back(flit);
+        vc.push_back(flit);
     }
 
     #[test]

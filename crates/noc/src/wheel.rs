@@ -1,0 +1,147 @@
+//! The calendar event wheel behind every NoC event queue.
+//!
+//! Flit arrivals, credit returns and analytic-fabric deliveries are all
+//! scheduled a small, bounded number of cycles ahead (a hop delay, a
+//! credit round-trip, a latency-function value), and the engine drains
+//! each cycle exactly once. Under that contract a slot-indexed wheel —
+//! `slot = cycle % slots` — replaces a comparison heap: pushes and drains
+//! are O(1) with no sift, no `Reverse` ordering, and no per-event
+//! allocation, because slot vectors are recycled by swapping with the
+//! caller's scratch buffer.
+//!
+//! The wheel doubles its slot count if an event is scheduled beyond the
+//! current horizon (re-bucketing the pending events), so callers with
+//! unbounded schedules — the analytic fabrics take an arbitrary latency
+//! function — degrade to a rare cold-path rebuild instead of a capacity
+//! assert.
+
+use nocout_sim::Cycle;
+
+/// A calendar wheel of events of type `T`, indexed by absolute cycle.
+///
+/// Invariant (callers' contract): every scheduled cycle is drained before
+/// the wheel wraps back onto its slot, which holds whenever events are
+/// scheduled less than `slots` cycles ahead and the owner drains every
+/// cycle it does not provably skip (see `Network::skip_idle`).
+#[derive(Debug)]
+pub(crate) struct EventWheel<T> {
+    slots: Vec<Vec<T>>,
+    /// Events currently scheduled anywhere in the wheel.
+    pending: usize,
+}
+
+impl<T> EventWheel<T> {
+    /// Creates a wheel with `slots` initial slots (its schedule horizon).
+    pub(crate) fn with_slots(slots: usize) -> Self {
+        assert!(slots >= 2);
+        EventWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            pending: 0,
+        }
+    }
+
+    /// Schedules `ev` for cycle `at` (`now <= at`), growing the horizon if
+    /// `at` is beyond it.
+    #[inline]
+    pub(crate) fn push(&mut self, now: Cycle, at: Cycle, ev: T) {
+        debug_assert!(at >= now, "cannot schedule in the past");
+        let delta = at.raw() - now.raw();
+        if delta >= self.slots.len() as u64 {
+            self.grow(now, delta);
+        }
+        let idx = (at.raw() as usize) % self.slots.len();
+        self.slots[idx].push(ev);
+        self.pending += 1;
+    }
+
+    /// Moves the events due at `now` into `out` (cleared first), swapping
+    /// buffers so slot capacity is recycled instead of reallocated every
+    /// cycle.
+    #[inline]
+    pub(crate) fn drain_into(&mut self, now: Cycle, out: &mut Vec<T>) {
+        let idx = (now.raw() as usize) % self.slots.len();
+        out.clear();
+        std::mem::swap(&mut self.slots[idx], out);
+        self.pending -= out.len();
+    }
+
+    /// Cycles until the earliest scheduled event at or after `now` (0 =
+    /// the next `drain_into(now)` will yield events), or `None` when the
+    /// wheel is empty.
+    pub(crate) fn next_occupied_delta(&self, now: Cycle) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        let len = self.slots.len();
+        (0..len as u64).find(|dt| !self.slots[((now.raw() + dt) as usize) % len].is_empty())
+    }
+
+    /// Events scheduled and not yet drained.
+    #[inline]
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Doubles the slot count until `delta` fits, re-bucketing pending
+    /// events. Events keep their absolute due cycle: a slot can only hold
+    /// one due cycle at a time under the drain contract, and that cycle is
+    /// recoverable from the slot's offset from `now`.
+    #[cold]
+    fn grow(&mut self, now: Cycle, delta: u64) {
+        let mut new_len = self.slots.len();
+        while delta >= new_len as u64 {
+            new_len *= 2;
+        }
+        let mut new_slots: Vec<Vec<T>> = (0..new_len).map(|_| Vec::new()).collect();
+        let old_len = self.slots.len();
+        for dt in 0..old_len as u64 {
+            let at = now.raw() + dt;
+            let old_idx = (at as usize) % old_len;
+            for ev in self.slots[old_idx].drain(..) {
+                new_slots[(at as usize) % new_len].push(ev);
+            }
+        }
+        self.slots = new_slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_in_slot_order() {
+        let mut w: EventWheel<u32> = EventWheel::with_slots(8);
+        w.push(Cycle(0), Cycle(3), 30);
+        w.push(Cycle(0), Cycle(1), 10);
+        w.push(Cycle(0), Cycle(3), 31);
+        assert_eq!(w.pending(), 3);
+        assert_eq!(w.next_occupied_delta(Cycle(0)), Some(1));
+        let mut out = Vec::new();
+        w.drain_into(Cycle(1), &mut out);
+        assert_eq!(out, vec![10]);
+        w.drain_into(Cycle(2), &mut out);
+        assert!(out.is_empty());
+        w.drain_into(Cycle(3), &mut out);
+        assert_eq!(out, vec![30, 31], "same-cycle events keep push order");
+        assert_eq!(w.pending(), 0);
+        assert_eq!(w.next_occupied_delta(Cycle(4)), None);
+    }
+
+    #[test]
+    fn growth_rebuckets_pending_events() {
+        let mut w: EventWheel<u32> = EventWheel::with_slots(4);
+        w.push(Cycle(10), Cycle(11), 1);
+        w.push(Cycle(10), Cycle(13), 3);
+        // Beyond the 4-slot horizon: forces a doubling; 11 and 13 must
+        // still come out at their cycles.
+        w.push(Cycle(10), Cycle(19), 9);
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for t in 11..=19 {
+            w.drain_into(Cycle(t), &mut out);
+            seen.extend(out.iter().map(|&v| (t, v)));
+        }
+        assert_eq!(seen, vec![(11, 1), (13, 3), (19, 9)]);
+    }
+}

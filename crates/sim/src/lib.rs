@@ -9,6 +9,8 @@
 //!   generator so that every experiment is exactly reproducible from a seed,
 //! * [`stats`] — counters, histograms and running statistics used by the
 //!   network, memory-system and core models,
+//! * [`ring::Ring`] — the fixed-capacity ring buffer behind the uncore
+//!   hot-path FIFO queues,
 //! * [`config`] — small helpers for experiment configuration.
 //!
 //! The original paper used the Flexus full-system simulation framework; this
@@ -27,6 +29,7 @@
 //! ```
 
 pub mod config;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 

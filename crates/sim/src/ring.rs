@@ -1,0 +1,231 @@
+//! A fixed-capacity ring buffer for hot-path FIFO queues.
+//!
+//! The uncore hot paths (LLC input queue, memory-channel request and
+//! completion queues, router virtual-channel buffers) all hold FIFO
+//! populations with a hardware bound: a tile's in-flight limit, a channel's
+//! queue depth, a VC's buffer depth. At those populations a flat ring with
+//! head/length indices beats `VecDeque`: no capacity/wraparound bookkeeping
+//! split across push *and* pop, no pointer-chasing through the deque's
+//! layout, and the storage never moves, so indexed scans are a mask and an
+//! array read.
+//!
+//! The ring grows physical storage lazily (entries are written once, on
+//! first use of each slot) and doubles its capacity if a caller exceeds the
+//! sizing hint — growth is allowed so that a mis-sized hint degrades to a
+//! rare `memcpy` instead of a protocol change, keeping behaviour identical
+//! to the unbounded `VecDeque` it replaces. In steady state no allocation
+//! occurs.
+//!
+//! # Examples
+//!
+//! ```
+//! use nocout_sim::ring::Ring;
+//!
+//! let mut r: Ring<u32> = Ring::with_capacity(4);
+//! r.push_back(1);
+//! r.push_back(2);
+//! assert_eq!(r.pop_front(), Some(1));
+//! assert_eq!(r.len(), 1);
+//! assert_eq!(r.get(0), 2);
+//! ```
+
+/// A growable ring buffer over `Copy` elements with indexed access.
+///
+/// Capacity is always a power of two so the wrap is a mask. See the module
+/// docs for the sizing/growth contract.
+#[derive(Debug, Clone)]
+pub struct Ring<T: Copy> {
+    buf: Vec<T>,
+    cap: usize,
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy> Ring<T> {
+    /// Creates a ring sized for `capacity_hint` elements (rounded up to a
+    /// power of two). No storage is allocated until the first push.
+    pub fn with_capacity(capacity_hint: usize) -> Self {
+        let cap = capacity_hint.max(2).next_power_of_two();
+        Ring {
+            buf: Vec::new(),
+            cap,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no elements are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current capacity in elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends an element at the back, doubling capacity if full.
+    #[inline]
+    pub fn push_back(&mut self, v: T) {
+        if self.len == self.cap {
+            self.grow();
+        }
+        let tail = (self.head + self.len) & (self.cap - 1);
+        debug_assert!(tail <= self.buf.len());
+        if tail == self.buf.len() {
+            // First use of this physical slot: the unwrapped region extends
+            // one past the current storage exactly until every slot has been
+            // written once.
+            self.buf.push(v);
+        } else {
+            self.buf[tail] = v;
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the front element.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head];
+        self.head = (self.head + 1) & (self.cap - 1);
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// The front element without removing it.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[self.head])
+        }
+    }
+
+    /// The `i`-th element from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        self.buf[(self.head + i) & (self.cap - 1)]
+    }
+
+    /// Overwrites the `i`-th element from the front.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        let idx = (self.head + i) & (self.cap - 1);
+        self.buf[idx] = v;
+    }
+
+    /// Shortens the ring to `new_len` elements, dropping from the back.
+    #[inline]
+    pub fn truncate(&mut self, new_len: usize) {
+        debug_assert!(new_len <= self.len);
+        self.len = new_len;
+    }
+
+    /// Removes all elements (storage is retained).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Iterates the queued elements front to back.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.cap * 2).max(2);
+        let mut nb = Vec::with_capacity(new_cap);
+        for i in 0..self.len {
+            nb.push(self.buf[(self.head + i) & (self.cap - 1)]);
+        }
+        self.buf = nb;
+        self.head = 0;
+        self.cap = new_cap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_with_wraparound() {
+        let mut r: Ring<u64> = Ring::with_capacity(4);
+        for i in 0..3 {
+            r.push_back(i);
+        }
+        assert_eq!(r.pop_front(), Some(0));
+        assert_eq!(r.pop_front(), Some(1));
+        for i in 3..7 {
+            r.push_back(i);
+        }
+        let drained: Vec<u64> = std::iter::from_fn(|| r.pop_front()).collect();
+        assert_eq!(drained, vec![2, 3, 4, 5, 6]);
+        assert_eq!(r.pop_front(), None);
+    }
+
+    #[test]
+    fn growth_preserves_order() {
+        let mut r: Ring<u32> = Ring::with_capacity(2);
+        r.push_back(1);
+        r.push_back(2);
+        assert_eq!(r.pop_front(), Some(1));
+        r.push_back(3);
+        r.push_back(4);
+        r.push_back(5); // exceeds the hint of 2: forces growth mid-wrap
+        assert!(r.capacity() >= 4);
+        let drained: Vec<u32> = std::iter::from_fn(|| r.pop_front()).collect();
+        assert_eq!(drained, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn indexed_access_and_truncate() {
+        let mut r: Ring<u8> = Ring::with_capacity(4);
+        for i in 0..4 {
+            r.push_back(i);
+        }
+        r.pop_front();
+        r.push_back(4); // wrapped
+        assert_eq!(r.get(0), 1);
+        assert_eq!(r.get(3), 4);
+        r.set(1, 9);
+        assert_eq!(r.get(1), 9);
+        let all: Vec<u8> = r.iter().collect();
+        assert_eq!(all, vec![1, 9, 3, 4]);
+        r.truncate(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop_front(), Some(1));
+        assert_eq!(r.pop_front(), Some(9));
+        assert_eq!(r.pop_front(), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r: Ring<u8> = Ring::with_capacity(2);
+        r.push_back(1);
+        r.clear();
+        assert!(r.is_empty());
+        r.push_back(7);
+        assert_eq!(r.front(), Some(&7));
+    }
+}

@@ -1,0 +1,308 @@
+//! Property-based differential tests for the uncore hot-path
+//! structures: the LLC tile's array-backed MSHR file and calendar-wheel
+//! output stage against the `HashMap`/`BinaryHeap` pair they replaced,
+//! the set-associative directory against a per-line `HashMap` model, and
+//! the generic `Ring` against `VecDeque`.
+//!
+//! These are the structure-level halves of the old-vs-new proof (the
+//! chip-level half is `tests/chip_golden_metrics.rs`): every operation
+//! sequence must leave the new structures observably identical to the
+//! containers they replaced — including pop order, merge semantics and
+//! same-cycle tiebreaks.
+
+use nocout_repro::substrates::mem::addr::Addr;
+use nocout_repro::substrates::mem::directory::{DirState, Directory, SharerSet};
+use nocout_repro::substrates::mem::llc::{LlcWaiter, OutputWheel, TileMshrFile};
+use nocout_repro::substrates::mem::protocol::{CoreId, MshrId, RequestKind, TxnId};
+use nocout_repro::substrates::sim::ring::Ring;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// The pre-refactor tile MSHR entry: what the `HashMap<u64, TileMshr>`
+/// tracked per line.
+#[derive(Debug, Clone)]
+struct MshrModel {
+    addr: Addr,
+    acks: u32,
+    mem: bool,
+    waiters: Vec<LlcWaiter>,
+    id: MshrId,
+}
+
+fn waiter(n: u32) -> LlcWaiter {
+    let kind = if n.is_multiple_of(3) {
+        RequestKind::GetX
+    } else {
+        RequestKind::GetS
+    };
+    (TxnId(n), CoreId((n % 4) as u16), kind)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tile_mshr_file_matches_hashmap_model(
+        ops in prop::collection::vec((0u8..4, 0u64..10, any::<bool>(), 0u32..3), 1..300)
+    ) {
+        // Capacity below the line space so the file exercises its
+        // overflow-growth path (the HashMap it replaced never refused an
+        // allocation).
+        let mut file = TileMshrFile::new(4);
+        let mut model: HashMap<u64, MshrModel> = HashMap::new();
+        let mut stale: Vec<MshrId> = vec![MshrId(777)];
+        let mut next_waiter = 0u32;
+        let mut scratch = Vec::new();
+        let mut model_waiters = Vec::new();
+        for &(kind, line, flag, acks) in &ops {
+            let addr = Addr(line * 64);
+            match kind {
+                0 => {
+                    // Request arrival: merge into the in-flight entry for
+                    // the line, or allocate one.
+                    let w = waiter(next_waiter);
+                    next_waiter += 1;
+                    if let Some(e) = model.get_mut(&line) {
+                        let id = file.lookup_line(line).expect("entry must be found");
+                        prop_assert_eq!(id, e.id, "merge must find the allocation's id");
+                        prop_assert!(file.push_waiter(id, w));
+                        e.waiters.push(w);
+                    } else {
+                        let id = file.alloc(addr, acks, flag);
+                        prop_assert!(file.push_waiter(id, w));
+                        model.insert(line, MshrModel {
+                            addr,
+                            acks,
+                            mem: flag,
+                            waiters: vec![w],
+                            id,
+                        });
+                    }
+                }
+                1 => {
+                    // Invalidation ack, if the entry expects one.
+                    let finished = match model.get_mut(&line) {
+                        Some(e) if e.acks > 0 => {
+                            e.acks -= 1;
+                            let fin = e.acks == 0 && !e.mem;
+                            prop_assert_eq!(file.dec_ack(e.id), Some(fin));
+                            fin
+                        }
+                        _ => false,
+                    };
+                    if finished {
+                        let e = model.remove(&line).expect("finished entry exists");
+                        scratch.clear();
+                        prop_assert_eq!(file.take(e.id, &mut scratch), Some(e.addr));
+                        prop_assert_eq!(&scratch, &e.waiters, "waiter order must be merge order");
+                        stale.push(e.id);
+                    }
+                }
+                2 => {
+                    // Memory data return, if the entry is waiting on one.
+                    let finished = match model.get_mut(&line) {
+                        Some(e) if e.mem => {
+                            e.mem = false;
+                            let fin = e.acks == 0;
+                            prop_assert_eq!(file.mem_arrived(e.id), Some((e.addr, fin)));
+                            fin
+                        }
+                        _ => false,
+                    };
+                    if finished {
+                        let e = model.remove(&line).expect("finished entry exists");
+                        scratch.clear();
+                        prop_assert_eq!(file.take(e.id, &mut scratch), Some(e.addr));
+                        prop_assert_eq!(&scratch, &e.waiters);
+                        stale.push(e.id);
+                    }
+                }
+                _ => {
+                    // A stale or foreign id (a message still in flight
+                    // after its entry completed) must be ignored on every
+                    // path, exactly as a missing HashMap key was.
+                    let id = stale[(line as usize) % stale.len()];
+                    prop_assert_eq!(file.addr_of(id), None);
+                    prop_assert_eq!(file.dec_ack(id), None);
+                    prop_assert_eq!(file.mem_arrived(id), None);
+                    prop_assert!(!file.push_waiter(id, waiter(9999)));
+                    model_waiters.clear();
+                    prop_assert_eq!(file.take(id, &mut model_waiters), None);
+                }
+            }
+            // Invariants after every op.
+            prop_assert_eq!(file.len(), model.len());
+            for (l, e) in &model {
+                prop_assert_eq!(file.lookup_line(*l), Some(e.id));
+                prop_assert_eq!(file.addr_of(e.id), Some(e.addr));
+            }
+        }
+    }
+
+    #[test]
+    fn output_wheel_matches_heap_model(
+        ops in prop::collection::vec((0u8..3, 0u64..12, 0u64..4), 1..300)
+    ) {
+        const MAX_LATENCY: u64 = 12;
+        let mut wheel: OutputWheel<u64> = OutputWheel::new(MAX_LATENCY);
+        // The pre-refactor pair: a (due, seq) heap plus a seq → payload
+        // side table; seq is emission order, which is the tiebreak for
+        // same-cycle entries.
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut payloads: HashMap<u64, u64> = HashMap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for &(kind, delta, advance) in &ops {
+            match kind {
+                0 => {
+                    // Emit: due within the tile's bounded access latency.
+                    let at = now + delta.min(MAX_LATENCY);
+                    wheel.push(at, seq);
+                    heap.push(Reverse((at, seq)));
+                    payloads.insert(seq, seq);
+                    seq += 1;
+                }
+                1 => now += advance,
+                _ => {
+                    // Drain everything due, comparing pop order exactly —
+                    // same-cycle entries must come out in emission order.
+                    loop {
+                        let model_next = match heap.peek() {
+                            Some(&Reverse((at, s))) if at <= now => Some(s),
+                            _ => None,
+                        };
+                        let got = wheel.pop_due(now);
+                        prop_assert_eq!(
+                            got,
+                            model_next.map(|s| payloads[&s]),
+                            "pop at now={} diverged", now
+                        );
+                        if model_next.is_none() {
+                            break;
+                        }
+                        let Reverse((_, s)) = heap.pop().expect("peeked entry");
+                        payloads.remove(&s);
+                    }
+                }
+            }
+            // Invariants after every op.
+            prop_assert_eq!(wheel.pending(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+            prop_assert_eq!(wheel.earliest(), heap.peek().map(|&Reverse((at, _))| at));
+        }
+    }
+
+    #[test]
+    fn set_associative_directory_matches_hashmap_model(
+        ops in prop::collection::vec((0u8..4, 0u64..24, 0u16..6), 1..300)
+    ) {
+        // Tiny geometry (4 sets × 2 ways) against a 24-line space forces
+        // constant set-conflict spills, the path a full-size directory
+        // takes rarely.
+        let mut dir = Directory::with_geometry(4, 2, 1);
+        let mut model: HashMap<u64, DirState> = HashMap::new();
+        for &(kind, line, core) in &ops {
+            let addr = Addr(line * 64);
+            let core = CoreId(core);
+            match kind {
+                0 => {
+                    dir.add_sharer(addr, core);
+                    model
+                        .entry(line)
+                        .and_modify(|st| {
+                            *st = match *st {
+                                DirState::Shared(mut s) => {
+                                    s.insert(core);
+                                    DirState::Shared(s)
+                                }
+                                DirState::Exclusive(owner) => {
+                                    let mut s = SharerSet::single(owner);
+                                    s.insert(core);
+                                    DirState::Shared(s)
+                                }
+                            };
+                        })
+                        .or_insert(DirState::Shared(SharerSet::single(core)));
+                }
+                1 => {
+                    dir.set_exclusive(addr, core);
+                    model.insert(line, DirState::Exclusive(core));
+                }
+                2 => {
+                    let model_had = match model.get_mut(&line) {
+                        None => false,
+                        Some(DirState::Exclusive(owner)) if *owner == core => {
+                            model.remove(&line);
+                            true
+                        }
+                        Some(DirState::Exclusive(_)) => false,
+                        Some(DirState::Shared(s)) => {
+                            let had = s.contains(core);
+                            s.remove(core);
+                            if s.is_empty() {
+                                model.remove(&line);
+                            }
+                            had
+                        }
+                    };
+                    prop_assert_eq!(dir.remove_core(addr, core), model_had);
+                }
+                _ => {
+                    dir.drop_line(addr);
+                    model.remove(&line);
+                }
+            }
+            // Invariants after every op.
+            prop_assert_eq!(dir.tracked_lines(), model.len());
+            for probe in 0..24u64 {
+                prop_assert_eq!(
+                    dir.state(Addr(probe * 64)),
+                    model.get(&probe).copied(),
+                    "state of line {} diverged", probe
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_matches_vecdeque_model(
+        ops in prop::collection::vec((0u8..5, 0u32..1000, 0usize..12), 1..300)
+    ) {
+        // Tiny capacity hint so growth happens repeatedly mid-sequence.
+        let mut ring: Ring<u32> = Ring::with_capacity(2);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for &(kind, v, i) in &ops {
+            match kind {
+                0 | 1 => {
+                    // Push (twice as likely as pop, so the ring grows).
+                    ring.push_back(v);
+                    model.push_back(v);
+                }
+                2 => {
+                    prop_assert_eq!(ring.pop_front(), model.pop_front());
+                }
+                3 => {
+                    if !model.is_empty() {
+                        let idx = i % model.len();
+                        model[idx] = v;
+                        ring.set(idx, v);
+                    }
+                }
+                _ => {
+                    let keep = i % (model.len() + 1);
+                    model.truncate(keep);
+                    ring.truncate(keep);
+                }
+            }
+            // Invariants after every op.
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.is_empty(), model.is_empty());
+            prop_assert_eq!(ring.front(), model.front());
+            for (j, &m) in model.iter().enumerate() {
+                prop_assert_eq!(ring.get(j), m);
+            }
+            prop_assert!(ring.iter().eq(model.iter().copied()));
+        }
+    }
+}
