@@ -168,6 +168,39 @@ fn uncore_micro(iters: u64) -> (f64, f64, f64) {
     (llc_rate, dir_rate, fabric_rate)
 }
 
+/// Flit-level network microbenches: the saturated router-pair switch hop
+/// (rate counts granted flit traversals, not rounds, so it is directly
+/// the inverse of ns-per-hop) and the per-topology loaded network tick.
+/// One op is defined by `nocout_bench::nocopt`, shared with
+/// `benches/micro.rs`.
+fn noc_micro(hop_rounds: u64, loaded_ticks: u64) -> (f64, Vec<(&'static str, f64)>) {
+    use nocout_bench::nocopt;
+
+    let (mut net, terms) = nocopt::saturated_pair();
+    for _ in 0..1_000 {
+        nocopt::switch_hop_round(&mut net, &terms);
+    }
+    net.reset_stats();
+    let t = Instant::now();
+    for _ in 0..hop_rounds {
+        nocopt::switch_hop_round(&mut net, &terms);
+    }
+    let hop_rate = nocopt::flit_hops(&net) as f64 / t.elapsed().as_secs_f64();
+
+    let mut loaded = Vec::new();
+    for mut ln in nocopt::loaded_networks() {
+        for _ in 0..2_000 {
+            nocopt::loaded_tick(&mut ln);
+        }
+        let t = Instant::now();
+        for _ in 0..loaded_ticks {
+            nocopt::loaded_tick(&mut ln);
+        }
+        loaded.push((ln.key, loaded_ticks as f64 / t.elapsed().as_secs_f64()));
+    }
+    (hop_rate, loaded)
+}
+
 /// Full-load tick rate per organization on the *data-miss-heavy* Data
 /// Serving workload (vast LLC-missing dataset → the L1-D MSHR file and
 /// the fill-wakeup path run hot, unlike the instruction-bound MapReduce
@@ -308,6 +341,8 @@ fn main() {
         println!("micro/llc_tile_hit        {llc:>12.0} ops/s");
         println!("micro/directory_round     {dir:>12.0} ops/s");
         println!("micro/fabric_wheel        {fabric:>12.0} ops/s");
+        let (hop, loaded) = noc_micro(200_000, 20_000);
+        println!("micro/switch_hop          {hop:>12.0} hops/s");
         let mut record = String::from("  {");
         let _ = write!(
             record,
@@ -317,9 +352,14 @@ fn main() {
              \"micro_core_alu_tick_rate\": {core:.0}, \
              \"micro_llc_tile_rate\": {llc:.0}, \
              \"micro_directory_rate\": {dir:.0}, \
-             \"micro_fabric_wheel_rate\": {fabric:.0}",
+             \"micro_fabric_wheel_rate\": {fabric:.0}, \
+             \"micro_switch_hop_rate\": {hop:.0}",
             unix_time()
         );
+        for (key, rate) in &loaded {
+            println!("micro/loaded_tick_{key:<20} {rate:>12.0} cycles/s");
+            let _ = write!(record, ", \"micro_loaded_tick_rate_{key}\": {rate:.0}");
+        }
         for (org, rate) in fullload_memheavy_rates(tick_cycles) {
             println!("fullload_memheavy/{org:<20} {rate:>12.0} cycles/s");
             let _ = write!(record, ", \"fullload_memheavy_rate_{}\": {rate:.0}", org_key(org));
@@ -385,6 +425,13 @@ fn main() {
     println!("micro/llc_tile_hit        {llc_rate:>12.0} ops/s");
     println!("micro/directory_round     {dir_rate:>12.0} ops/s");
     println!("micro/fabric_wheel        {fabric_rate:>12.0} ops/s");
+
+    // Flit-level network microbenches.
+    let (switch_hop_rate, loaded_tick_rates) = noc_micro(2_000_000, 200_000);
+    println!("micro/switch_hop          {switch_hop_rate:>12.0} hops/s");
+    for (key, rate) in &loaded_tick_rates {
+        println!("micro/loaded_tick_{key:<20} {rate:>12.0} cycles/s");
+    }
 
     // Full-load, data-miss-heavy end-to-end tick rate.
     let memheavy = fullload_memheavy_rates(tick_cycles);
@@ -458,8 +505,12 @@ fn main() {
          \"micro_core_alu_tick_rate\": {core_alu_rate:.0}, \
          \"micro_llc_tile_rate\": {llc_rate:.0}, \
          \"micro_directory_rate\": {dir_rate:.0}, \
-         \"micro_fabric_wheel_rate\": {fabric_rate:.0}"
+         \"micro_fabric_wheel_rate\": {fabric_rate:.0}, \
+         \"micro_switch_hop_rate\": {switch_hop_rate:.0}"
     );
+    for (key, rate) in &loaded_tick_rates {
+        let _ = write!(record, ", \"micro_loaded_tick_rate_{key}\": {rate:.0}");
+    }
     for (org, rate) in &memheavy {
         let _ = write!(record, ", \"fullload_memheavy_rate_{}\": {rate:.0}", org_key(*org));
     }

@@ -4,58 +4,38 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nocout_cpu::source::InstructionSource;
 use nocout_mem::addr::Addr;
 use nocout_mem::cache::{CacheArray, CacheGeometry};
-use nocout_noc::topology::mesh::{build_mesh, MeshSpec};
-use nocout_noc::topology::nocout::{build_nocout, NocOutSpec};
-use nocout_noc::types::MessageClass;
 use nocout_sim::rng::{SimRng, Zipf};
 use nocout_sim::Cycle;
 use nocout_workloads::{Workload, WorkloadGen};
 use std::hint::black_box;
 
-/// Flit-level mesh under sustained random traffic: cycles per second.
-fn bench_mesh_tick(c: &mut Criterion) {
+/// Flit-level networks under sustained random traffic (all three
+/// evaluated topologies), plus the saturated router-pair switch-hop op.
+/// The op definitions live in `nocout_bench::nocopt`, shared with the
+/// recorded trajectory keys (`micro_switch_hop_rate`,
+/// `micro_loaded_tick_rate_*`) in `benches/batch.rs`.
+fn bench_network_tick(c: &mut Criterion) {
+    use nocout_bench::nocopt;
+
     let mut g = c.benchmark_group("network");
     g.throughput(Throughput::Elements(1000));
-    g.bench_function("mesh_64_tick_1k_cycles_loaded", |b| {
-        let mut mesh = build_mesh(&MeshSpec::paper_64());
-        let terms = mesh.tile_terminals.clone();
-        let mut rng = SimRng::new(1);
+    for mut ln in nocopt::loaded_networks() {
+        g.bench_function(format!("{}_64_tick_1k_cycles_loaded", ln.key), |b| {
+            b.iter(|| {
+                for _ in 0..1000 {
+                    nocopt::loaded_tick(&mut ln);
+                }
+                black_box(nocopt::flit_hops_loaded(&ln))
+            })
+        });
+    }
+    g.bench_function("switch_hop_1k_rounds_saturated_pair", |b| {
+        let (mut net, terms) = nocopt::saturated_pair();
         b.iter(|| {
             for _ in 0..1000 {
-                // ~0.5 packets injected per cycle.
-                if rng.chance(0.5) {
-                    let s = rng.next_below(64) as usize;
-                    let d = rng.next_below(64) as usize;
-                    mesh.network
-                        .inject(terms[s], terms[d], MessageClass::Response, 64, 0);
-                }
-                mesh.network.tick();
-                for t in &terms {
-                    while mesh.network.poll(*t).is_some() {}
-                }
+                nocopt::switch_hop_round(&mut net, &terms);
             }
-            black_box(mesh.network.now())
-        })
-    });
-    g.bench_function("nocout_64_tick_1k_cycles_loaded", |b| {
-        let mut n = build_nocout(&NocOutSpec::paper_64());
-        let cores = n.core_terminals.clone();
-        let llcs = n.llc_terminals.clone();
-        let mut rng = SimRng::new(1);
-        b.iter(|| {
-            for _ in 0..1000 {
-                if rng.chance(0.5) {
-                    let s = rng.next_below(64) as usize;
-                    let d = rng.next_below(8) as usize;
-                    n.network
-                        .inject(cores[s], llcs[d], MessageClass::Request, 0, 0);
-                }
-                n.network.tick();
-                for t in cores.iter().chain(llcs.iter()) {
-                    while n.network.poll(*t).is_some() {}
-                }
-            }
-            black_box(n.network.now())
+            black_box(nocopt::flit_hops(&net))
         })
     });
     g.finish();
@@ -260,7 +240,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = micro;
     config = config();
-    targets = bench_mesh_tick, bench_chip_tick, bench_core_structs, bench_l1_mshr,
+    targets = bench_network_tick, bench_chip_tick, bench_core_structs, bench_l1_mshr,
               bench_uncore, bench_cache_array, bench_workload_gen, bench_rng
 }
 criterion_main!(micro);

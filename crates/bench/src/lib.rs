@@ -187,3 +187,140 @@ pub mod uncoreopt {
         }
     }
 }
+
+/// The flit-level network microbench operations — the saturated
+/// router-pair switch hop and the per-topology loaded network tick —
+/// defined once for the same reason as [`memopt`]: the criterion bench
+/// (`benches/micro.rs`) and the recorded trajectory keys
+/// (`micro_switch_hop_rate`, `micro_loaded_tick_rate_*` in
+/// `BENCH_batch.json`) must agree on what "one op" means.
+pub mod nocopt {
+    use nocout_noc::network::{Network, NetworkBuilder};
+    use nocout_noc::router::RouterConfig;
+    use nocout_noc::topology::fbfly::{build_fbfly, FbflySpec};
+    use nocout_noc::topology::mesh::{build_mesh, MeshSpec};
+    use nocout_noc::topology::nocout::{build_nocout, NocOutSpec};
+    use nocout_noc::types::{MessageClass, TerminalId};
+    use nocout_sim::rng::SimRng;
+
+    /// A two-mesh-router bidirectional pair carrying 5-flit response
+    /// streams both ways, pre-filled so the switch allocator grants on
+    /// every cycle. One *switch hop* is one granted flit traversal (the
+    /// callers measure `stats().flit_hops` over the timed loop rather
+    /// than counting rounds, so the key is ns-per-hop honest).
+    pub fn saturated_pair() -> (Network, [TerminalId; 2]) {
+        let mut b = NetworkBuilder::new(128);
+        let r0 = b.add_router(RouterConfig::mesh());
+        let r1 = b.add_router(RouterConfig::mesh());
+        b.add_bidi_link(r0, r1, 1, 2.0);
+        let t0 = b.add_terminal(r0).terminal;
+        let t1 = b.add_terminal(r1).terminal;
+        b.compute_routes_bfs();
+        let mut net = b.build();
+        for _ in 0..4 {
+            net.inject(t0, t1, MessageClass::Response, 64, 0);
+            net.inject(t1, t0, MessageClass::Response, 64, 0);
+        }
+        (net, [t0, t1])
+    }
+
+    /// One saturated-pair round: a tick, then re-inject one packet per
+    /// delivery so both directions stay backlogged forever.
+    #[inline]
+    pub fn switch_hop_round(net: &mut Network, terms: &[TerminalId; 2]) {
+        net.tick();
+        for k in 0..2 {
+            while net.poll(terms[k]).is_some() {
+                net.inject(terms[k], terms[1 - k], MessageClass::Response, 64, 0);
+            }
+        }
+    }
+
+    /// A paper-scale network under the sustained random load of the
+    /// `benches/micro.rs` loaded-tick benchmarks (~0.5 packets injected
+    /// per cycle); one op is one `Network::tick`.
+    pub struct LoadedNet {
+        /// Trajectory-key suffix (`mesh`, `flattened_butterfly`,
+        /// `noc_out`), matching `org_key` naming in `benches/batch.rs`.
+        pub key: &'static str,
+        net: Network,
+        srcs: Vec<TerminalId>,
+        dsts: Vec<TerminalId>,
+        all: Vec<TerminalId>,
+        class: MessageClass,
+        payload_bytes: u32,
+        rng: SimRng,
+    }
+
+    /// The three evaluated paper topologies under their loaded-tick
+    /// traffic shapes: uniform-random 64-byte responses between tiles on
+    /// the mesh and the flattened butterfly, and core→LLC requests on
+    /// NOC-Out (the tree direction whose many low-radix routers the
+    /// dirty-list scan targets).
+    pub fn loaded_networks() -> Vec<LoadedNet> {
+        let mesh = build_mesh(&MeshSpec::paper_64());
+        let fb = build_fbfly(&FbflySpec::paper_64());
+        let n = build_nocout(&NocOutSpec::paper_64());
+        vec![
+            LoadedNet {
+                key: "mesh",
+                srcs: mesh.tile_terminals.clone(),
+                dsts: mesh.tile_terminals.clone(),
+                all: mesh.tile_terminals.clone(),
+                net: mesh.network,
+                class: MessageClass::Response,
+                payload_bytes: 64,
+                rng: SimRng::new(1),
+            },
+            LoadedNet {
+                key: "flattened_butterfly",
+                srcs: fb.tile_terminals.clone(),
+                dsts: fb.tile_terminals.clone(),
+                all: fb.tile_terminals.clone(),
+                net: fb.network,
+                class: MessageClass::Response,
+                payload_bytes: 64,
+                rng: SimRng::new(1),
+            },
+            LoadedNet {
+                key: "noc_out",
+                srcs: n.core_terminals.clone(),
+                dsts: n.llc_terminals.clone(),
+                all: n
+                    .core_terminals
+                    .iter()
+                    .chain(n.llc_terminals.iter())
+                    .copied()
+                    .collect(),
+                net: n.network,
+                class: MessageClass::Request,
+                payload_bytes: 0,
+                rng: SimRng::new(1),
+            },
+        ]
+    }
+
+    /// One loaded-network op: maybe inject (p = 0.5), tick, drain.
+    #[inline]
+    pub fn loaded_tick(ln: &mut LoadedNet) {
+        if ln.rng.chance(0.5) {
+            let s = ln.rng.next_below(ln.srcs.len() as u64) as usize;
+            let d = ln.rng.next_below(ln.dsts.len() as u64) as usize;
+            ln.net.inject(ln.srcs[s], ln.dsts[d], ln.class, ln.payload_bytes, 0);
+        }
+        ln.net.tick();
+        for t in &ln.all {
+            while ln.net.poll(*t).is_some() {}
+        }
+    }
+
+    /// Flit hops performed so far (the switch-hop op count).
+    pub fn flit_hops(net: &Network) -> u64 {
+        net.stats().flit_hops.value()
+    }
+
+    /// Flit hops performed so far by a loaded network.
+    pub fn flit_hops_loaded(ln: &LoadedNet) -> u64 {
+        ln.net.stats().flit_hops.value()
+    }
+}

@@ -46,7 +46,7 @@ pub mod types;
 pub(crate) mod wheel;
 
 pub use fabric::Fabric;
-pub use network::{Network, NetworkBuilder};
+pub use network::{Network, NetworkBuilder, RouterView};
 pub use packet::{Delivery, Packet};
 pub use router::{ArbiterKind, RouterConfig};
 pub use stats::NetStats;

@@ -24,7 +24,7 @@ impl PacketId {
 /// `token` is an opaque value chosen by the client (the memory system uses
 /// it to find the protocol transaction to resume on delivery). The network
 /// never interprets it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Injecting terminal.
     pub src: TerminalId,
@@ -83,7 +83,7 @@ impl Packet {
 }
 
 /// A delivered packet together with its measured network latency.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
     /// The packet as injected.
     pub packet: Packet,

@@ -228,7 +228,12 @@ impl VcQueue {
     }
 }
 
-/// An input port: one VC per message class plus credit-return bookkeeping.
+/// An input port as staged by the builder: one VC per message class plus
+/// credit-return bookkeeping. [`NetworkBuilder::build`] flattens these into
+/// the network-level arrays (`crate::network::Network`); the per-port
+/// occupancy byte lives there, next to its siblings.
+///
+/// [`NetworkBuilder::build`]: crate::network::NetworkBuilder::build
 #[derive(Debug)]
 pub(crate) struct InPort {
     pub(crate) vcs: [VcQueue; CLASS_COUNT],
@@ -236,10 +241,6 @@ pub(crate) struct InPort {
     /// Delay after a flit departs this buffer until the upstream sender can
     /// reuse the credit (credit wire + update).
     pub(crate) credit_delay: u8,
-    /// Occupancy bitmask over this port's VCs (bit `vc` set ⇔ that queue is
-    /// non-empty), so the switch allocator walks set bits instead of probing
-    /// every class's queue front.
-    pub(crate) occ: u8,
 }
 
 impl InPort {
@@ -250,7 +251,6 @@ impl InPort {
             vcs: std::array::from_fn(|_| VcQueue::new(depth)),
             feeder,
             credit_delay,
-            occ: 0,
         }
     }
 }
@@ -272,26 +272,23 @@ pub(crate) struct OutPort {
     pub(crate) flits_sent: u64,
 }
 
-/// A router (or tree node) in the network.
+/// A router (or tree node) as staged by the builder.
 ///
-/// Routers are constructed through
-/// [`NetworkBuilder`](crate::network::NetworkBuilder); the per-cycle logic
-/// lives in [`Network::tick`](crate::network::Network::tick).
+/// This is construction-time scaffolding only: routers are assembled
+/// through [`NetworkBuilder`](crate::network::NetworkBuilder), whose
+/// `build()` hoists every router's ports and route table into the
+/// network-level flat arrays. The per-cycle logic lives in
+/// [`Network::tick`](crate::network::Network::tick), which only ever sees
+/// the flat form; read-only inspection goes through
+/// [`RouterView`](crate::network::RouterView).
 #[derive(Debug)]
-pub struct Router {
+pub(crate) struct Router {
     pub(crate) cfg: RouterConfig,
     pub(crate) in_ports: Vec<InPort>,
     pub(crate) out_ports: Vec<OutPort>,
     /// Route table: output port per destination terminal. `UNROUTED` marks
     /// terminals this router can never see.
     pub(crate) route: Vec<PortIndex>,
-    /// Number of flits currently buffered anywhere in this router, used to
-    /// skip idle routers on the fast path.
-    pub(crate) buffered: u32,
-    /// Occupancy bitmask over input ports (bit `p` set ⇔ some VC at input
-    /// port `p` holds flits) — the routers here top out at 16 ports (the
-    /// 15×15 flattened-butterfly radix), so a `u64` covers any topology.
-    pub(crate) port_occ: u64,
 }
 
 /// Sentinel for "no route from this router to that terminal".
@@ -304,68 +301,38 @@ impl Router {
             in_ports: Vec::new(),
             out_ports: Vec::new(),
             route: vec![UNROUTED; num_terminals],
-            buffered: 0,
-            port_occ: 0,
         }
     }
+}
 
-    /// The configured microarchitecture of this router.
-    pub fn config(&self) -> RouterConfig {
-        self.cfg
-    }
-
-    /// Number of input ports.
-    pub fn num_in_ports(&self) -> usize {
-        self.in_ports.len()
-    }
-
-    /// Number of output ports.
-    pub fn num_out_ports(&self) -> usize {
-        self.out_ports.len()
-    }
-
-    /// The routing-table entry for `terminal`, if routed.
-    pub fn route_to(&self, terminal: TerminalId) -> Option<PortIndex> {
-        let p = self.route[terminal.index()];
-        (p != UNROUTED).then_some(p)
-    }
-
-    /// Total flits currently buffered in this router's input VCs.
-    pub fn buffered_flits(&self) -> u32 {
-        self.buffered
-    }
-
-    /// Flits sent per output port since construction.
-    pub fn flits_sent_per_port(&self) -> Vec<u64> {
-        self.out_ports.iter().map(|o| o.flits_sent).collect()
-    }
-
-    /// Picks the winning candidate for output port `out` among `(in_port,
-    /// class)` pairs, according to the configured arbitration policy.
-    ///
-    /// `candidates` must be non-empty.
-    pub(crate) fn arbitrate(
-        &mut self,
-        out: PortIndex,
-        candidates: &[(PortIndex, MessageClass)],
-    ) -> (PortIndex, MessageClass) {
-        debug_assert!(!candidates.is_empty());
-        match self.cfg.arbiter {
-            ArbiterKind::StaticPriority => *candidates
+/// Picks the winning candidate for an output port among `(in_port, class)`
+/// pairs, according to `arbiter`. `num_in_ports` sizes the round-robin
+/// schedule and `rr_next` is the output port's rotating pointer (ignored by
+/// static priority).
+///
+/// `candidates` must be non-empty.
+pub(crate) fn arbitrate(
+    arbiter: ArbiterKind,
+    num_in_ports: usize,
+    rr_next: &mut u16,
+    candidates: &[(PortIndex, MessageClass)],
+) -> (PortIndex, MessageClass) {
+    debug_assert!(!candidates.is_empty());
+    match arbiter {
+        ArbiterKind::StaticPriority => *candidates
+            .iter()
+            .max_by_key(|(port, class)| (class.priority(), std::cmp::Reverse(*port)))
+            .expect("candidates non-empty"),
+        ArbiterKind::RoundRobin => {
+            let slots = (num_in_ports * CLASS_COUNT) as u16;
+            let key =
+                |(p, c): (PortIndex, MessageClass)| p as u16 * CLASS_COUNT as u16 + c.vc() as u16;
+            let winner = *candidates
                 .iter()
-                .max_by_key(|(port, class)| (class.priority(), std::cmp::Reverse(*port)))
-                .expect("candidates non-empty"),
-            ArbiterKind::RoundRobin => {
-                let slots = (self.in_ports.len() * CLASS_COUNT) as u16;
-                let o = &mut self.out_ports[out as usize];
-                let key = |(p, c): (PortIndex, MessageClass)| p as u16 * CLASS_COUNT as u16 + c.vc() as u16;
-                let winner = *candidates
-                    .iter()
-                    .min_by_key(|&&cand| (key(cand) + slots - o.rr_next) % slots)
-                    .expect("candidates non-empty");
-                o.rr_next = (key(winner) + 1) % slots;
-                winner
-            }
+                .min_by_key(|&&cand| (key(cand) + slots - *rr_next) % slots)
+                .expect("candidates non-empty");
+            *rr_next = (key(winner) + 1) % slots;
+            winner
         }
     }
 }
@@ -374,37 +341,12 @@ impl Router {
 mod tests {
     use super::*;
 
-    fn router_with_ports(arbiter: ArbiterKind, in_ports: usize) -> Router {
-        let mut r = Router::new(
-            RouterConfig {
-                pipeline_delay: 1,
-                vc_depth: 4,
-                arbiter,
-            },
-            4,
-        );
-        for _ in 0..in_ports {
-            r.in_ports
-                .push(InPort::new(4, Feeder::Terminal(TerminalId(0)), 2));
-        }
-        r.out_ports.push(OutPort {
-            target: OutTarget::Terminal {
-                terminal: TerminalId(0),
-                link_delay: 1,
-                length_mm: 0.5,
-            },
-            credits: [4; CLASS_COUNT],
-            max_credits: [4; CLASS_COUNT],
-            owner: [None; CLASS_COUNT],
-            rr_next: 0,
-            flits_sent: 0,
-        });
-        r
-    }
-
     #[test]
     fn static_priority_prefers_response_then_network_port() {
-        let mut r = router_with_ports(ArbiterKind::StaticPriority, 2);
+        let mut rr = 0u16;
+        let arb = |rr: &mut u16, cands: &[(PortIndex, MessageClass)]| {
+            arbitrate(ArbiterKind::StaticPriority, 2, rr, cands)
+        };
         // network responses beat local responses beat network requests.
         let cands = [
             (1, MessageClass::Request),
@@ -412,30 +354,24 @@ mod tests {
             (1, MessageClass::Response),
             (0, MessageClass::Response),
         ];
-        assert_eq!(r.arbitrate(0, &cands), (0, MessageClass::Response));
+        assert_eq!(arb(&mut rr, &cands), (0, MessageClass::Response));
         let cands = [(1, MessageClass::Request), (0, MessageClass::Request)];
-        assert_eq!(r.arbitrate(0, &cands), (0, MessageClass::Request));
+        assert_eq!(arb(&mut rr, &cands), (0, MessageClass::Request));
         let cands = [(1, MessageClass::Response), (0, MessageClass::Request)];
-        assert_eq!(r.arbitrate(0, &cands), (1, MessageClass::Response));
+        assert_eq!(arb(&mut rr, &cands), (1, MessageClass::Response));
+        // Static priority never touches the rotating pointer.
+        assert_eq!(rr, 0);
     }
 
     #[test]
     fn round_robin_rotates_fairly() {
-        let mut r = router_with_ports(ArbiterKind::RoundRobin, 2);
+        let mut rr = 0u16;
         let cands = [(0, MessageClass::Request), (1, MessageClass::Request)];
-        let first = r.arbitrate(0, &cands);
-        let second = r.arbitrate(0, &cands);
+        let first = arbitrate(ArbiterKind::RoundRobin, 2, &mut rr, &cands);
+        let second = arbitrate(ArbiterKind::RoundRobin, 2, &mut rr, &cands);
         assert_ne!(first, second, "round robin must alternate between equals");
-        let third = r.arbitrate(0, &cands);
+        let third = arbitrate(ArbiterKind::RoundRobin, 2, &mut rr, &cands);
         assert_eq!(first, third);
-    }
-
-    #[test]
-    fn route_table_lookup() {
-        let mut r = router_with_ports(ArbiterKind::RoundRobin, 1);
-        assert_eq!(r.route_to(TerminalId(2)), None);
-        r.route[2] = 0;
-        assert_eq!(r.route_to(TerminalId(2)), Some(0));
     }
 
     #[test]

@@ -61,6 +61,85 @@ fn check_conservation(net: &mut Network, terminals: &[nocout_repro::substrates::
     assert_eq!(seen.len(), traffic.len(), "packets lost");
 }
 
+/// Drives two identical networks in lockstep — one through the production
+/// masked/dirty-list switch path (`tick`), one through the reference
+/// full-scan path (`tick_reference`, which probes every queue front and
+/// never takes the radix or lone-candidate fast paths) — and asserts every
+/// observable agrees: per-terminal deliveries each cycle, packets in
+/// flight, and finally the round-robin arbiter state and per-port
+/// `flits_sent` counters. Injections are spread over time (the `gap`
+/// field) so the comparison covers transient occupancy patterns, not just
+/// a single burst.
+fn check_flat_matches_reference(
+    fast: &mut Network,
+    reference: &mut Network,
+    terminals: &[nocout_repro::substrates::noc::TerminalId],
+    traffic: &[(Traffic, u8)],
+) {
+    let step = |fast: &mut Network, reference: &mut Network| {
+        fast.tick();
+        reference.tick_reference();
+        assert_eq!(fast.packets_in_flight(), reference.packets_in_flight());
+        for term in terminals {
+            loop {
+                let (a, b) = (fast.poll(*term), reference.poll(*term));
+                assert_eq!(a, b, "deliveries diverged at cycle {}", fast.now());
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    };
+    for (i, (t, gap)) in traffic.iter().enumerate() {
+        let class = MessageClass::ALL[t.class];
+        fast.inject(terminals[t.src], terminals[t.dst], class, t.payload, i as u64);
+        reference.inject(terminals[t.src], terminals[t.dst], class, t.payload, i as u64);
+        for _ in 0..*gap {
+            step(fast, reference);
+        }
+    }
+    let mut budget = 200_000u32;
+    while fast.packets_in_flight() > 0 {
+        assert!(budget > 0, "networks failed to drain");
+        budget -= 1;
+        step(fast, reference);
+    }
+    fast.check_invariants();
+    reference.check_invariants();
+    assert_eq!(
+        fast.debug_rr_state(),
+        reference.debug_rr_state(),
+        "round-robin arbiter state diverged"
+    );
+    for r in 0..fast.num_routers() {
+        let id = nocout_repro::substrates::noc::RouterId(r as u16);
+        assert_eq!(
+            fast.router(id).flits_sent_per_port(),
+            reference.router(id).flits_sent_per_port(),
+            "per-port flit counts diverged at router {r}"
+        );
+    }
+}
+
+fn timed_traffic_strategy(
+    terminals: usize,
+    max_msgs: usize,
+) -> impl Strategy<Value = Vec<(Traffic, u8)>> {
+    prop::collection::vec(
+        (
+            (0..terminals, 0..terminals, 0..3usize, prop_oneof![Just(0u32), Just(64u32)])
+                .prop_map(|(src, dst, class, payload)| Traffic {
+                    src,
+                    dst,
+                    class,
+                    payload,
+                }),
+            0u8..6,
+        ),
+        1..max_msgs,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -89,6 +168,55 @@ proptest! {
         let mut terminals = n.core_terminals.clone();
         terminals.extend(n.llc_terminals.clone());
         check_conservation(&mut n.network, &terminals, &traffic);
+    }
+
+    #[test]
+    fn mesh_flat_switch_matches_reference(traffic in timed_traffic_strategy(16, 60)) {
+        let mut fast = build_mesh(&MeshSpec::with_tiles(16));
+        let mut reference = build_mesh(&MeshSpec::with_tiles(16));
+        let terminals = fast.tile_terminals.clone();
+        check_flat_matches_reference(
+            &mut fast.network,
+            &mut reference.network,
+            &terminals,
+            &traffic,
+        );
+    }
+
+    #[test]
+    fn fbfly_flat_switch_matches_reference(traffic in timed_traffic_strategy(16, 60)) {
+        let spec = FbflySpec { cols: 4, rows: 4, ..FbflySpec::paper_64() };
+        let mut fast = build_fbfly(&spec);
+        let mut reference = build_fbfly(&spec);
+        let terminals = fast.tile_terminals.clone();
+        check_flat_matches_reference(
+            &mut fast.network,
+            &mut reference.network,
+            &terminals,
+            &traffic,
+        );
+    }
+
+    #[test]
+    fn nocout_flat_switch_matches_reference(traffic in timed_traffic_strategy(28, 60)) {
+        // Express links give some tree nodes a third input port, covering
+        // both sides of the radix-≤2 gather fast path on one topology.
+        let spec = NocOutSpec {
+            columns: 4,
+            rows_per_side: 3,
+            express_links: true,
+            ..NocOutSpec::paper_64()
+        };
+        let mut fast = build_nocout(&spec);
+        let mut reference = build_nocout(&spec);
+        let mut terminals = fast.core_terminals.clone();
+        terminals.extend(fast.llc_terminals.clone());
+        check_flat_matches_reference(
+            &mut fast.network,
+            &mut reference.network,
+            &terminals,
+            &traffic,
+        );
     }
 
     #[test]
