@@ -201,6 +201,27 @@ fn noc_micro(hop_rounds: u64, loaded_ticks: u64) -> (f64, Vec<(&'static str, f64
     (hop_rate, loaded)
 }
 
+/// Latency-histogram microbench: the service-level stats structure's
+/// record/merge/reset/p99 round (`nocout_bench::statopt`), in rounds
+/// per second.
+fn latency_hist_micro(iters: u64) -> f64 {
+    use nocout_bench::statopt;
+    use nocout_sim::stats::LatencyHist;
+
+    let mut scratch = LatencyHist::new();
+    let mut acc = LatencyHist::new();
+    for round in 0..1_000 {
+        statopt::latency_hist_round(&mut scratch, &mut acc, round);
+    }
+    let t = Instant::now();
+    for round in 0..iters {
+        statopt::latency_hist_round(&mut scratch, &mut acc, round);
+    }
+    let rate = iters as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(acc.total(), (1_000 + iters) * 64);
+    rate
+}
+
 /// Full-load tick rate per organization on the *data-miss-heavy* Data
 /// Serving workload (vast LLC-missing dataset → the L1-D MSHR file and
 /// the fill-wakeup path run hot, unlike the instruction-bound MapReduce
@@ -343,6 +364,8 @@ fn main() {
         println!("micro/fabric_wheel        {fabric:>12.0} ops/s");
         let (hop, loaded) = noc_micro(200_000, 20_000);
         println!("micro/switch_hop          {hop:>12.0} hops/s");
+        let hist = latency_hist_micro(200_000);
+        println!("micro/latency_hist        {hist:>12.0} rounds/s");
         let mut record = String::from("  {");
         let _ = write!(
             record,
@@ -353,7 +376,8 @@ fn main() {
              \"micro_llc_tile_rate\": {llc:.0}, \
              \"micro_directory_rate\": {dir:.0}, \
              \"micro_fabric_wheel_rate\": {fabric:.0}, \
-             \"micro_switch_hop_rate\": {hop:.0}",
+             \"micro_switch_hop_rate\": {hop:.0}, \
+             \"micro_latency_hist_rate\": {hist:.0}",
             unix_time()
         );
         for (key, rate) in &loaded {
@@ -433,6 +457,10 @@ fn main() {
         println!("micro/loaded_tick_{key:<20} {rate:>12.0} cycles/s");
     }
 
+    // Service-level statistics microbench.
+    let latency_hist_rate = latency_hist_micro(2_000_000);
+    println!("micro/latency_hist        {latency_hist_rate:>12.0} rounds/s");
+
     // Full-load, data-miss-heavy end-to-end tick rate.
     let memheavy = fullload_memheavy_rates(tick_cycles);
     for (org, rate) in &memheavy {
@@ -506,7 +534,8 @@ fn main() {
          \"micro_llc_tile_rate\": {llc_rate:.0}, \
          \"micro_directory_rate\": {dir_rate:.0}, \
          \"micro_fabric_wheel_rate\": {fabric_rate:.0}, \
-         \"micro_switch_hop_rate\": {switch_hop_rate:.0}"
+         \"micro_switch_hop_rate\": {switch_hop_rate:.0}, \
+         \"micro_latency_hist_rate\": {latency_hist_rate:.0}"
     );
     for (key, rate) in &loaded_tick_rates {
         let _ = write!(record, ", \"micro_loaded_tick_rate_{key}\": {rate:.0}");

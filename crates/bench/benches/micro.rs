@@ -205,6 +205,30 @@ fn bench_workload_gen(c: &mut Criterion) {
     g.finish();
 }
 
+/// Service-level latency histogram: the record/merge/reset/p99 round
+/// shared with the `micro_latency_hist_rate` trajectory key
+/// (`nocout_bench::statopt`).
+fn bench_latency_hist(c: &mut Criterion) {
+    use nocout_bench::statopt;
+    use nocout_sim::stats::LatencyHist;
+
+    let mut g = c.benchmark_group("stats");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("latency_hist_1k_rounds", |b| {
+        let mut scratch = LatencyHist::new();
+        let mut acc = LatencyHist::new();
+        let mut round = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                statopt::latency_hist_round(&mut scratch, &mut acc, round);
+                round += 1;
+            }
+            black_box(acc.total())
+        })
+    });
+    g.finish();
+}
+
 /// RNG and Zipf sampling.
 fn bench_rng(c: &mut Criterion) {
     c.bench_function("rng_next_u64_x1000", |b| {
@@ -241,6 +265,7 @@ criterion_group! {
     name = micro;
     config = config();
     targets = bench_network_tick, bench_chip_tick, bench_core_structs, bench_l1_mshr,
-              bench_uncore, bench_cache_array, bench_workload_gen, bench_rng
+              bench_uncore, bench_cache_array, bench_workload_gen, bench_latency_hist,
+              bench_rng
 }
 criterion_main!(micro);

@@ -324,3 +324,31 @@ pub mod nocopt {
         ln.net.stats().flit_hops.value()
     }
 }
+
+/// The service-level statistics microbench operation, defined once for
+/// the same reason as [`memopt`]: the criterion bench and the recorded
+/// trajectory key (`micro_latency_hist_rate`) must agree on what "one
+/// op" means.
+pub mod statopt {
+    use nocout_sim::stats::LatencyHist;
+
+    /// One latency-histogram round: 64 records spanning the linear and
+    /// log-linear bucket ranges into `scratch`, a bucket-wise merge of
+    /// `scratch` into `acc` (then a scratch reset), and a p99 read-back
+    /// — the per-window record/merge/query mix of the chip's
+    /// tail-metric aggregation.
+    #[inline]
+    pub fn latency_hist_round(scratch: &mut LatencyHist, acc: &mut LatencyHist, round: u64) {
+        let mut x = round.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for _ in 0..64 {
+            // splitmix64-style scramble; shifting by the low bits
+            // spreads samples over every bucket magnitude.
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            scratch.record(x >> (x & 63));
+        }
+        acc.merge(scratch);
+        scratch.reset();
+        std::hint::black_box(acc.percentile(0.99));
+    }
+}

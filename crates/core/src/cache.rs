@@ -42,7 +42,7 @@
 //! toward identical bytes. Stores are best-effort: an unwritable cache
 //! degrades to uncached operation rather than failing the run.
 
-use crate::metrics::{LlcSummary, MemSummary, NetSummary, SystemMetrics};
+use crate::metrics::{LlcSummary, MemSummary, NetSummary, SystemMetrics, TailSummary};
 use crate::runner::RunSpec;
 use std::cell::Cell;
 use std::fmt::Write as _;
@@ -50,7 +50,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Entry format version; part of every file and checked on load.
-const FORMAT: &str = "nocout-results-cache v1";
+const FORMAT: &str = "nocout-results-cache v2";
 
 impl RunSpec {
     /// The canonical, versioned rendering of this spec that the results
@@ -269,6 +269,25 @@ pub(crate) fn render_entry(key: &str, m: &SystemMetrics) -> String {
         m.network.flit_mm.to_bits()
     );
     let _ = writeln!(s, "mem {} {}", m.memory.reads, m.memory.writes);
+    let _ = writeln!(s, "ifetch_wait {}", m.ifetch_fill_wait_cycles);
+    fn tail_line(s: &mut String, name: &str, t: &TailSummary) {
+        let _ = writeln!(
+            s,
+            "{name} {} {:016x} {} {} {}",
+            t.count,
+            t.mean.to_bits(),
+            t.p50,
+            t.p99,
+            t.p999
+        );
+    }
+    tail_line(&mut s, "tail_block", &m.block_latency);
+    tail_line(&mut s, "tail_fill", &m.fill_latency);
+    tail_line(&mut s, "tail_llc_miss", &m.llc_miss_latency);
+    tail_line(&mut s, "tail_request", &m.request_latency);
+    tail_line(&mut s, "net_tail_request", &m.network.request_tail);
+    tail_line(&mut s, "net_tail_snoop", &m.network.snoop_tail);
+    tail_line(&mut s, "net_tail_response", &m.network.response_tail);
     s
 }
 
@@ -305,6 +324,32 @@ pub(crate) fn parse_entry(text: &str, expected_key: &str) -> Option<SystemMetric
     let net_counts = ints(field(lines.next()?, "net_counts")?)?;
     let net_lat = floats(field(lines.next()?, "net_lat")?)?;
     let mem = ints(field(lines.next()?, "mem")?)?;
+    let ifetch_wait: u64 = field(lines.next()?, "ifetch_wait")?.parse().ok()?;
+    fn tail(s: &str) -> Option<TailSummary> {
+        let mut it = s.split_whitespace();
+        let count = it.next()?.parse().ok()?;
+        let mean = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+        let p50 = it.next()?.parse().ok()?;
+        let p99 = it.next()?.parse().ok()?;
+        let p999 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(TailSummary {
+            count,
+            mean,
+            p50,
+            p99,
+            p999,
+        })
+    }
+    let tail_block = tail(field(lines.next()?, "tail_block")?)?;
+    let tail_fill = tail(field(lines.next()?, "tail_fill")?)?;
+    let tail_llc_miss = tail(field(lines.next()?, "tail_llc_miss")?)?;
+    let tail_request = tail(field(lines.next()?, "tail_request")?)?;
+    let net_tail_request = tail(field(lines.next()?, "net_tail_request")?)?;
+    let net_tail_snoop = tail(field(lines.next()?, "net_tail_snoop")?)?;
+    let net_tail_response = tail(field(lines.next()?, "net_tail_response")?)?;
     if fsf.len() != 1 || llc.len() != 6 || net_counts.len() != 6 || net_lat.len() != 4 || mem.len() != 2
     {
         return None;
@@ -334,11 +379,19 @@ pub(crate) fn parse_entry(text: &str, expected_key: &str) -> Option<SystemMetric
             buffer_writes: net_counts[3],
             buffer_reads: net_counts[4],
             xbar_traversals: net_counts[5],
+            request_tail: net_tail_request,
+            snoop_tail: net_tail_snoop,
+            response_tail: net_tail_response,
         },
         memory: MemSummary {
             reads: mem[0],
             writes: mem[1],
         },
+        ifetch_fill_wait_cycles: ifetch_wait,
+        block_latency: tail_block,
+        fill_latency: tail_fill,
+        llc_miss_latency: tail_llc_miss,
+        request_latency: tail_request,
     })
 }
 
@@ -382,10 +435,54 @@ mod tests {
                 buffer_writes: 5,
                 buffer_reads: 6,
                 xbar_traversals: 7,
+                request_tail: TailSummary {
+                    count: 30,
+                    mean: 14.75,
+                    p50: 14,
+                    p99: 29,
+                    p999: 31,
+                },
+                snoop_tail: TailSummary::default(),
+                response_tail: TailSummary {
+                    count: 12,
+                    mean: 22.5,
+                    p50: 21,
+                    p99: 44,
+                    p999: 47,
+                },
             },
             memory: MemSummary {
                 reads: 11,
                 writes: 4,
+            },
+            ifetch_fill_wait_cycles: 321,
+            block_latency: TailSummary {
+                count: 19,
+                mean: 130.0625,
+                p50: 120,
+                p99: 400,
+                p999: 512,
+            },
+            fill_latency: TailSummary {
+                count: 8,
+                mean: 77.5,
+                p50: 70,
+                p99: 150,
+                p999: 150,
+            },
+            llc_miss_latency: TailSummary {
+                count: 2,
+                mean: 90.0,
+                p50: 88,
+                p99: 92,
+                p999: 92,
+            },
+            request_latency: TailSummary {
+                count: 55,
+                mean: 333.125,
+                p50: 300,
+                p99: 900,
+                p999: 1024,
             },
         }
     }
@@ -412,6 +509,14 @@ mod tests {
         assert_eq!(parsed.network.flit_mm.to_bits(), m.network.flit_mm.to_bits());
         assert_eq!(parsed.network.p99_latency, m.network.p99_latency);
         assert_eq!(parsed.memory.reads, m.memory.reads);
+        assert_eq!(parsed.ifetch_fill_wait_cycles, m.ifetch_fill_wait_cycles);
+        assert_eq!(parsed.block_latency, m.block_latency);
+        assert_eq!(parsed.fill_latency, m.fill_latency);
+        assert_eq!(parsed.llc_miss_latency, m.llc_miss_latency);
+        assert_eq!(parsed.request_latency, m.request_latency);
+        assert_eq!(parsed.network.request_tail, m.network.request_tail);
+        assert_eq!(parsed.network.snoop_tail, m.network.snoop_tail);
+        assert_eq!(parsed.network.response_tail, m.network.response_tail);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! queue, and cores stall exactly as their fills come back.
 
 use crate::config::{ChipConfig, Organization};
-use crate::metrics::{LlcSummary, MemSummary, NetSummary, SystemMetrics};
+use crate::metrics::{LlcSummary, MemSummary, NetSummary, SystemMetrics, TailSummary};
 use nocout_cpu::{Core, CoreConfig, CoreIdle, MissRequest};
 use nocout_mem::addr::{Addr, AddressMap};
 use nocout_mem::llc::{LlcConfig, LlcInput, LlcOutput, LlcTile};
@@ -19,9 +19,10 @@ use nocout_noc::topology::ideal::{build_analytic, AnalyticKind, AnalyticSpec};
 use nocout_noc::topology::{fbfly::build_fbfly, mesh::build_mesh, nocout::build_nocout};
 use nocout_noc::types::{MessageClass, TerminalId};
 use nocout_cpu::source::{FetchedInstr, InstrBlock, InstructionSource};
+use nocout_sim::stats::LatencyHist;
 use nocout_sim::Cycle;
 use nocout_workloads::trace::{TraceHeader, TraceSet, TraceSource, TraceWriter, TRACE_SUFFIX};
-use nocout_workloads::{Workload, WorkloadClass, WorkloadGen};
+use nocout_workloads::{OpenLoopSource, Workload, WorkloadClass, WorkloadGen};
 use std::sync::Arc;
 
 /// What an organization's topology builder hands back: the fabric plus
@@ -43,6 +44,7 @@ type BuiltFabric = (
 enum CoreSource {
     Synthetic(WorkloadGen),
     Trace(TraceSource),
+    OpenLoop(OpenLoopSource),
 }
 
 impl InstructionSource for CoreSource {
@@ -50,6 +52,7 @@ impl InstructionSource for CoreSource {
         match self {
             CoreSource::Synthetic(g) => g.next_instr(),
             CoreSource::Trace(t) => t.next_instr(),
+            CoreSource::OpenLoop(o) => o.next_instr(),
         }
     }
 
@@ -57,6 +60,7 @@ impl InstructionSource for CoreSource {
         match self {
             CoreSource::Synthetic(g) => g.refill(block),
             CoreSource::Trace(t) => t.refill(block),
+            CoreSource::OpenLoop(o) => o.refill(block),
         }
     }
 }
@@ -120,7 +124,7 @@ impl ActiveSet {
 
 #[derive(Debug)]
 struct TxnTable {
-    entries: Vec<Option<(u16, Addr, AccessKind)>>,
+    entries: Vec<Option<(u16, Addr, AccessKind, Cycle)>>,
     free: Vec<u32>,
 }
 
@@ -132,17 +136,17 @@ impl TxnTable {
         }
     }
 
-    fn alloc(&mut self, core: u16, line: Addr, kind: AccessKind) -> TxnId {
+    fn alloc(&mut self, core: u16, line: Addr, kind: AccessKind, born: Cycle) -> TxnId {
         if let Some(i) = self.free.pop() {
-            self.entries[i as usize] = Some((core, line, kind));
+            self.entries[i as usize] = Some((core, line, kind, born));
             TxnId(i)
         } else {
-            self.entries.push(Some((core, line, kind)));
+            self.entries.push(Some((core, line, kind, born)));
             TxnId((self.entries.len() - 1) as u32)
         }
     }
 
-    fn release(&mut self, txn: TxnId) -> (u16, Addr, AccessKind) {
+    fn release(&mut self, txn: TxnId) -> (u16, Addr, AccessKind, Cycle) {
         let rec = self.entries[txn.0 as usize]
             .take()
             .expect("transaction must be live");
@@ -202,6 +206,15 @@ pub struct ScaleOutChip {
     active_mems: ActiveSet,
     /// Reusable scratch for memory-channel completions.
     mem_done_buf: Vec<u64>,
+    /// End-to-end L1 miss-to-fill latency: core request entering the chip
+    /// model to its data packet dispatching back into the core.
+    fill_hist: LatencyHist,
+    /// Whether the chip-level fill histogram records (propagated to cores
+    /// and LLC tiles by [`ScaleOutChip::set_tail_recording`]).
+    record_tails: bool,
+    /// Whether the workload is open-loop (gates the per-cycle arrival
+    /// advance so closed-loop runs pay nothing in the core loop).
+    open_loop: bool,
 }
 
 /// Builds the organization's fabric: the network plus the terminal ids
@@ -344,6 +357,7 @@ impl ScaleOutChip {
         let wanted = match &class {
             WorkloadClass::Synthetic(w) => w.profile().active_cores(cfg.cores),
             WorkloadClass::Trace(t) => t.streams(),
+            WorkloadClass::OpenLoop(s) => s.workload.profile().active_cores(cfg.cores),
         };
         let mut n_active = cfg
             .active_core_override
@@ -377,6 +391,9 @@ impl ScaleOutChip {
                             panic!("cannot open trace stream {slot}: {e}")
                         }),
                     ),
+                    WorkloadClass::OpenLoop(s) => {
+                        CoreSource::OpenLoop(OpenLoopSource::new(*s, c as u16, seed))
+                    }
                 };
                 (c, source)
             })
@@ -404,6 +421,9 @@ impl ScaleOutChip {
             active_llcs: ActiveSet::with_len(num_llcs),
             active_mems: ActiveSet::with_len(num_mems),
             mem_done_buf: Vec::new(),
+            fill_hist: LatencyHist::new(),
+            record_tails: true,
+            open_loop: matches!(&class, WorkloadClass::OpenLoop(_)),
         };
         chip.warm_caches(&class);
         chip
@@ -440,6 +460,14 @@ impl ScaleOutChip {
                     w.shared_rw_lines as u64,
                 )
             }
+            WorkloadClass::OpenLoop(s) => {
+                let p = s.workload.profile();
+                (
+                    p.instr_footprint_lines as u64,
+                    p.llc_resident_lines as u64,
+                    p.shared_rw_lines as u64,
+                )
+            }
         };
         for i in 0..footprint {
             let addr = Addr(INSTR_BASE + i * LINE_BYTES);
@@ -457,6 +485,10 @@ impl ScaleOutChip {
             let c = self.active[slot].0;
             let (hot, local): (Vec<Addr>, Vec<Addr>) = match &self.active[slot].1 {
                 CoreSource::Synthetic(g) => {
+                    (g.hot_instr_lines().collect(), g.local_data_lines().collect())
+                }
+                CoreSource::OpenLoop(o) => {
+                    let g = o.gen();
                     (g.hot_instr_lines().collect(), g.local_data_lines().collect())
                 }
                 CoreSource::Trace(t) => {
@@ -549,6 +581,16 @@ impl ScaleOutChip {
 
         // 1. Cores execute and emit miss requests.
         let mut injections = std::mem::take(&mut self.inject_buf);
+        // Open-loop arrivals land on their schedule regardless of core
+        // progress (a fast-forwarded gap is caught up in one call). The
+        // pre-pass is gated so closed-loop runs keep the core loop as-is.
+        if self.open_loop {
+            for (_, source) in self.active.iter_mut() {
+                if let CoreSource::OpenLoop(o) = source {
+                    o.advance_to(now.raw());
+                }
+            }
+        }
         for ai in 0..self.active.len() {
             let (c, source) = {
                 let entry = &mut self.active[ai];
@@ -561,7 +603,7 @@ impl ScaleOutChip {
                 self.cores[c].tick(now, source, &mut self.req_buf);
             }
             for r in self.req_buf.drain(..) {
-                let txn = self.txns.alloc(c as u16, r.line, r.kind);
+                let txn = self.txns.alloc(c as u16, r.line, r.kind, now);
                 let home = self.map.home_tile(r.line);
                 injections.push((
                     self.core_term[c],
@@ -834,7 +876,10 @@ impl ScaleOutChip {
                 self.llcs[llc].submit(LlcInput::MemData { mshr });
             }
             Msg::Data { txn } => {
-                let (core, line, kind) = self.txns.release(txn);
+                let (core, line, kind, born) = self.txns.release(txn);
+                if self.record_tails {
+                    self.fill_hist.record(now.raw() - born.raw());
+                }
                 let c = core as usize;
                 debug_assert_eq!(info.core, Some(c));
                 if kind.is_ifetch() {
@@ -910,6 +955,11 @@ impl ScaleOutChip {
         for (c, _) in &self.active {
             self.cores[*c].reset_stats(self.now);
         }
+        for (_, src) in &mut self.active {
+            if let CoreSource::OpenLoop(o) = src {
+                o.reset_stats();
+            }
+        }
         for llc in &mut self.llcs {
             llc.stats.reset();
         }
@@ -918,7 +968,27 @@ impl ScaleOutChip {
             ch.writes.reset();
             ch.queue_cycles.reset();
         }
+        self.fill_hist.reset();
         self.fabric.reset_stats();
+    }
+
+    /// Enables or disables every service-level latency recorder in one
+    /// call (default on): block fetch-to-retire per core, LLC miss-to-fill
+    /// per tile, and the chip-level end-to-end fill histogram. Recording
+    /// is strictly observational — the lockstep test in
+    /// `tests/chip_event_determinism.rs` proves a recording run and a
+    /// non-recording run produce bit-identical legacy metrics. The NoC's
+    /// per-class packet histograms record unconditionally (they share the
+    /// delivery bookkeeping that always runs); open-loop request latency
+    /// is workload semantics, not observation, so it is not gated either.
+    pub fn set_tail_recording(&mut self, on: bool) {
+        self.record_tails = on;
+        for core in &mut self.cores {
+            core.set_tail_recording(on);
+        }
+        for llc in &mut self.llcs {
+            llc.set_tail_recording(on);
+        }
     }
 
     /// Collects the metrics accumulated since the last reset.
@@ -928,15 +998,24 @@ impl ScaleOutChip {
         let mut cycles = 0u64;
         let mut fetch_stall = 0u64;
         let mut core_cycles = 0u64;
-        for (c, _) in &self.active {
+        let mut ifetch_fill_wait_cycles = 0u64;
+        let mut block_hist = LatencyHist::new();
+        let mut request_hist = LatencyHist::new();
+        for (c, src) in &self.active {
             let s = &self.cores[*c].stats;
             per_core_ipc[*c] = s.ipc();
             instructions += s.retired.value();
             cycles = cycles.max(s.cycles.value());
             fetch_stall += s.fetch_stall_cycles.value();
             core_cycles += s.cycles.value();
+            ifetch_fill_wait_cycles += s.ifetch_fill_wait_cycles.value();
+            block_hist.merge(&s.block_latency);
+            if let CoreSource::OpenLoop(o) = src {
+                request_hist.merge(o.hist());
+            }
         }
         let mut llc = LlcSummary::default();
+        let mut llc_miss_hist = LatencyHist::new();
         for tile in &self.llcs {
             llc.accesses += tile.stats.accesses.value();
             llc.hits += tile.stats.hits.value();
@@ -944,6 +1023,7 @@ impl ScaleOutChip {
             llc.snoops_sent += tile.stats.snoops_sent.value();
             llc.snooping_accesses += tile.stats.snooping_accesses.value();
             llc.writebacks += tile.stats.writebacks.value();
+            llc_miss_hist.merge(&tile.stats.miss_latency);
         }
         let ns = self.fabric.stats();
         let network = NetSummary {
@@ -957,6 +1037,9 @@ impl ScaleOutChip {
             buffer_writes: ns.buffer_writes.value(),
             buffer_reads: ns.buffer_reads.value(),
             xbar_traversals: ns.xbar_traversals.value(),
+            request_tail: TailSummary::of(ns.class_tail(MessageClass::Request)),
+            snoop_tail: TailSummary::of(ns.class_tail(MessageClass::Snoop)),
+            response_tail: TailSummary::of(ns.class_tail(MessageClass::Response)),
         };
         let mut memory = MemSummary::default();
         for ch in &self.channels {
@@ -976,6 +1059,11 @@ impl ScaleOutChip {
             llc,
             network,
             memory,
+            ifetch_fill_wait_cycles,
+            block_latency: TailSummary::of(&block_hist),
+            fill_latency: TailSummary::of(&self.fill_hist),
+            llc_miss_latency: TailSummary::of(&llc_miss_hist),
+            request_latency: TailSummary::of(&request_hist),
         }
     }
 }

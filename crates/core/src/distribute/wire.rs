@@ -39,7 +39,7 @@ use crate::config::ChipConfig;
 use crate::runner::RunSpec;
 use nocout_sim::config::MeasurementWindow;
 use nocout_workloads::trace::TraceSet;
-use nocout_workloads::{Workload, WorkloadClass};
+use nocout_workloads::{OpenLoopSpec, Workload, WorkloadClass};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -406,6 +406,7 @@ pub fn render_spec(spec: &RunSpec) -> Result<String, WireError> {
     let workload = match &spec.workload {
         WorkloadClass::Synthetic(w) => format!("synthetic:{}", w.key()),
         WorkloadClass::Trace(t) => format!("trace:{}", t.dir().display()),
+        WorkloadClass::OpenLoop(s) => s.token(),
     };
     if workload.contains('\n') || workload.contains('\r') {
         return Err(WireError::Malformed(
@@ -510,6 +511,10 @@ pub fn parse_spec(line: &str) -> Result<RunSpec, WireError> {
         WorkloadClass::from(TraceSet::load(path).map_err(|e| {
             malformed(format!("cannot load trace `{path}`: {e}"))
         })?)
+    } else if workload_part.starts_with("openloop:") {
+        WorkloadClass::from(OpenLoopSpec::parse_token(workload_part).ok_or_else(
+            || malformed(format!("bad open-loop workload token `{workload_part}`")),
+        )?)
     } else {
         return Err(malformed(format!("bad workload token `{workload_part}`")));
     };

@@ -1,7 +1,42 @@
 //! System-level metrics collected over a measurement window.
 
+use nocout_sim::stats::LatencyHist;
 use nocout_tech::energy::NocActivity;
 use serde::{Deserialize, Serialize};
+
+/// The service-level summary of one latency distribution: sample count,
+/// mean, and the tail percentiles scale-out serving is judged by.
+///
+/// Built from a [`LatencyHist`], so the percentiles inherit its 1/32
+/// relative error bound (never below the exact quantile, at most 33/32
+/// above it). Percentiles do **not** compose across summaries — merge the
+/// underlying histograms first, then summarize ([`TailSummary::of`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TailSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency in cycles.
+    pub mean: f64,
+    /// Median (cycles).
+    pub p50: u64,
+    /// 99th percentile (cycles).
+    pub p99: u64,
+    /// 99.9th percentile (cycles).
+    pub p999: u64,
+}
+
+impl TailSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &LatencyHist) -> Self {
+        TailSummary {
+            count: h.total(),
+            mean: h.mean(),
+            p50: h.percentile(0.5),
+            p99: h.percentile(0.99),
+            p999: h.percentile(0.999),
+        }
+    }
+}
 
 /// Everything the experiment harness reads out of a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,6 +57,21 @@ pub struct SystemMetrics {
     pub network: NetSummary,
     /// Memory-channel behaviour.
     pub memory: MemSummary,
+    /// Total cycles fetch engines spent waiting for L1-I fills (summed
+    /// over active cores; the first per-request counter, PR 5).
+    pub ifetch_fill_wait_cycles: u64,
+    /// Fetch-to-retire latency per 64-instruction block, merged over
+    /// active cores.
+    pub block_latency: TailSummary,
+    /// End-to-end L1 miss-to-fill latency (core request leaving the chip
+    /// model to the data packet dispatching back into the core).
+    pub fill_latency: TailSummary,
+    /// LLC miss-to-fill latency per memory-bound MSHR, merged over tiles.
+    pub llc_miss_latency: TailSummary,
+    /// End-to-end service latency of open-loop requests (arrival to
+    /// completion, including queueing delay); all-zero for closed-loop
+    /// workloads.
+    pub request_latency: TailSummary,
 }
 
 impl SystemMetrics {
@@ -118,6 +168,14 @@ pub struct NetSummary {
     pub buffer_reads: u64,
     /// Crossbar traversals.
     pub xbar_traversals: u64,
+    /// Request-class packet latency distribution (GetS/GetX).
+    pub request_tail: TailSummary,
+    /// Snoop-class packet latency distribution.
+    pub snoop_tail: TailSummary,
+    /// Response-class packet latency distribution (data/acks) — the
+    /// class whose serialization latency the paper's Fig. 9 argument
+    /// rests on.
+    pub response_tail: TailSummary,
 }
 
 /// Memory-channel statistics for the window.
@@ -150,7 +208,25 @@ mod tests {
             },
             network: NetSummary::default(),
             memory: MemSummary::default(),
+            ifetch_fill_wait_cycles: 0,
+            block_latency: TailSummary::default(),
+            fill_latency: TailSummary::default(),
+            llc_miss_latency: TailSummary::default(),
+            request_latency: TailSummary::default(),
         }
+    }
+
+    #[test]
+    fn tail_summary_of_histogram() {
+        let mut h = LatencyHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let t = TailSummary::of(&h);
+        assert_eq!(t.count, 1000);
+        assert!(t.p50 <= t.p99 && t.p99 <= t.p999);
+        assert!(t.p99 >= 990 && t.p999 >= 999);
+        assert!((t.mean - 500.5).abs() < 1e-9);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::source::{FetchedInstr, InstrBlock, InstructionSource, Op};
 use nocout_mem::addr::Addr;
 use nocout_mem::l1::{L1Access, L1Cache, L1Config};
 use nocout_mem::protocol::AccessKind;
-use nocout_sim::stats::Counter;
+use nocout_sim::stats::{Counter, LatencyHist};
 use nocout_sim::Cycle;
 
 /// Sentinel line index for "no line" (no resolved fetch line, no stall).
@@ -84,6 +84,10 @@ pub struct CoreStats {
     /// that cleared it (the interconnect round-trip latency the fetch
     /// engine actually observed, summed over all stalls).
     pub ifetch_fill_wait_cycles: Counter,
+    /// Fetch-to-retire latency per [`crate::source::BLOCK_CAP`]-instruction
+    /// block: dispatch of instruction `64k` to retirement of instruction
+    /// `64k+63`. Purely observational — see `docs/service-level-metrics.md`.
+    pub block_latency: LatencyHist,
 }
 
 impl CoreStats {
@@ -172,6 +176,20 @@ pub struct Core {
     /// core does not use the tags; the buffer exists so fills allocate
     /// nothing).
     waiter_scratch: Vec<u64>,
+    /// Whether block fetch-to-retire latencies are recorded into
+    /// [`CoreStats::block_latency`]. Observational only: with recording
+    /// off the cycle-by-cycle architectural state is bit-identical.
+    record_tails: bool,
+    /// Instructions dispatched since construction (not reset at the
+    /// warmup boundary: block mark positions are keyed by absolute
+    /// sequence numbers).
+    dispatched: u64,
+    /// Instructions retired since construction.
+    retired_seq: u64,
+    /// Dispatch timestamps of in-flight block marks, indexed by
+    /// `(sequence / 64) % 4`. The ROB retires in order and holds at most
+    /// 64 instructions, so at most two marks are ever in flight.
+    block_marks: [Cycle; 4],
     /// Per-core statistics.
     pub stats: CoreStats,
 }
@@ -193,8 +211,42 @@ impl Core {
             staged: None,
             block: InstrBlock::new(),
             waiter_scratch: Vec::with_capacity(cfg.lsq_entries),
+            record_tails: true,
+            dispatched: 0,
+            retired_seq: 0,
+            block_marks: [Cycle::ZERO; 4],
             stats: CoreStats::default(),
         }
+    }
+
+    /// Enables or disables block fetch-to-retire latency recording
+    /// (default on). Recording is observational: toggling it changes no
+    /// architectural state, RNG draw, or event, only whether
+    /// [`CoreStats::block_latency`] fills in. Toggle only between runs —
+    /// marks set while disabled are never recorded.
+    pub fn set_tail_recording(&mut self, on: bool) {
+        self.record_tails = on;
+    }
+
+    /// Marks block boundaries at dispatch: instruction `64k` stamps the
+    /// current cycle into the mark ring.
+    #[inline]
+    fn note_dispatch(&mut self, now: Cycle) {
+        if self.dispatched.is_multiple_of(64) && self.record_tails {
+            self.block_marks[(self.dispatched / 64 % 4) as usize] = now;
+        }
+        self.dispatched += 1;
+    }
+
+    /// Completes a block at retire: instruction `64k+63` records the
+    /// elapsed cycles since its block's dispatch mark.
+    #[inline]
+    fn note_retire(&mut self, now: Cycle) {
+        if self.retired_seq % 64 == 63 && self.record_tails {
+            let start = self.block_marks[(self.retired_seq / 64 % 4) as usize];
+            self.stats.block_latency.record(now.raw() - start.raw());
+        }
+        self.retired_seq += 1;
     }
 
     /// The configuration.
@@ -302,6 +354,7 @@ impl Core {
             if slot.retirable(now) {
                 self.rob.pop_front();
                 self.stats.retired.incr();
+                self.note_retire(now);
                 retired += 1;
             } else {
                 if retired == 0 && slot.is_waiting() {
@@ -400,6 +453,9 @@ impl Core {
                     }
                 }
             }
+            // Reached only when the instruction actually entered the ROB
+            // this cycle (every non-dispatch path above returns).
+            self.note_dispatch(now);
         }
     }
 

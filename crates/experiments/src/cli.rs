@@ -34,7 +34,7 @@
 use nocout::cache::ResultsCache;
 use nocout::runner::BatchRunner;
 use nocout_workloads::trace::TraceSet;
-use nocout_workloads::{Workload, WorkloadClass};
+use nocout_workloads::{OpenLoopSpec, Workload, WorkloadClass};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
@@ -267,7 +267,10 @@ impl FaultArgs {
 /// The forms a workload-class value can take, for error messages: every
 /// synthetic profile name, plus the `trace:PATH` replay form.
 pub fn workload_forms() -> String {
-    format!("{}, or trace:PATH", workload_names().join("|"))
+    format!(
+        "{}, trace:PATH, or openloop:WORKLOAD:INTERVAL:SERVICE",
+        workload_names().join("|")
+    )
 }
 
 /// Parses a workload-class CLI value: a synthetic profile name
@@ -288,6 +291,9 @@ pub fn parse_workload_class(value: &str) -> Result<WorkloadClass, String> {
             .map(WorkloadClass::from)
             .map_err(|e| format!("cannot load trace `{path}`: {e}"));
     }
+    if value.starts_with("openloop:") {
+        return parse_openloop(value).map(WorkloadClass::from);
+    }
     parse_workload(value)
         .map(WorkloadClass::from)
         .ok_or_else(|| {
@@ -296,6 +302,42 @@ pub fn parse_workload_class(value: &str) -> Result<WorkloadClass, String> {
                 workload_forms()
             )
         })
+}
+
+/// Parses the `openloop:WORKLOAD:INTERVAL:SERVICE` form. WORKLOAD is a
+/// synthetic profile in either CLI (`data-serving`) or canonical
+/// (`DataServing`) spelling; INTERVAL is the per-core request
+/// inter-arrival time in cycles; SERVICE is the instructions per
+/// request. Both numbers must be positive.
+fn parse_openloop(value: &str) -> Result<OpenLoopSpec, String> {
+    let bad = || {
+        format!(
+            "`{value}` is not an open-loop workload \
+             (expected openloop:WORKLOAD:INTERVAL:SERVICE, e.g. \
+             openloop:data-serving:200:64)"
+        )
+    };
+    let rest = value.strip_prefix("openloop:").unwrap_or(value);
+    let mut parts = rest.split(':');
+    let name = parts.next().ok_or_else(bad)?;
+    let workload = parse_workload(name)
+        .or_else(|| Workload::from_key(name))
+        .ok_or_else(|| {
+            format!(
+                "`{name}` is not a workload in `{value}` (expected one of {})",
+                workload_names().join("|")
+            )
+        })?;
+    let interval: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    let service_instrs: u32 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+    if parts.next().is_some() || interval == 0 || service_instrs == 0 {
+        return Err(bad());
+    }
+    Ok(OpenLoopSpec {
+        workload,
+        interval,
+        service_instrs,
+    })
 }
 
 /// Parses a workload CLI name (`data-serving`, `web-search`, ...).
@@ -401,8 +443,39 @@ mod tests {
             class_err,
             "`nope` is not a workload (expected one of \
              data-serving|mapreduce-c|mapreduce-w|sat-solver|web-frontend|web-search, \
-             or trace:PATH)"
+             trace:PATH, or openloop:WORKLOAD:INTERVAL:SERVICE)"
         );
+    }
+
+    #[test]
+    fn workload_class_parses_openloop_form() {
+        for value in ["openloop:data-serving:200:64", "openloop:DataServing:200:64"] {
+            let class = parse_workload_class(value).expect(value);
+            match class {
+                WorkloadClass::OpenLoop(s) => {
+                    assert_eq!(s.workload, Workload::DataServing);
+                    assert_eq!(s.interval, 200);
+                    assert_eq!(s.service_instrs, 64);
+                }
+                other => panic!("{value} parsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_openloop_values_are_rejected_with_the_form() {
+        for value in [
+            "openloop:data-serving",
+            "openloop:data-serving:0:64",
+            "openloop:data-serving:200:0",
+            "openloop:data-serving:200:64:extra",
+            "openloop:data-serving:many:64",
+        ] {
+            let err = parse_workload_class(value).unwrap_err();
+            assert!(err.contains("openloop:WORKLOAD:INTERVAL:SERVICE"), "{value}: {err}");
+        }
+        let err = parse_workload_class("openloop:nope:200:64").unwrap_err();
+        assert!(err.contains("`nope` is not a workload"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::cache::{CacheArray, CacheGeometry, Lookup};
 use crate::directory::{DirState, Directory};
 use crate::protocol::{CoreId, MshrId, RequestKind, TxnId};
 use nocout_sim::ring::Ring;
-use nocout_sim::stats::Counter;
+use nocout_sim::stats::{Counter, LatencyHist};
 use nocout_sim::Cycle;
 use std::collections::VecDeque;
 
@@ -497,6 +497,10 @@ pub struct LlcStats {
     pub mem_writes: Counter,
     /// Cycles any request waited because all banks were busy, summed.
     pub bank_wait_cycles: Counter,
+    /// Miss-to-fill latency per memory-bound MSHR: allocation of an MSHR
+    /// with a pending memory fetch to the cycle its waiters' data is
+    /// emitted. Observational only (see `docs/service-level-metrics.md`).
+    pub miss_latency: LatencyHist,
 }
 
 impl LlcStats {
@@ -562,6 +566,14 @@ pub struct LlcTile {
     mshrs: TileMshrFile,
     out: OutputWheel<LlcOutput>,
     waiter_scratch: Vec<LlcWaiter>,
+    /// Allocation cycle per MSHR slot for miss-to-fill recording
+    /// (`u64::MAX` = not a memory-bound allocation / recording off).
+    /// Indexed by the slot half of [`MshrId`]; grows only when the MSHR
+    /// file itself grows.
+    mshr_born: Vec<u64>,
+    /// Whether miss-to-fill latencies are recorded into
+    /// [`LlcStats::miss_latency`]. Observational only.
+    record_tails: bool,
     /// Tile statistics.
     pub stats: LlcStats,
 }
@@ -587,8 +599,17 @@ impl LlcTile {
             mshrs: TileMshrFile::new(cfg.mshr_capacity),
             out: OutputWheel::new(cfg.access_latency.max(1)),
             waiter_scratch: Vec::new(),
+            mshr_born: vec![u64::MAX; cfg.mshr_capacity],
+            record_tails: true,
             stats: LlcStats::default(),
         }
+    }
+
+    /// Enables or disables miss-to-fill latency recording (default on).
+    /// Observational: toggling changes no protocol state or event timing,
+    /// only whether [`LlcStats::miss_latency`] fills in.
+    pub fn set_tail_recording(&mut self, on: bool) {
+        self.record_tails = on;
     }
 
     /// The configuration.
@@ -828,6 +849,18 @@ impl LlcTile {
             self.stats.hits.incr();
         }
         let mid = self.mshrs.alloc(line, pending_acks, !hit);
+        // Stamp the slot's birth cycle for miss-to-fill recording; an
+        // ack-only allocation explicitly clears any stale stamp a prior
+        // occupant of the reused slot left behind.
+        let slot = (mid.0 & 0xFFFF) as usize;
+        if slot >= self.mshr_born.len() {
+            self.mshr_born.resize(slot + 1, u64::MAX);
+        }
+        self.mshr_born[slot] = if !hit && self.record_tails {
+            done.raw()
+        } else {
+            u64::MAX
+        };
         self.mshrs.push_waiter(mid, (txn, core, kind));
         if pending_acks > 0 {
             self.stats.snooping_accesses.incr();
@@ -907,6 +940,13 @@ impl LlcTile {
             self.waiter_scratch = waiters;
             return;
         };
+        let slot = (mshr.0 & 0xFFFF) as usize;
+        if let Some(born) = self.mshr_born.get_mut(slot) {
+            if *born != u64::MAX {
+                self.stats.miss_latency.record(at.raw() - *born);
+                *born = u64::MAX;
+            }
+        }
         let any_write = waiters.iter().any(|&(_, _, k)| k == RequestKind::GetX);
         for &(txn, core, _) in &waiters {
             self.emit(at, LlcOutput::Data { txn, to: core });

@@ -5,7 +5,7 @@
 //! traversals, link millimetres) and queue pressure.
 
 use crate::types::{MessageClass, CLASS_COUNT};
-use nocout_sim::stats::{Counter, Log2Histogram, RunningStats};
+use nocout_sim::stats::{Counter, LatencyHist, Log2Histogram, RunningStats};
 
 /// Aggregated statistics for one network over the measurement window.
 #[derive(Debug, Default)]
@@ -22,6 +22,10 @@ pub struct NetStats {
     pub latency_hist: Log2Histogram,
     /// Latency split per message class.
     pub per_class_latency: [RunningStats; CLASS_COUNT],
+    /// Fine-grained latency distribution per message class (log-linear
+    /// buckets, tight enough for p99/p999 — the coarse `latency_hist`
+    /// stays for order-of-magnitude tail shape).
+    pub tail_hists: [LatencyHist; CLASS_COUNT],
     /// Total flit link traversals (router-to-router and ejection links).
     pub flit_hops: Counter,
     /// Total link distance travelled by flits, in flit·mm (drives link
@@ -50,6 +54,12 @@ impl NetStats {
         self.latency.record(latency as f64);
         self.latency_hist.record(latency);
         self.per_class_latency[class.vc()].record(latency as f64);
+        self.tail_hists[class.vc()].record(latency);
+    }
+
+    /// The latency distribution for one message class.
+    pub fn class_tail(&self, class: MessageClass) -> &LatencyHist {
+        &self.tail_hists[class.vc()]
     }
 
     /// Mean end-to-end packet latency in cycles.

@@ -253,6 +253,16 @@ impl Log2Histogram {
 
     /// Approximate percentile (`q` in `[0,1]`): upper bound of the bucket
     /// containing the q-quantile sample. Returns 0 when empty.
+    ///
+    /// # Error bound
+    ///
+    /// Buckets are whole powers of two, so the returned value can exceed
+    /// the exact q-quantile sample by up to **2×** (the true sample may sit
+    /// anywhere in `[2^(i-1), 2^i)` while this returns `2^i`). That is fine
+    /// for order-of-magnitude tail shape but far too coarse for p99/p999
+    /// reporting — new callers that publish percentiles should record into
+    /// [`LatencyHist`] instead, whose log-linear buckets bound the relative
+    /// error at 1/32 (~3%).
     pub fn percentile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -281,6 +291,175 @@ impl Log2Histogram {
     /// Resets the histogram.
     pub fn reset(&mut self) {
         *self = Log2Histogram::new();
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two major bucket in
+/// [`LatencyHist`] (as a shift): 2^5 = 32 sub-buckets.
+const SUB_BITS: usize = 5;
+/// Sub-buckets per major bucket.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: values below `SUBS` get an exact bucket each, and
+/// every wider power-of-two range `[2^m, 2^(m+1))` for `m in SUB_BITS..64`
+/// is split into `SUBS` equal-width sub-buckets.
+const LAT_BUCKETS: usize = SUBS * (64 - SUB_BITS + 1);
+
+/// A fixed-capacity log-linear latency histogram: power-of-two major
+/// buckets, each split into 32 linear sub-buckets.
+///
+/// This is the service-level companion to [`Log2Histogram`]: same
+/// recording cost (a handful of ALU ops and one array increment, zero
+/// steady-state allocation), but the relative quantile error is bounded
+/// at **1/32 (~3%)** instead of 2×, tight enough to report p99/p999.
+/// Values below 32 are recorded exactly. Histograms merge by bucket-wise
+/// addition, so per-core/per-tile histograms compose into chip-wide
+/// distributions without losing tail resolution.
+///
+/// [`percentile`](LatencyHist::percentile) returns the *upper bound* of
+/// the bucket holding the q-quantile sample (rank `ceil(q·total)`,
+/// minimum 1), so the result never under-reports the true quantile and
+/// over-reports it by at most a factor of 33/32.
+///
+/// # Examples
+///
+/// ```
+/// use nocout_sim::stats::LatencyHist;
+///
+/// let mut h = LatencyHist::new();
+/// for x in 1..=1000u64 {
+///     h.record(x);
+/// }
+/// let p99 = h.percentile(0.99);
+/// assert!(p99 >= 990 && p99 <= 990 * 33 / 32);
+/// ```
+#[derive(Clone)]
+pub struct LatencyHist {
+    buckets: Box<[u64; LAT_BUCKETS]>,
+    total: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist::new()
+    }
+}
+
+impl LatencyHist {
+    /// Creates an empty histogram. This is the only allocation the
+    /// histogram ever performs; `record`/`merge`/`reset` are in-place.
+    pub fn new() -> Self {
+        LatencyHist {
+            buckets: Box::new([0; LAT_BUCKETS]),
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Bucket index of `v`.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SUBS as u64 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros() as usize;
+            let shift = msb - SUB_BITS;
+            SUBS + (shift << SUB_BITS) + ((v >> shift) as usize & (SUBS - 1))
+        }
+    }
+
+    /// Largest value that falls into bucket `i` (saturating at
+    /// `u64::MAX` for the final bucket).
+    fn bucket_upper(i: usize) -> u64 {
+        if i < SUBS {
+            i as u64
+        } else {
+            let m = (i - SUBS) >> SUB_BITS;
+            let sub = (i - SUBS) & (SUBS - 1);
+            let upper = (((SUBS + sub + 1) as u128) << m) - 1;
+            upper.min(u64::MAX as u128) as u64
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Approximate percentile (`q` in `[0,1]`): the upper bound of the
+    /// bucket containing the sample of rank `ceil(q·total)` (minimum
+    /// rank 1). Returns 0 when empty. Never below the exact quantile,
+    /// above it by at most a factor of 33/32.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if b > 0 && seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one: bucket-wise addition, so
+    /// the result is exactly the histogram of the concatenated sample
+    /// streams.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Iterates over `(bucket_upper_bound, count)` pairs for non-empty
+    /// buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
+    }
+
+    /// Resets the histogram in place (no reallocation).
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.total = 0;
+        self.sum = 0;
+    }
+}
+
+impl fmt::Debug for LatencyHist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyHist")
+            .field("total", &self.total)
+            .field("mean", &self.mean())
+            .field("p50", &self.percentile(0.5))
+            .field("p99", &self.percentile(0.99))
+            .field("p999", &self.percentile(0.999))
+            .finish()
     }
 }
 
@@ -448,6 +627,81 @@ mod tests {
         let p99 = h.percentile(0.99);
         assert!(p50 <= p99);
         assert!((256..=1024).contains(&p50));
+    }
+
+    #[test]
+    fn latency_hist_small_values_are_exact() {
+        let mut h = LatencyHist::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 32);
+        // Every value below 32 has its own bucket: quantiles are exact.
+        for v in 0..32u64 {
+            let q = (v + 1) as f64 / 32.0;
+            assert_eq!(h.percentile(q), v, "q={q}");
+        }
+    }
+
+    #[test]
+    fn latency_hist_percentile_brackets_exact_quantile() {
+        let mut h = LatencyHist::new();
+        let samples: Vec<u64> = (0..5000u64).map(|i| i * i % 1_000_003).collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let approx = h.percentile(q);
+            assert!(approx >= exact, "q={q}: {approx} < {exact}");
+            assert!(
+                approx as f64 <= exact as f64 * 33.0 / 32.0,
+                "q={q}: {approx} too far above {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_hist_merge_is_concat() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut whole = LatencyHist::new();
+        for v in 0..2000u64 {
+            let x = v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.25, 0.5, 0.99, 0.999] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn latency_hist_reset_and_extremes() {
+        let mut h = LatencyHist::new();
+        assert_eq!(h.percentile(0.5), 0);
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.percentile(0.999), 0);
+        // Bucket boundaries round-trip: the upper bound of the bucket a
+        // value lands in is never below the value.
+        for v in [31, 32, 33, 63, 64, 65, 1 << 20, (1 << 40) + 12345] {
+            h.record(v);
+            assert!(h.percentile(1.0) >= v);
+            h.reset();
+        }
     }
 
     #[test]

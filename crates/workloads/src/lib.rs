@@ -26,10 +26,12 @@
 
 pub mod characterize;
 pub mod gen;
+pub mod openloop;
 pub mod profile;
 pub mod trace;
 
 pub use characterize::{characterize, Characterization};
 pub use gen::WorkloadGen;
+pub use openloop::{OpenLoopSource, OpenLoopSpec};
 pub use profile::{Workload, WorkloadProfile};
 pub use trace::{TraceSet, TraceSource, TraceWriter, WorkloadClass};

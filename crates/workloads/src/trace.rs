@@ -17,6 +17,7 @@
 //! profile ([`Workload`]) or a captured trace (`trace:PATH` on every
 //! experiment CLI).
 
+use crate::openloop::OpenLoopSpec;
 use crate::profile::{Workload, WorkloadProfile};
 use nocout_cpu::source::{FetchedInstr, InstructionSource, Op};
 use nocout_mem::addr::Addr;
@@ -566,15 +567,21 @@ pub enum WorkloadClass {
     Synthetic(Workload),
     /// A captured trace directory (`trace:PATH` on the experiment CLIs).
     Trace(Arc<TraceSet>),
+    /// A synthetic profile driven by an open-loop arrival schedule
+    /// (`openloop:WORKLOAD:INTERVAL:SERVICE` on the experiment CLIs).
+    OpenLoop(OpenLoopSpec),
 }
 
 impl WorkloadClass {
     /// Whether runs of this class vary with the run spec's seed.
-    /// Synthetic generators are seeded; trace replay is literal — the
-    /// seed changes nothing, so campaign layers collapse seed
-    /// replication of trace points to a single run.
+    /// Synthetic generators are seeded (open-loop service streams too);
+    /// trace replay is literal — the seed changes nothing, so campaign
+    /// layers collapse seed replication of trace points to a single run.
     pub fn is_seed_sensitive(&self) -> bool {
-        matches!(self, WorkloadClass::Synthetic(_))
+        matches!(
+            self,
+            WorkloadClass::Synthetic(_) | WorkloadClass::OpenLoop(_)
+        )
     }
 
     /// Display name (profile name, or the trace directory).
@@ -582,6 +589,12 @@ impl WorkloadClass {
         match self {
             WorkloadClass::Synthetic(w) => w.name().to_string(),
             WorkloadClass::Trace(t) => format!("trace:{}", t.dir().display()),
+            WorkloadClass::OpenLoop(s) => format!(
+                "{} open-loop 1/{}c x{}",
+                s.workload.name(),
+                s.interval,
+                s.service_instrs
+            ),
         }
     }
 
@@ -602,7 +615,14 @@ impl WorkloadClass {
                 t.streams(),
                 t.total_instructions()
             ),
+            WorkloadClass::OpenLoop(s) => s.token(),
         }
+    }
+}
+
+impl From<OpenLoopSpec> for WorkloadClass {
+    fn from(s: OpenLoopSpec) -> Self {
+        WorkloadClass::OpenLoop(s)
     }
 }
 
@@ -625,6 +645,7 @@ impl PartialEq for WorkloadClass {
             (WorkloadClass::Trace(a), WorkloadClass::Trace(b)) => {
                 a.content_hash() == b.content_hash()
             }
+            (WorkloadClass::OpenLoop(a), WorkloadClass::OpenLoop(b)) => a == b,
             _ => false,
         }
     }

@@ -146,6 +146,39 @@ fn run_for_fast_forward_is_bit_identical() {
     }
 }
 
+/// Service-level tail recording is purely observational: a run with
+/// recording disabled produces bit-identical legacy metrics to one with
+/// it enabled (the default). The tail histograms may only ever *read*
+/// the simulation — never touch RNG draws, event order, or arbitration
+/// state.
+#[test]
+fn tail_recording_does_not_perturb_simulation() {
+    for org in [Organization::Mesh, Organization::NocOut] {
+        for (workload, seed) in [(Workload::WebSearch, 1u64), (Workload::DataServing, 7)] {
+            let cfg = ChipConfig::paper(org);
+            let mut recording = ScaleOutChip::new(cfg, workload, seed);
+            let mut silent = ScaleOutChip::new(cfg, workload, seed);
+            silent.set_tail_recording(false);
+            recording.run_for(2_000);
+            silent.run_for(2_000);
+            recording.reset_stats();
+            silent.reset_stats();
+            recording.run_for(6_000);
+            silent.run_for(6_000);
+            let (rm, sm) = (recording.metrics(), silent.metrics());
+            let ctx = format!("{org} {workload:?} seed {seed}");
+            assert_metrics_identical(&rm, &sm, &ctx);
+            // The recording run actually measured something...
+            assert!(rm.block_latency.count > 0, "{ctx}: no blocks recorded");
+            assert!(rm.fill_latency.count > 0, "{ctx}: no fills recorded");
+            // ...and the silent run recorded nothing in the gated hists.
+            assert_eq!(sm.block_latency.count, 0, "{ctx}");
+            assert_eq!(sm.fill_latency.count, 0, "{ctx}");
+            assert_eq!(sm.llc_miss_latency.count, 0, "{ctx}");
+        }
+    }
+}
+
 /// A chip with few active cores (the paper's common case: a 16-core
 /// workload on a 64-tile die) must still drain all traffic through the
 /// active sets — nothing gets stranded by the idle fast-path.

@@ -1,0 +1,109 @@
+//! Property-based tests for [`LatencyHist`] against a sorted-`Vec`
+//! oracle: the histogram's percentiles must bracket the exact rank
+//! statistic within the documented 1/32 relative error bound, and merge
+//! must equal recording the concatenated sample stream.
+//!
+//! This is the structure-level half of the service-level-metrics proof
+//! (the chip-level half is the lockstep test in
+//! `tests/chip_event_determinism.rs`: recording must not perturb the
+//! simulation).
+
+use nocout_repro::substrates::sim::stats::LatencyHist;
+use proptest::prelude::*;
+
+/// The exact q-quantile under the histogram's rank convention:
+/// rank = max(ceil(q * n), 1), value = sorted[rank - 1].
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// A latency sample: mostly small values (dense linear buckets), some
+/// mid-range, and occasional full-range values exercising the top
+/// log-linear buckets.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..64, 0u64..100_000, 0u64..u64::MAX]
+}
+
+const QUANTILES: [f64; 5] = [0.01, 0.5, 0.9, 0.99, 0.999];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Every percentile is never below the exact quantile and at most
+    // a factor 33/32 above it (the log-linear bucket width bound).
+    #[test]
+    fn percentiles_bracket_the_sorted_oracle(
+        samples in prop::collection::vec(sample(), 1..500)
+    ) {
+        let mut h = LatencyHist::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        for q in QUANTILES {
+            let exact = exact_percentile(&sorted, q);
+            let approx = h.percentile(q);
+            prop_assert!(approx >= exact, "q={q}: approx {approx} < exact {exact}");
+            prop_assert!(
+                (approx as u128) * 32 <= (exact as u128) * 33 + 32,
+                "q={q}: approx {approx} > exact {exact} * 33/32"
+            );
+        }
+    }
+
+    // Merging two histograms is indistinguishable from recording the
+    // concatenated stream: same totals, same mean bits, same buckets
+    // (hence same percentiles at every q).
+    #[test]
+    fn merge_equals_concatenation(
+        a in prop::collection::vec(sample(), 0..300),
+        b in prop::collection::vec(sample(), 0..300),
+    ) {
+        let mut ha = LatencyHist::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = LatencyHist::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut hc = LatencyHist::new();
+        for &v in a.iter().chain(&b) {
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.total(), hc.total());
+        prop_assert_eq!(ha.mean().to_bits(), hc.mean().to_bits());
+        for q in QUANTILES {
+            prop_assert_eq!(ha.percentile(q), hc.percentile(q), "q={}", q);
+        }
+    }
+
+    // `reset` returns the histogram to the freshly-constructed state:
+    // a reset-then-record run matches a fresh histogram exactly.
+    #[test]
+    fn reset_is_a_fresh_start(
+        first in prop::collection::vec(sample(), 0..200),
+        second in prop::collection::vec(sample(), 0..200),
+    ) {
+        let mut reused = LatencyHist::new();
+        for &v in &first {
+            reused.record(v);
+        }
+        reused.reset();
+        prop_assert_eq!(reused.total(), 0);
+        let mut fresh = LatencyHist::new();
+        for &v in &second {
+            reused.record(v);
+            fresh.record(v);
+        }
+        prop_assert_eq!(reused.total(), fresh.total());
+        prop_assert_eq!(reused.mean().to_bits(), fresh.mean().to_bits());
+        for q in QUANTILES {
+            prop_assert_eq!(reused.percentile(q), fresh.percentile(q), "q={}", q);
+        }
+    }
+}
