@@ -294,6 +294,12 @@ pub(crate) fn render_entry(key: &str, m: &SystemMetrics) -> String {
 /// Parses [`render_entry`] output, verifying the embedded key against
 /// `expected_key`; any mismatch, truncation or malformed field is `None`.
 pub(crate) fn parse_entry(text: &str, expected_key: &str) -> Option<SystemMetrics> {
+    // Every writer (cache file, journal body, wire record) emits a
+    // newline-terminated final line; text truncated mid-value on the last
+    // line would otherwise still parse as a valid, wrong number.
+    if !text.ends_with('\n') {
+        return None;
+    }
     let mut lines = text.lines();
     if lines.next()? != FORMAT {
         return None;

@@ -8,6 +8,19 @@
 //! execute on worker endpoints ([`Endpoint::Tcp`] peers, or
 //! [`Endpoint::Process`] workers the driver spawns itself).
 //!
+//! ## Trace shipping and capability-aware placement
+//!
+//! Trace workloads travel by content hash (`trace@<contenthash>` on the
+//! wire), never by path. Each connection opens with the
+//! `Hello`/`HelloAck` capability handshake, which tells the driver the
+//! worker's core count, whether it has a `--trace-store`, and which
+//! trace hashes the store holds. Shard placement prefers endpoints
+//! already holding a shard's traces ([`DriverStats::trace_reuses`]);
+//! otherwise the driver ships the archive ahead of the shard request in
+//! [`DriverConfig::chunk_bytes`] chunks ([`DriverStats::trace_ships`]),
+//! resuming interrupted transfers from the worker-reported staged
+//! length ([`DriverStats::trace_resume_bytes`]).
+//!
 //! ## Failure model
 //!
 //! * **Dead or silent worker** — every read carries the
@@ -25,27 +38,56 @@
 //! * **Flaky endpoint** — an endpoint that fails
 //!   [`DriverConfig::endpoint_failure_limit`] consecutive attempts
 //!   retires; its queued work drains to the survivors.
+//! * **Trace provisioning failure** — an endpoint with no trace store,
+//!   or one that repeatedly fails trace transfers
+//!   ([`DriverConfig::endpoint_failure_limit`] consecutive times), is
+//!   retired from *trace-bearing* shards only: it stays eligible for
+//!   synthetic/open-loop points. When no trace-capable endpoint
+//!   remains, pending trace shards degrade into [`PointError`]s while
+//!   the rest of the campaign continues.
 //! * **Exhausted retries / no survivors** — the affected points degrade
 //!   into [`PointError`]s naming the last transport error; the campaign
 //!   completes and reports them in its failed set instead of aborting.
+//! * **Dispatcher panic** — a panicking dispatcher thread is contained
+//!   with `catch_unwind`: its in-flight shard fails (and retries
+//!   elsewhere), its endpoint retires, and the shared state's locks are
+//!   poison-tolerant, so the campaign thread never inherits the panic.
 //! * **Driver crash** — with [`DriverConfig::journal`], every completed
 //!   point is journaled (flushed per record); `resume: true` replays the
 //!   journal and dispatches only what it does not cover
 //!   (`super::journal`).
 
 use super::journal::{Journal, JournalRecord};
-use super::wire::{read_frame, write_frame, Message, WireError};
+use super::store::archive_trace;
+use super::wire::{
+    encode_frame, read_frame, write_frame, Message, WireError, VERSION,
+};
 use crate::cache::{parse_entry, render_entry};
 use crate::campaign::CampaignExecutor;
-use crate::runner::{PointError, PointOutcome, RunSpec};
+use crate::runner::{panic_message, PointError, PointOutcome, RunSpec};
 use nocout_sim::rng::SimRng;
-use std::collections::HashMap;
-use std::io::BufRead;
+use nocout_workloads::trace::TraceSet;
+use nocout_workloads::WorkloadClass;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::{self, BufRead, Read as _, Write as _};
 use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, tolerating poisoning: a panicking dispatcher thread
+/// must degrade its shard, not cascade a `PoisonError` panic into every
+/// other dispatcher and the campaign thread. The guarded state stays
+/// consistent across a poison because every mutation below is
+/// single-assignment per point/shard (no multi-step invariants span an
+/// unlock).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Where a worker lives.
 #[derive(Debug, Clone)]
@@ -63,6 +105,53 @@ pub enum Endpoint {
         args: Vec<String>,
     },
 }
+
+/// A typed worker-endpoint failure: names the worker binary and carries
+/// its captured stderr, so a bad `--worker-bin` degrades points with a
+/// diagnosable message instead of panicking the driver.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The worker process failed to spawn at all.
+    WorkerSpawn {
+        /// The worker executable that failed.
+        program: PathBuf,
+        /// The underlying spawn error.
+        error: io::Error,
+    },
+    /// The spawned worker never announced `listening <addr>` on stdout.
+    WorkerBanner {
+        /// The worker executable that misbehaved.
+        program: PathBuf,
+        /// What the worker printed instead (possibly empty).
+        banner: String,
+        /// The worker's captured stderr (its own diagnosis, e.g. an
+        /// unknown flag or an unbindable address).
+        stderr: String,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::WorkerSpawn { program, error } => {
+                write!(f, "cannot spawn worker `{}`: {error}", program.display())
+            }
+            DriverError::WorkerBanner { program, banner, stderr } => {
+                write!(
+                    f,
+                    "worker `{}` did not announce its address (got `{banner}`)",
+                    program.display()
+                )?;
+                if !stderr.trim().is_empty() {
+                    write!(f, "; its stderr: {}", stderr.trim())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// Tuning knobs of the sharded driver. The defaults suit local process
 /// pools on a loaded machine: generous timeouts, fast first retry.
@@ -90,8 +179,20 @@ pub struct DriverConfig {
     /// in flight this long and an endpoint is idle. `None` disables
     /// speculation.
     pub speculate_after: Option<Duration>,
-    /// Consecutive failed attempts after which an endpoint retires.
+    /// Consecutive failed attempts after which an endpoint retires (and,
+    /// separately, consecutive failed *trace provisionings* after which
+    /// an endpoint is retired from trace-bearing shards only).
     pub endpoint_failure_limit: u32,
+    /// Trace archive bytes per [`Message::TraceChunk`] frame. The
+    /// default (4 MiB) keeps frames far under the wire's payload bound;
+    /// tests shrink it to force multi-chunk transfers.
+    pub chunk_bytes: usize,
+    /// Deterministic chaos: flip one payload byte of the N-th outbound
+    /// trace chunk (0-based, counted across the whole execution) after
+    /// its digest is computed. The worker's frame check rejects the
+    /// chunk, the transfer fails, and the retry must resume and still
+    /// produce bit-identical results — the CI trace chaos gate.
+    pub fault_corrupt_chunk: Option<u64>,
     /// Campaign manifest journal path (`super::journal`).
     pub journal: Option<PathBuf>,
     /// Replay an existing journal instead of truncating it.
@@ -109,6 +210,8 @@ impl Default for DriverConfig {
             read_timeout: Duration::from_secs(30),
             speculate_after: None,
             endpoint_failure_limit: 3,
+            chunk_bytes: 4 * 1024 * 1024,
+            fault_corrupt_chunk: None,
             journal: None,
             resume: false,
         }
@@ -126,12 +229,21 @@ pub struct DriverStats {
     pub retries: u64,
     /// Speculative re-dispatches of stragglers.
     pub speculative: u64,
-    /// Failed shard attempts (transport or protocol errors).
+    /// Failed shard attempts (transport, protocol, or trace
+    /// provisioning errors).
     pub failed_attempts: u64,
     /// Points recovered from the journal instead of dispatched.
     pub journal_resumed: u64,
     /// Points that degraded into [`PointError`]s.
     pub failed_points: u64,
+    /// Completed trace-archive shipments to workers.
+    pub trace_ships: u64,
+    /// Trace-bearing dispatches served from a worker's already-held
+    /// store entry (no bytes shipped).
+    pub trace_reuses: u64,
+    /// Archive bytes skipped by resuming interrupted transfers from the
+    /// worker's staged partial.
+    pub trace_resume_bytes: u64,
 }
 
 /// A fault-tolerant [`CampaignExecutor`] over worker endpoints.
@@ -140,6 +252,9 @@ pub struct ShardedDriver {
     endpoints: Vec<Endpoint>,
     cfg: DriverConfig,
     last_stats: Mutex<DriverStats>,
+    /// Outbound trace chunks sent, driver-wide (drives
+    /// [`DriverConfig::fault_corrupt_chunk`]).
+    chunks_sent: AtomicU64,
 }
 
 impl ShardedDriver {
@@ -148,21 +263,23 @@ impl ShardedDriver {
     /// # Panics
     ///
     /// Panics if `endpoints` is empty or `cfg.shard_points`/
-    /// `cfg.max_attempts` is zero.
+    /// `cfg.max_attempts`/`cfg.chunk_bytes` is zero.
     pub fn new(endpoints: Vec<Endpoint>, cfg: DriverConfig) -> Self {
         assert!(!endpoints.is_empty(), "a sharded driver needs at least one endpoint");
         assert!(cfg.shard_points > 0, "shard_points must be positive");
         assert!(cfg.max_attempts > 0, "max_attempts must be positive");
+        assert!(cfg.chunk_bytes > 0, "chunk_bytes must be positive");
         ShardedDriver {
             endpoints,
             cfg,
             last_stats: Mutex::new(DriverStats::default()),
+            chunks_sent: AtomicU64::new(0),
         }
     }
 
     /// Statistics of the most recent [`CampaignExecutor::execute`] call.
     pub fn stats(&self) -> DriverStats {
-        *self.last_stats.lock().expect("stats lock")
+        *relock(&self.last_stats)
     }
 
     /// Executes the spec sequence across the endpoints; one outcome per
@@ -180,21 +297,38 @@ impl ShardedDriver {
 
         let journal = self.open_journal(specs, &mut outcomes, &mut stats);
 
+        // The hash → TraceSet registry: every trace the campaign touches,
+        // resolvable locally so any endpoint can be provisioned.
+        let mut registry: HashMap<u64, Arc<TraceSet>> = HashMap::new();
+        for spec in specs {
+            if let WorkloadClass::Trace(t) = &spec.workload {
+                registry.entry(t.content_hash()).or_insert_with(|| t.clone());
+            }
+        }
+
         // Shard the points the journal did not cover.
         let pending: Vec<usize> = (0..specs.len()).filter(|&i| outcomes[i].is_none()).collect();
         let shards: Vec<Shard> = pending
             .chunks(self.cfg.shard_points)
             .enumerate()
-            .map(|(id, indices)| Shard {
-                id: id as u64,
-                indices: indices.to_vec(),
+            .map(|(id, indices)| {
+                let mut hashes: Vec<u64> = indices
+                    .iter()
+                    .filter_map(|&i| match &specs[i].workload {
+                        WorkloadClass::Trace(t) => Some(t.content_hash()),
+                        _ => None,
+                    })
+                    .collect();
+                hashes.sort_unstable();
+                hashes.dedup();
+                Shard { id: id as u64, indices: indices.to_vec(), hashes }
             })
             .collect();
         stats.shards = shards.len() as u64;
 
         if !shards.is_empty() {
             let (addrs, mut children) = self.resolve_endpoints();
-            self.dispatch(specs, shards, &addrs, journal, &mut outcomes, &mut stats);
+            self.dispatch(specs, shards, &addrs, &registry, journal, &mut outcomes, &mut stats);
             for child in &mut children {
                 let _ = child.kill();
                 let _ = child.wait();
@@ -205,10 +339,23 @@ impl ShardedDriver {
             .iter()
             .filter(|o| matches!(o, Some(Err(_))))
             .count() as u64;
-        *self.last_stats.lock().expect("stats lock") = stats;
+        *relock(&self.last_stats) = stats;
         outcomes
             .into_iter()
-            .map(|o| o.expect("every spec resolves to an outcome"))
+            .enumerate()
+            .map(|(i, o)| {
+                // A point no dispatcher resolved (it panicked between
+                // claiming and folding) degrades instead of panicking the
+                // campaign thread.
+                o.unwrap_or_else(|| {
+                    Err(PointError {
+                        cache_key: specs[i].cache_key(),
+                        message: "dispatch ended without resolving this point \
+                                  (dispatcher failure)"
+                            .into(),
+                    })
+                })
+            })
             .collect()
     }
 
@@ -260,10 +407,7 @@ impl ShardedDriver {
                             addrs.push(addr);
                             children.push(child);
                         }
-                        Err(e) => eprintln!(
-                            "warning: worker endpoint {} failed to start: {e}",
-                            program.display()
-                        ),
+                        Err(e) => eprintln!("warning: {e}"),
                     }
                 }
             }
@@ -271,11 +415,13 @@ impl ShardedDriver {
         (addrs, children)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         specs: &[RunSpec],
         shards: Vec<Shard>,
         addrs: &[String],
+        registry: &HashMap<u64, Arc<TraceSet>>,
         journal: Option<Journal>,
         outcomes: &mut Vec<Option<PointOutcome>>,
         stats: &mut DriverStats,
@@ -304,6 +450,7 @@ impl ShardedDriver {
                         s.id,
                         ShardState {
                             indices: s.indices.clone(),
+                            hashes: s.hashes.clone(),
                             attempts: 0,
                             in_flight: 0,
                             started: None,
@@ -316,6 +463,7 @@ impl ShardedDriver {
             outcomes: std::mem::take(outcomes),
             remaining: shards.len(),
             active_endpoints: addrs.len(),
+            trace_capable_endpoints: addrs.len(),
             journal,
             stats: std::mem::take(stats),
         });
@@ -323,111 +471,409 @@ impl ShardedDriver {
 
         std::thread::scope(|scope| {
             for addr in addrs {
-                scope.spawn(|| self.endpoint_loop(addr, specs, &state, &cv));
+                scope.spawn(|| self.endpoint_loop(addr, specs, registry, &state, &cv));
             }
         });
 
-        let mut st = state.into_inner().expect("state lock");
+        let mut st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
         *outcomes = std::mem::take(&mut st.outcomes);
         *stats = st.stats;
     }
 
-    /// One endpoint's worker loop: claim a shard (fresh, retried, or
-    /// speculative), run it, and fold the result into the shared state.
+    /// One endpoint's worker loop: claim a shard it is capable of
+    /// (fresh, retried, or speculative — preferring shards whose traces
+    /// it already holds), provision and run it, and fold the result into
+    /// the shared state. A panic anywhere in the attempt is contained:
+    /// the shard fails (and retries elsewhere), the endpoint retires.
     fn endpoint_loop(
         &self,
         addr: &str,
         specs: &[RunSpec],
+        registry: &HashMap<u64, Arc<TraceSet>>,
         state: &Mutex<State>,
         cv: &Condvar,
     ) {
         let mut consecutive_failures = 0u32;
+        let mut caps = Caps::default();
         loop {
-            let Some((shard_id, shard_specs, indices)) = self.claim(specs, state, cv) else {
+            let Some((shard_id, shard_specs, indices, hashes)) =
+                self.claim(specs, state, cv, &caps)
+            else {
                 return;
             };
-            match run_shard_on(addr, shard_id, &shard_specs, self.cfg.read_timeout) {
-                Ok(results) => {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.run_shard_on(addr, shard_id, &shard_specs, &hashes, &mut caps, registry)
+            }));
+            match attempt {
+                Ok(Ok((results, report))) => {
                     consecutive_failures = 0;
-                    let mut st = state.lock().expect("state lock");
+                    caps.trace_failures = 0;
+                    let mut st = relock(state);
+                    st.stats.absorb(&report);
                     st.complete(shard_id, &indices, results, specs);
+                    self.sync_trace_capability(&mut caps, &mut st, specs);
                     cv.notify_all();
                 }
-                Err(e) => {
-                    consecutive_failures += 1;
-                    let mut st = state.lock().expect("state lock");
-                    st.fail_attempt(shard_id, &e, specs, &self.cfg);
-                    if consecutive_failures >= self.cfg.endpoint_failure_limit {
-                        st.retire_endpoint(specs);
-                        cv.notify_all();
-                        return;
+                Ok(Err(fail)) => {
+                    let mut st = relock(state);
+                    st.stats.absorb(&fail.report);
+                    st.fail_attempt(shard_id, &fail.err, specs, &self.cfg);
+                    match fail.phase {
+                        Phase::Execute => {
+                            consecutive_failures += 1;
+                            if consecutive_failures >= self.cfg.endpoint_failure_limit {
+                                st.retire_endpoint(specs, caps.trace_capable());
+                                cv.notify_all();
+                                return;
+                            }
+                        }
+                        Phase::Provision => {
+                            // Trace provisioning failures retire the
+                            // endpoint from trace-bearing shards only —
+                            // it stays eligible for synthetic points.
+                            caps.trace_failures += 1;
+                            if caps.trace_failures >= self.cfg.endpoint_failure_limit {
+                                caps.storeless_or_failed = true;
+                            }
+                        }
                     }
+                    self.sync_trace_capability(&mut caps, &mut st, specs);
                     cv.notify_all();
+                }
+                Err(panic) => {
+                    // Satellite contract: a panicking dispatcher thread
+                    // degrades its shard and retires, never cascading the
+                    // unwind into the campaign thread.
+                    let mut st = relock(state);
+                    st.fail_attempt(
+                        shard_id,
+                        &WireError::Malformed(format!(
+                            "dispatcher thread panicked: {}",
+                            panic_message(panic)
+                        )),
+                        specs,
+                        &self.cfg,
+                    );
+                    st.retire_endpoint(specs, caps.trace_capable());
+                    cv.notify_all();
+                    return;
                 }
             }
         }
     }
 
-    /// Blocks until there is a shard to run (or nothing left to do).
-    /// Returns the shard id, its specs, and their global indices.
+    /// If this endpoint has (newly) turned out trace-incapable — no
+    /// store in its handshake, or too many provisioning failures — tell
+    /// the shared state so pending trace shards can degrade once no
+    /// capable endpoint remains.
+    fn sync_trace_capability(&self, caps: &mut Caps, st: &mut State, specs: &[RunSpec]) {
+        if !caps.trace_retired && !caps.trace_capable() {
+            caps.trace_retired = true;
+            st.drop_trace_capability(specs);
+        }
+    }
+
+    /// Blocks until there is a shard this endpoint can run (or nothing
+    /// left to do). Returns the shard id, its specs, their global
+    /// indices, and the trace hashes the shard needs.
     fn claim(
         &self,
         specs: &[RunSpec],
         state: &Mutex<State>,
         cv: &Condvar,
-    ) -> Option<(u64, Vec<RunSpec>, Vec<usize>)> {
-        let mut st = state.lock().expect("state lock");
+        caps: &Caps,
+    ) -> Option<ClaimedShard> {
+        let mut st = relock(state);
         loop {
             if st.remaining == 0 {
                 return None;
             }
             let now = Instant::now();
             let stx = &mut *st;
-            // Fresh or retried work first.
-            if let Some(pos) = stx.queue.iter().position(|&(ready, _)| ready <= now) {
+            // Fresh or retried work first: prefer shards whose traces
+            // this endpoint already holds, then trace-free shards, then
+            // (if trace-capable) shards that need a shipment.
+            let mut held_pos = None;
+            let mut free_pos = None;
+            let mut ship_pos = None;
+            let mut ready_but_ineligible = false;
+            for (pos, &(ready, id)) in stx.queue.iter().enumerate() {
+                if ready > now {
+                    continue;
+                }
+                let Some(s) = stx.shards.get(&id) else { continue };
+                if s.done {
+                    continue;
+                }
+                if s.hashes.is_empty() {
+                    free_pos.get_or_insert(pos);
+                } else if s.hashes.iter().all(|h| caps.held.contains(h)) {
+                    held_pos.get_or_insert(pos);
+                } else if caps.trace_capable() {
+                    ship_pos.get_or_insert(pos);
+                } else {
+                    ready_but_ineligible = true;
+                }
+            }
+            if let Some(pos) = held_pos.or(free_pos).or(ship_pos) {
                 let (_, id) = stx.queue.swap_remove(pos);
                 let s = stx.shards.get_mut(&id).expect("queued shard exists");
                 s.in_flight += 1;
                 s.started = Some(now);
                 let indices = s.indices.clone();
+                let hashes = s.hashes.clone();
                 stx.stats.dispatches += 1;
                 let shard_specs = indices.iter().map(|&i| specs[i].clone()).collect();
-                return Some((id, shard_specs, indices));
+                return Some((id, shard_specs, indices, hashes));
             }
-            // Otherwise speculate on a straggler.
+            // Otherwise speculate on a straggler this endpoint can run.
             if let Some(after) = self.cfg.speculate_after {
                 let candidate = stx.shards.iter_mut().find_map(|(&id, s)| {
-                    let straggling = !s.done
+                    let runnable = s.hashes.is_empty()
+                        || s.hashes.iter().all(|h| caps.held.contains(h))
+                        || caps.trace_capable();
+                    let straggling = runnable
+                        && !s.done
                         && s.in_flight == 1
                         && !s.speculated
                         && s.started.is_some_and(|t| now.duration_since(t) >= after);
                     if straggling {
                         s.in_flight += 1;
                         s.speculated = true;
-                        Some((id, s.indices.clone()))
+                        Some((id, s.indices.clone(), s.hashes.clone()))
                     } else {
                         None
                     }
                 });
-                if let Some((id, indices)) = candidate {
+                if let Some((id, indices, hashes)) = candidate {
                     stx.stats.dispatches += 1;
                     stx.stats.speculative += 1;
                     let shard_specs = indices.iter().map(|&i| specs[i].clone()).collect();
-                    return Some((id, shard_specs, indices));
+                    return Some((id, shard_specs, indices, hashes));
                 }
             }
-            // Nothing runnable: sleep until the earliest backoff expiry
-            // (or a completion wakes us).
-            let wait = st
-                .queue
-                .iter()
-                .map(|&(ready, _)| ready.saturating_duration_since(now))
-                .min()
-                .unwrap_or(Duration::from_millis(100))
-                .max(Duration::from_millis(1));
-            let (guard, _) = cv.wait_timeout(st, wait).expect("state lock");
+            // Nothing runnable *by this endpoint*: sleep until the
+            // earliest backoff expiry or a completion wakes us. Work that
+            // is ready but needs a capability we lack belongs to another
+            // endpoint — poll it gently rather than spinning.
+            let wait = if ready_but_ineligible {
+                Duration::from_millis(20)
+            } else {
+                st.queue
+                    .iter()
+                    .map(|&(ready, _)| ready.saturating_duration_since(now))
+                    .min()
+                    .unwrap_or(Duration::from_millis(100))
+                    .max(Duration::from_millis(1))
+            };
+            let (guard, _) = cv
+                .wait_timeout(st, wait)
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
         }
+    }
+
+    /// Dispatches one shard over one fresh connection: capability
+    /// handshake, trace provisioning (ship or reuse), the shard request,
+    /// then the results. Any protocol irregularity — short stream, wrong
+    /// shard id, an entry that does not verify against its spec's
+    /// canonical key — is an error (and therefore a retry), never
+    /// silently wrong data.
+    fn run_shard_on(
+        &self,
+        addr: &str,
+        shard_id: u64,
+        shard_specs: &[RunSpec],
+        hashes: &[u64],
+        caps: &mut Caps,
+        registry: &HashMap<u64, Arc<TraceSet>>,
+    ) -> Result<(Vec<PointOutcome>, ShipReport), AttemptError> {
+        let mut report = ShipReport::default();
+        let exec = |err: WireError, report: ShipReport| AttemptError {
+            phase: Phase::Execute,
+            err,
+            report,
+        };
+        let stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => return Err(exec(WireError::Io(e), report)),
+        };
+        if let Err(e) = stream.set_read_timeout(Some(self.cfg.read_timeout)) {
+            return Err(exec(WireError::Io(e), report));
+        }
+        let _ = stream.set_nodelay(true);
+        let mut writer = &stream;
+        let mut reader = &stream;
+
+        // Capability handshake: refresh what this worker can do and what
+        // it already holds (a restarted worker may have lost its store;
+        // a sibling dispatch may have shipped meanwhile).
+        if let Err(e) = write_frame(&mut writer, &Message::Hello { version: VERSION }) {
+            return Err(exec(e, report));
+        }
+        match read_control(&mut reader) {
+            Ok(Message::HelloAck { version: _, cores: _, store, trace_hashes }) => {
+                caps.probed = true;
+                caps.storeless_or_failed = !store;
+                caps.held = trace_hashes.into_iter().collect();
+            }
+            Ok(other) => {
+                return Err(exec(
+                    WireError::Malformed(format!("expected a hello-ack, got {other:?}")),
+                    report,
+                ))
+            }
+            Err(e) => return Err(exec(e, report)),
+        }
+
+        // Trace provisioning: reuse what the worker holds, ship the rest.
+        for &hash in hashes {
+            if caps.held.contains(&hash) {
+                report.reuses += 1;
+                continue;
+            }
+            match self.ship_trace(&stream, hash, caps, registry, &mut report) {
+                Ok(()) => {}
+                Err(err) => return Err(AttemptError { phase: Phase::Provision, err, report }),
+            }
+        }
+
+        let mut writer = &stream;
+        if let Err(e) = write_frame(
+            &mut writer,
+            &Message::ShardRequest { shard: shard_id, specs: shard_specs.to_vec() },
+        ) {
+            return Err(exec(e, report));
+        }
+        let mut got: Vec<Option<PointOutcome>> = vec![None; shard_specs.len()];
+        loop {
+            let msg = match read_frame(&mut reader) {
+                Ok(m) => m,
+                Err(e) => return Err(exec(e, report)),
+            };
+            match msg {
+                Message::Heartbeat => {}
+                Message::PointOk { shard, index, entry } => {
+                    let i = check_point(shard_id, shard, index, shard_specs.len())
+                        .map_err(|e| exec(e, report))?;
+                    let key = shard_specs[i].cache_key();
+                    let metrics = parse_entry(&entry, &key).ok_or_else(|| {
+                        exec(
+                            WireError::Malformed(format!(
+                                "result entry for point {index} does not verify against its spec"
+                            )),
+                            report,
+                        )
+                    })?;
+                    got[i] = Some(Ok(metrics));
+                }
+                Message::PointFailed { shard, index, error } => {
+                    let i = check_point(shard_id, shard, index, shard_specs.len())
+                        .map_err(|e| exec(e, report))?;
+                    got[i] = Some(Err(PointError {
+                        cache_key: shard_specs[i].cache_key(),
+                        message: error,
+                    }));
+                }
+                Message::ShardDone { shard, points } => {
+                    if shard != shard_id {
+                        return Err(exec(
+                            WireError::Malformed(format!(
+                                "shard-done for shard {shard}, expected {shard_id}"
+                            )),
+                            report,
+                        ));
+                    }
+                    if points as usize != shard_specs.len() || got.iter().any(Option::is_none) {
+                        return Err(exec(
+                            WireError::Malformed(format!(
+                                "short shard: worker sent {points} of {} points",
+                                shard_specs.len()
+                            )),
+                            report,
+                        ));
+                    }
+                    let results = got.into_iter().map(|o| o.expect("checked above")).collect();
+                    return Ok((results, report));
+                }
+                other => {
+                    return Err(exec(
+                        WireError::Malformed(format!(
+                            "unexpected {other:?} frame while awaiting shard results"
+                        )),
+                        report,
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Ships one trace archive to the connected worker, resuming from
+    /// whatever the worker already staged. On success the worker has
+    /// installed and hash-verified the trace.
+    fn ship_trace(
+        &self,
+        stream: &TcpStream,
+        hash: u64,
+        caps: &mut Caps,
+        registry: &HashMap<u64, Arc<TraceSet>>,
+        report: &mut ShipReport,
+    ) -> Result<(), WireError> {
+        if caps.probed && caps.storeless_or_failed {
+            return Err(WireError::Malformed(format!(
+                "shard needs trace {hash:016x} but the worker has no --trace-store"
+            )));
+        }
+        let set = registry.get(&hash).ok_or_else(|| {
+            WireError::Malformed(format!(
+                "shard needs trace {hash:016x} but the driver's registry does not hold it"
+            ))
+        })?;
+        let archive = archive_trace(set).map_err(WireError::Io)?;
+        let total = archive.len() as u64;
+        let mut writer = stream;
+        let mut reader = stream;
+        write_frame(&mut writer, &Message::TraceOffer { hash, total_len: total })?;
+        let have = read_trace_ack(&mut reader, hash)?;
+        if have > total {
+            return Err(WireError::Malformed(format!(
+                "worker claims {have} staged bytes of a {total}-byte archive"
+            )));
+        }
+        if have == total {
+            // Already installed (a sibling dispatch shipped it between
+            // our handshake and this offer).
+            caps.held.insert(hash);
+            report.reuses += 1;
+            return Ok(());
+        }
+        report.resume_bytes += have;
+        let mut off = have as usize;
+        while off < archive.len() {
+            let end = (off + self.cfg.chunk_bytes).min(archive.len());
+            let mut frame = encode_frame(&Message::TraceChunk {
+                hash,
+                offset: off as u64,
+                data: archive[off..end].to_vec(),
+            })?;
+            let chunk_no = self.chunks_sent.fetch_add(1, Ordering::SeqCst);
+            if self.cfg.fault_corrupt_chunk == Some(chunk_no) {
+                let last = frame.len() - 1;
+                frame[last] ^= 0x01;
+            }
+            writer.write_all(&frame).map_err(WireError::from)?;
+            off = end;
+        }
+        writer.flush().map_err(WireError::from)?;
+        let have = read_trace_ack(&mut reader, hash)?;
+        if have != total {
+            return Err(WireError::Malformed(format!(
+                "worker acked {have} of {total} archive bytes after the final chunk"
+            )));
+        }
+        caps.held.insert(hash);
+        report.ships += 1;
+        Ok(())
     }
 }
 
@@ -437,14 +883,107 @@ impl CampaignExecutor for ShardedDriver {
     }
 }
 
-/// One shard: consecutive pending points of the spec sequence.
+/// Reads frames until a non-heartbeat arrives.
+fn read_control<R: io::Read>(reader: &mut R) -> Result<Message, WireError> {
+    loop {
+        match read_frame(reader)? {
+            Message::Heartbeat => {}
+            m => return Ok(m),
+        }
+    }
+}
+
+/// Reads the next control frame, requiring a [`Message::TraceAck`] for
+/// `hash`; returns its `have` byte count.
+fn read_trace_ack<R: io::Read>(reader: &mut R, hash: u64) -> Result<u64, WireError> {
+    match read_control(reader)? {
+        Message::TraceAck { hash: h, have } if h == hash => Ok(have),
+        other => Err(WireError::Malformed(format!(
+            "expected a trace ack for {hash:016x}, got {other:?}"
+        ))),
+    }
+}
+
+/// A claimed shard: its id, the specs to run, their global spec
+/// indices, and the trace content hashes those specs replay.
+type ClaimedShard = (u64, Vec<RunSpec>, Vec<usize>, Vec<u64>);
+
+/// What this endpoint knows about its worker, refreshed by every
+/// connection's capability handshake. Before the first handshake the
+/// endpoint is optimistically assumed trace-capable — the first trace
+/// shard it claims settles the question.
+#[derive(Debug, Default)]
+struct Caps {
+    /// A handshake has completed at least once.
+    probed: bool,
+    /// The worker advertised no trace store, or provisioning failed
+    /// `endpoint_failure_limit` consecutive times.
+    storeless_or_failed: bool,
+    /// Trace hashes the worker held at the last handshake, plus those
+    /// shipped since.
+    held: HashSet<u64>,
+    /// Consecutive trace-provisioning failures.
+    trace_failures: u32,
+    /// This endpoint already told the shared state it is not
+    /// trace-capable.
+    trace_retired: bool,
+}
+
+impl Caps {
+    /// Whether this endpoint may take shards that need a trace shipment.
+    fn trace_capable(&self) -> bool {
+        !(self.trace_retired || (self.probed && self.storeless_or_failed))
+    }
+}
+
+/// Which stage of a shard attempt failed — trace provisioning failures
+/// degrade only the endpoint's trace capability; execution failures
+/// count toward full endpoint retirement.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Provision,
+    Execute,
+}
+
+/// Trace-shipping work done during one shard attempt, folded into
+/// [`DriverStats`] whether the attempt succeeds or fails (resumed bytes
+/// stay resumed even if the shard later fails).
+#[derive(Debug, Clone, Copy, Default)]
+struct ShipReport {
+    ships: u64,
+    reuses: u64,
+    resume_bytes: u64,
+}
+
+impl DriverStats {
+    fn absorb(&mut self, r: &ShipReport) {
+        self.trace_ships += r.ships;
+        self.trace_reuses += r.reuses;
+        self.trace_resume_bytes += r.resume_bytes;
+    }
+}
+
+/// One failed shard attempt: the error, the phase it failed in, and the
+/// shipping work that still counted.
+#[derive(Debug)]
+struct AttemptError {
+    phase: Phase,
+    err: WireError,
+    report: ShipReport,
+}
+
+/// One shard: consecutive pending points of the spec sequence, plus the
+/// trace content hashes its points replay (the placement key).
 struct Shard {
     id: u64,
     indices: Vec<usize>,
+    hashes: Vec<u64>,
 }
 
 struct ShardState {
     indices: Vec<usize>,
+    /// Trace content hashes this shard's points need on the worker.
+    hashes: Vec<u64>,
     /// Failed attempts so far.
     attempts: u32,
     /// Concurrent dispatches (2 while a speculative twin runs).
@@ -464,6 +1003,9 @@ struct State {
     /// Shards not yet done.
     remaining: usize,
     active_endpoints: usize,
+    /// Endpoints still believed able to take trace-bearing shards. At
+    /// zero, pending trace shards degrade (synthetic shards continue).
+    trace_capable_endpoints: usize,
     journal: Option<Journal>,
     stats: DriverStats,
 }
@@ -539,29 +1081,62 @@ impl State {
         }
     }
 
-    /// An endpoint gave up. If it was the last one, drain every
+    /// An endpoint gave up entirely. If it was the last one, drain every
     /// unfinished shard into explicit point errors — with no workers
     /// left, waiting would hang the campaign forever.
-    fn retire_endpoint(&mut self, specs: &[RunSpec]) {
+    fn retire_endpoint(&mut self, specs: &[RunSpec], was_trace_capable: bool) {
         self.active_endpoints = self.active_endpoints.saturating_sub(1);
-        if self.active_endpoints > 0 || self.remaining == 0 {
+        if self.active_endpoints == 0 {
+            self.degrade_pending(specs, |_| true, "no live worker endpoints remain");
             return;
         }
-        let undone: Vec<u64> = self
+        if was_trace_capable {
+            self.drop_trace_capability(specs);
+        }
+    }
+
+    /// An endpoint lost its trace capability. When none remains, pending
+    /// trace-bearing shards degrade while synthetic shards continue.
+    fn drop_trace_capability(&mut self, specs: &[RunSpec]) {
+        self.trace_capable_endpoints = self.trace_capable_endpoints.saturating_sub(1);
+        if self.trace_capable_endpoints == 0 {
+            self.degrade_pending(
+                specs,
+                |s| !s.hashes.is_empty(),
+                "no trace-capable worker endpoints remain (trace provisioning failed \
+                 on every endpoint)",
+            );
+        }
+    }
+
+    /// Degrades every unfinished shard matching `which` (skipping shards
+    /// with a dispatch still in flight — their attempt may yet deliver;
+    /// if it fails instead, `fail_attempt` retries or exhausts as usual).
+    fn degrade_pending(
+        &mut self,
+        specs: &[RunSpec],
+        which: impl Fn(&ShardState) -> bool,
+        why: &str,
+    ) {
+        if self.remaining == 0 {
+            return;
+        }
+        let doomed: Vec<u64> = self
             .shards
             .iter()
-            .filter(|(_, s)| !s.done)
+            .filter(|(_, s)| !s.done && s.in_flight == 0 && which(s))
             .map(|(&id, _)| id)
             .collect();
-        for id in undone {
+        for id in doomed {
             let s = self.shards.get_mut(&id).expect("shard exists");
             s.done = true;
             let indices = s.indices.clone();
             self.remaining -= 1;
+            self.queue.retain(|&(_, qid)| qid != id);
             for gi in indices {
                 self.outcomes[gi] = Some(Err(PointError {
                     cache_key: specs[gi].cache_key(),
-                    message: "no live worker endpoints remain".to_string(),
+                    message: why.to_string(),
                 }));
             }
         }
@@ -585,72 +1160,6 @@ fn backoff_delay(cfg: &DriverConfig, shard: u64, attempt: u32) -> Duration {
     exp.mul_f64(0.5 + 0.5 * rng.next_f64())
 }
 
-/// Dispatches one shard over one fresh connection and collects its
-/// results. Any protocol irregularity — short stream, wrong shard id,
-/// an entry that does not verify against its spec's canonical key — is
-/// an error (and therefore a retry), never silently wrong data.
-fn run_shard_on(
-    addr: &str,
-    shard_id: u64,
-    shard_specs: &[RunSpec],
-    read_timeout: Duration,
-) -> Result<Vec<PointOutcome>, WireError> {
-    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-    stream.set_read_timeout(Some(read_timeout)).map_err(WireError::Io)?;
-    let _ = stream.set_nodelay(true);
-    let mut writer = &stream;
-    write_frame(
-        &mut writer,
-        &Message::ShardRequest {
-            shard: shard_id,
-            specs: shard_specs.to_vec(),
-        },
-    )?;
-    let mut reader = &stream;
-    let mut got: Vec<Option<PointOutcome>> = vec![None; shard_specs.len()];
-    loop {
-        match read_frame(&mut reader)? {
-            Message::Heartbeat => {}
-            Message::PointOk { shard, index, entry } => {
-                let i = check_point(shard_id, shard, index, shard_specs.len())?;
-                let key = shard_specs[i].cache_key();
-                let metrics = parse_entry(&entry, &key).ok_or_else(|| {
-                    WireError::Malformed(format!(
-                        "result entry for point {index} does not verify against its spec"
-                    ))
-                })?;
-                got[i] = Some(Ok(metrics));
-            }
-            Message::PointFailed { shard, index, error } => {
-                let i = check_point(shard_id, shard, index, shard_specs.len())?;
-                got[i] = Some(Err(PointError {
-                    cache_key: shard_specs[i].cache_key(),
-                    message: error,
-                }));
-            }
-            Message::ShardDone { shard, points } => {
-                if shard != shard_id {
-                    return Err(WireError::Malformed(format!(
-                        "shard-done for shard {shard}, expected {shard_id}"
-                    )));
-                }
-                if points as usize != shard_specs.len() || got.iter().any(Option::is_none) {
-                    return Err(WireError::Malformed(format!(
-                        "short shard: worker sent {points} of {} points",
-                        shard_specs.len()
-                    )));
-                }
-                return Ok(got.into_iter().map(|o| o.expect("checked above")).collect());
-            }
-            Message::ShardRequest { .. } => {
-                return Err(WireError::Malformed(
-                    "worker sent a shard request to the driver".into(),
-                ))
-            }
-        }
-    }
-}
-
 fn check_point(expected: u64, shard: u64, index: u32, len: usize) -> Result<usize, WireError> {
     if shard != expected {
         return Err(WireError::Malformed(format!(
@@ -667,29 +1176,56 @@ fn check_point(expected: u64, shard: u64, index: u32, len: usize) -> Result<usiz
 }
 
 /// Spawns a worker process with `--listen 127.0.0.1:0` and reads its
-/// `listening <addr>` banner.
+/// `listening <addr>` banner. Every failure is a typed [`DriverError`]
+/// naming the binary and carrying the worker's captured stderr — never a
+/// panic, so a bad `--worker-bin` degrades points instead of aborting
+/// the campaign.
 fn spawn_worker(
     program: &std::path::Path,
     args: &[String],
-) -> std::io::Result<(String, Child)> {
+) -> Result<(String, Child), DriverError> {
     let mut child = Command::new(program)
         .args(args)
         .args(["--listen", "127.0.0.1:0"])
         .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
-        .spawn()?;
-    let stdout = child.stdout.take().expect("stdout is piped");
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|error| DriverError::WorkerSpawn { program: program.to_path_buf(), error })?;
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(DriverError::WorkerBanner {
+            program: program.to_path_buf(),
+            banner: "<stdout pipe missing>".into(),
+            stderr: String::new(),
+        });
+    };
     let mut line = String::new();
-    std::io::BufReader::new(stdout).read_line(&mut line)?;
-    match line.trim().strip_prefix("listening ") {
-        Some(addr) if !addr.is_empty() => Ok((addr.to_string(), child)),
-        _ => {
-            let _ = child.kill();
-            let _ = child.wait();
-            Err(std::io::Error::other(format!(
-                "worker did not announce its address (got `{}`)",
-                line.trim()
-            )))
+    let read = std::io::BufReader::new(stdout).read_line(&mut line);
+    let banner_fail = |child: &mut Child, banner: String| {
+        let _ = child.kill();
+        let mut stderr = String::new();
+        if let Some(mut pipe) = child.stderr.take() {
+            let _ = pipe.read_to_string(&mut stderr);
         }
+        let _ = child.wait();
+        DriverError::WorkerBanner { program: program.to_path_buf(), banner, stderr }
+    };
+    if let Err(e) = read {
+        return Err(banner_fail(&mut child, format!("<banner read failed: {e}>")));
+    }
+    match line.trim().strip_prefix("listening ") {
+        Some(addr) if !addr.is_empty() => {
+            // Keep the worker's diagnostics flowing to our stderr for the
+            // rest of its life.
+            if let Some(pipe) = child.stderr.take() {
+                std::thread::spawn(move || {
+                    let mut pipe = pipe;
+                    let _ = std::io::copy(&mut pipe, &mut std::io::stderr());
+                });
+            }
+            Ok((addr.to_string(), child))
+        }
+        _ => Err(banner_fail(&mut child, line.trim().to_string())),
     }
 }

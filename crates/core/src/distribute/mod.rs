@@ -13,6 +13,11 @@
 //! * [`driver`] — the dispatching side: shard partitioning,
 //!   retry/backoff, straggler speculation, endpoint retirement, and
 //!   per-point degradation into [`crate::runner::PointError`]s,
+//! * [`store`] — the content-addressed worker trace store and the
+//!   archive format traces ship in: traces are identified by content
+//!   hash on the wire (`trace@<hash>`), shipped in digest-verified
+//!   chunks, staged crash-safely, and re-verified against their hash
+//!   before use,
 //! * [`journal`] — the crash-safe manifest that makes a driver run
 //!   resumable after a crash.
 //!
@@ -26,13 +31,16 @@
 
 pub mod driver;
 pub mod journal;
+pub mod store;
 pub mod wire;
 pub mod worker;
 
-pub use driver::{DriverConfig, DriverStats, Endpoint, ShardedDriver};
+pub use driver::{DriverConfig, DriverError, DriverStats, Endpoint, ShardedDriver};
 pub use journal::{campaign_fingerprint, Journal, JournalRecord};
+pub use store::{archive_trace, TraceStore};
 pub use wire::{
-    decode_frame, encode_frame, parse_spec, read_frame, render_spec, write_frame, Message,
-    WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+    decode_frame, decode_frame_with, encode_frame, parse_spec, parse_spec_with, read_frame,
+    read_frame_with, render_spec, write_frame, Message, TraceLookup, WireError, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, VERSION,
 };
 pub use worker::{FaultPlan, Worker};

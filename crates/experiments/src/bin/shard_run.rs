@@ -1,56 +1,80 @@
-//! `shard-run`: the Figure 7 campaign through the fault-tolerant sharded
-//! driver.
+//! `shard-run`: campaigns through the fault-tolerant sharded driver.
 //!
 //! Exercises the whole `nocout::distribute` stack end to end: partitions
-//! the fig7 grid into shards, dispatches them to `nocout-worker`
-//! endpoints (spawned locally with `--workers N`, or already running and
-//! reached with `--connect ADDR`), retries failed shards with seeded
-//! backoff, optionally speculates on stragglers and journals completed
-//! points for `--resume` after a driver crash. The merged frame renders
-//! through the same shared table as `fig7`, so `out/fig7_sharded.csv` is
-//! byte-identical to `out/fig7.csv` — the CI sharded-execution gate
-//! `cmp`s them.
+//! a campaign grid (the Figure 7 grid by default, a captured-trace
+//! replay grid with `--trace DIR`) into shards, dispatches them to
+//! `nocout-worker` endpoints (spawned locally with `--workers N`, or
+//! already running and reached with `--connect ADDR`), retries failed
+//! shards with seeded backoff, optionally speculates on stragglers and
+//! journals completed points for `--resume` after a driver crash. The
+//! merged frame renders through the same shared table as the local path
+//! (`fig7`, or `--local`), so the sharded CSV is byte-identical to the
+//! local one — the CI sharded-execution and trace-shipping gates `cmp`
+//! them.
 //!
-//! The `--fault-*` flags are forwarded to the *first* spawned worker, so
-//! one chaos invocation can prove a worker crash mid-shard is survived.
+//! Trace campaigns ship their traces by content hash: spawned workers
+//! get per-worker content-addressed stores under `--worker-store DIR`
+//! (`DIR/w0`, `DIR/w1`, ...), the driver ships archives in
+//! `--chunk-bytes` chunks and reuses whatever a worker already holds.
+//!
+//! The `--fault-*` flags are forwarded to the *first* spawned worker
+//! (`--fault-corrupt-chunk` arms the driver itself), so one chaos
+//! invocation can prove a worker crash mid-shard — or mid-trace-transfer
+//! — is survived.
 
 use nocout::distribute::{DriverConfig, Endpoint, ShardedDriver};
 use nocout_experiments::cli::{Cli, FaultArgs};
-use nocout_experiments::figures::{fig7_campaign, fig7_table};
+use nocout_experiments::figures::{fig7_campaign, fig7_table, trace_campaign, trace_table};
 use nocout_experiments::report_csv;
+use nocout_workloads::trace::TraceSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
-const ABOUT: &str = "Runs the Figure 7 campaign through the fault-tolerant \
-sharded driver: the 18-point grid is partitioned into shards, dispatched \
-to nocout-worker endpoints (spawned locally with --workers, or reached \
-with --connect), retried with seeded exponential backoff on failure, and \
-optionally journaled (--journal, --resume) so a crashed driver restarts \
-where it stopped. Successful merged results are byte-identical to fig7's; \
-writes out/fig7_sharded.csv (override with --out). --fault-* flags are \
-forwarded to the first spawned worker for chaos testing.";
+const ABOUT: &str = "Runs a campaign through the fault-tolerant sharded \
+driver: the grid (Figure 7 by default; a trace-replay grid with --trace \
+DIR) is partitioned into shards, dispatched to nocout-worker endpoints \
+(spawned locally with --workers, or reached with --connect), retried with \
+seeded exponential backoff on failure, and optionally journaled \
+(--journal, --resume) so a crashed driver restarts where it stopped. \
+Trace workloads travel by content hash: workers advertise their stores in \
+the capability handshake and the driver ships missing archives in \
+--chunk-bytes chunks (give spawned workers stores with --worker-store \
+DIR). Successful merged results are byte-identical to the local path's \
+(run it with --local); writes out/fig7_sharded.csv or \
+out/trace_sharded.csv (override with --out). --fault-* flags are \
+forwarded to the first spawned worker; --fault-corrupt-chunk corrupts the \
+N-th trace chunk the driver itself sends.";
 
 fn main() {
     let mut cli = Cli::parse(
         "shard-run",
         ABOUT,
         &format!(
-            "[--workers N] [--worker-bin PATH] [--connect ADDR]... \
-             [--shard-points N] [--attempts N] [--timeout-ms N] \
-             [--speculate-ms N] [--journal PATH] [--resume] [--out NAME] {}",
+            "[--trace DIR] [--local] [--workers N] [--worker-bin PATH] \
+             [--worker-store DIR] [--connect ADDR]... [--shard-points N] \
+             [--attempts N] [--timeout-ms N] [--speculate-ms N] \
+             [--chunk-bytes N] [--journal PATH] [--resume] [--out NAME] \
+             [--fault-corrupt-chunk N] {}",
             FaultArgs::USAGE
         ),
     );
     let mut workers: usize = 2;
     let mut worker_bin: Option<PathBuf> = None;
+    let mut worker_store: Option<PathBuf> = None;
     let mut connect: Vec<String> = Vec::new();
     let mut cfg = DriverConfig::default();
-    let mut out = String::from("fig7_sharded.csv");
+    let mut out: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut local = false;
     let mut faults = FaultArgs::default();
     while let Some(flag) = cli.next_flag() {
         match flag.as_str() {
+            "--trace" => trace_dir = Some(cli.value(&flag)),
+            "--local" => local = true,
             "--workers" => workers = cli.parsed(&flag),
             "--worker-bin" => worker_bin = Some(PathBuf::from(cli.value(&flag))),
+            "--worker-store" => worker_store = Some(PathBuf::from(cli.value(&flag))),
             "--connect" => connect.push(cli.value(&flag)),
             "--shard-points" => cfg.shard_points = cli.parsed(&flag),
             "--attempts" => cfg.max_attempts = cli.parsed(&flag),
@@ -58,9 +82,11 @@ fn main() {
             "--speculate-ms" => {
                 cfg.speculate_after = Some(Duration::from_millis(cli.parsed(&flag)));
             }
+            "--chunk-bytes" => cfg.chunk_bytes = cli.parsed(&flag),
+            "--fault-corrupt-chunk" => cfg.fault_corrupt_chunk = Some(cli.parsed(&flag)),
             "--journal" => cfg.journal = Some(PathBuf::from(cli.value(&flag))),
             "--resume" => cfg.resume = true,
-            "--out" => out = cli.value(&flag),
+            "--out" => out = Some(cli.value(&flag)),
             _ => {
                 if !faults.accept(&flag, &mut cli) {
                     cli.unknown(&flag);
@@ -68,52 +94,84 @@ fn main() {
             }
         }
     }
-    if workers == 0 && connect.is_empty() {
+    let trace_set: Option<Arc<TraceSet>> = trace_dir.map(|dir| {
+        TraceSet::load(&dir)
+            .unwrap_or_else(|e| cli.fail(&format!("cannot load trace `{dir}`: {e}")))
+    });
+    let out = out.unwrap_or_else(|| {
+        match (&trace_set, local) {
+            (Some(_), true) => "trace_local.csv",
+            (Some(_), false) => "trace_sharded.csv",
+            (None, _) => "fig7_sharded.csv",
+        }
+        .to_string()
+    });
+    if !local && workers == 0 && connect.is_empty() {
         cli.fail("need --workers N > 0 or at least one --connect ADDR");
     }
-    if workers == 0 && faults.plan().is_armed() {
+    if !local && workers == 0 && faults.plan().is_armed() {
         eprintln!(
             "shard-run: warning: --fault-* flags only reach workers this \
              driver spawns; --connect endpoints are unaffected"
         );
     }
 
-    // The local runner is never simulated on — it carries the --jobs /
-    // --cache settings every spawned worker inherits.
+    // The local runner either executes the campaign itself (--local) or
+    // just carries the --jobs / --cache settings every spawned worker
+    // inherits.
     let runner = cli.runner();
-    let mut endpoints: Vec<Endpoint> = connect.into_iter().map(Endpoint::Tcp).collect();
-    let program = worker_bin.unwrap_or_else(default_worker_bin);
-    let mut base_args = vec!["--jobs".to_string(), runner.jobs().to_string()];
-    if let Some(cache) = runner.cache() {
-        base_args.push("--cache".into());
-        base_args.push(cache.dir().display().to_string());
-    }
-    for i in 0..workers {
-        let mut args = base_args.clone();
-        if i == 0 {
-            args.extend(faults.to_args());
-        }
-        endpoints.push(Endpoint::Process {
-            program: program.clone(),
-            args,
-        });
-    }
-    cli.finish();
+    let campaign = match &trace_set {
+        Some(set) => trace_campaign(set.clone()),
+        None => fig7_campaign(),
+    };
 
-    let driver = ShardedDriver::new(endpoints, cfg);
-    let frame = fig7_campaign().run_on(&driver);
-    let stats = driver.stats();
-    eprintln!(
-        "shard-run: {} shards, {} dispatches ({} retries, {} speculative), \
-         {} failed attempts, {} points resumed from journal, {} failed points",
-        stats.shards,
-        stats.dispatches,
-        stats.retries,
-        stats.speculative,
-        stats.failed_attempts,
-        stats.journal_resumed,
-        stats.failed_points,
-    );
+    let frame = if local {
+        cli.finish();
+        campaign.run(&runner)
+    } else {
+        let mut endpoints: Vec<Endpoint> = connect.into_iter().map(Endpoint::Tcp).collect();
+        let program = worker_bin.unwrap_or_else(default_worker_bin);
+        let mut base_args = vec!["--jobs".to_string(), runner.jobs().to_string()];
+        if let Some(cache) = runner.cache() {
+            base_args.push("--cache".into());
+            base_args.push(cache.dir().display().to_string());
+        }
+        for i in 0..workers {
+            let mut args = base_args.clone();
+            if let Some(store) = &worker_store {
+                args.push("--trace-store".into());
+                args.push(store.join(format!("w{i}")).display().to_string());
+            }
+            if i == 0 {
+                args.extend(faults.to_args());
+            }
+            endpoints.push(Endpoint::Process {
+                program: program.clone(),
+                args,
+            });
+        }
+        cli.finish();
+
+        let driver = ShardedDriver::new(endpoints, cfg);
+        let frame = campaign.run_on(&driver);
+        let stats = driver.stats();
+        eprintln!(
+            "shard-run: {} shards, {} dispatches ({} retries, {} speculative), \
+             {} failed attempts, {} points resumed from journal, {} failed points, \
+             {} traces shipped, {} trace reuses, {} trace bytes resumed",
+            stats.shards,
+            stats.dispatches,
+            stats.retries,
+            stats.speculative,
+            stats.failed_attempts,
+            stats.journal_resumed,
+            stats.failed_points,
+            stats.trace_ships,
+            stats.trace_reuses,
+            stats.trace_resume_bytes,
+        );
+        frame
+    };
     if !frame.is_complete() {
         for f in frame.failed() {
             eprintln!("shard-run: failed point: {f}");
@@ -126,7 +184,10 @@ fn main() {
         );
         std::process::exit(1);
     }
-    let table = fig7_table(&frame);
+    let table = match &trace_set {
+        Some(set) => trace_table(&frame, set),
+        None => fig7_table(&frame),
+    };
     table.print();
     report_csv(&out, &table.csv_records());
 }

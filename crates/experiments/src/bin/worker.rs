@@ -12,7 +12,7 @@
 //! chaos CI gate and the integration tests drive; see
 //! `docs/distributed-campaigns.md`.
 
-use nocout::distribute::Worker;
+use nocout::distribute::{TraceStore, Worker};
 use nocout_experiments::cli::{Cli, FaultArgs};
 use std::io::Write as _;
 use std::net::TcpListener;
@@ -22,27 +22,33 @@ const ABOUT: &str = "Serves nocout shard requests: accepts length-prefixed, \
 digest-checked shard frames over TCP (--listen ADDR, announcing `listening \
 <addr>` on stdout once bound) or stdin/stdout (--stdio), runs each spec on \
 a local simulation pool, and streams back bit-exact metric records with \
-heartbeats during long points. The --fault-* flags make the worker \
-misbehave deterministically, for chaos tests.";
+heartbeats during long points. --trace-store DIR attaches a \
+content-addressed trace store: the worker advertises its held trace hashes \
+in the capability handshake, accepts driver-shipped trace archives \
+(resumable, hash-verified, installed atomically), and replays trace@HASH \
+workloads from the store. The --fault-* flags make the worker misbehave \
+deterministically, for chaos tests.";
 
 fn main() {
     let mut cli = Cli::parse(
         "nocout-worker",
         ABOUT,
         &format!(
-            "(--listen ADDR | --stdio) [--heartbeat-ms N] {}",
+            "(--listen ADDR | --stdio) [--trace-store DIR] [--heartbeat-ms N] {}",
             FaultArgs::USAGE
         ),
     );
     let mut listen: Option<String> = None;
     let mut stdio = false;
     let mut heartbeat_ms: u64 = 200;
+    let mut trace_store: Option<String> = None;
     let mut faults = FaultArgs::default();
     while let Some(flag) = cli.next_flag() {
         match flag.as_str() {
             "--listen" => listen = Some(cli.value(&flag)),
             "--stdio" => stdio = true,
             "--heartbeat-ms" => heartbeat_ms = cli.parsed(&flag),
+            "--trace-store" => trace_store = Some(cli.value(&flag)),
             _ => {
                 if !faults.accept(&flag, &mut cli) {
                     cli.unknown(&flag);
@@ -57,9 +63,15 @@ fn main() {
         cli.fail("--heartbeat-ms must be positive");
     }
     let runner = cli.runner();
-    let worker = Worker::new(runner)
+    let mut worker = Worker::new(runner)
         .with_heartbeat(Duration::from_millis(heartbeat_ms))
         .with_faults(faults.plan());
+    if let Some(dir) = trace_store {
+        match TraceStore::open(&dir) {
+            Ok(store) => worker = worker.with_trace_store(store),
+            Err(e) => cli.fail(&format!("cannot open trace store `{dir}`: {e}")),
+        }
+    }
 
     if stdio {
         cli.finish();

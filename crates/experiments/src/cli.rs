@@ -217,12 +217,16 @@ pub struct FaultArgs {
     pub corrupt_frame: Option<u64>,
     /// `--fault-panic-point K`: panic while executing the K-th point.
     pub panic_point: Option<u64>,
+    /// `--fault-drop-after-chunks N`: drop the connection after durably
+    /// staging the N-th received trace chunk (models a worker crash
+    /// mid-transfer; the staged partial survives for the resumed ship).
+    pub drop_after_chunks: Option<u64>,
 }
 
 impl FaultArgs {
     /// The usage fragment for binaries accepting these flags.
     pub const USAGE: &'static str = "[--fault-drop-after N] [--fault-delay-ms N] \
-[--fault-corrupt-frame N] [--fault-panic-point K]";
+[--fault-corrupt-frame N] [--fault-panic-point K] [--fault-drop-after-chunks N]";
 
     /// Consumes `flag` (and its value from `cli`) if it is a fault flag;
     /// returns whether it was.
@@ -232,6 +236,7 @@ impl FaultArgs {
             "--fault-delay-ms" => self.delay_ms = Some(cli.parsed(flag)),
             "--fault-corrupt-frame" => self.corrupt_frame = Some(cli.parsed(flag)),
             "--fault-panic-point" => self.panic_point = Some(cli.parsed(flag)),
+            "--fault-drop-after-chunks" => self.drop_after_chunks = Some(cli.parsed(flag)),
             _ => return false,
         }
         true
@@ -244,6 +249,7 @@ impl FaultArgs {
             delay: self.delay_ms.map(std::time::Duration::from_millis),
             corrupt_frame: self.corrupt_frame,
             panic_on_point: self.panic_point,
+            drop_after_chunks: self.drop_after_chunks,
         }
     }
 
@@ -260,6 +266,7 @@ impl FaultArgs {
         push("--fault-delay-ms", self.delay_ms);
         push("--fault-corrupt-frame", self.corrupt_frame);
         push("--fault-panic-point", self.panic_point);
+        push("--fault-drop-after-chunks", self.drop_after_chunks);
         args
     }
 }

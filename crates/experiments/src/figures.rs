@@ -11,6 +11,9 @@ use crate::report::campaign;
 use crate::table::Table;
 use nocout::campaign::ResultFrame;
 use nocout::prelude::*;
+use nocout_workloads::trace::TraceSet;
+use nocout_workloads::WorkloadClass;
+use std::sync::Arc;
 
 /// Paper Figure 7 speedups for the flattened butterfly, per workload in
 /// [`Workload::ALL`] order.
@@ -67,6 +70,48 @@ pub fn fig7_table(frame: &ResultFrame) -> Table {
         format!("{:.3}", norm.geomean(Organization::NocOut)),
         "1.17".into(),
         "1.17".into(),
+    ]);
+    table
+}
+
+/// A captured-trace replay campaign over the 3 evaluated organizations:
+/// one trace workload, standard window (trace replay is
+/// seed-insensitive, so the seed axis collapses to 3 points). Both the
+/// local and the sharded trace execution paths build their grid here —
+/// the trace-shipping CI gate `cmp`s their CSVs.
+pub fn trace_campaign(set: Arc<TraceSet>) -> Campaign {
+    campaign()
+        .orgs(Organization::EVALUATED)
+        .workloads([WorkloadClass::Trace(set)])
+}
+
+/// Renders a [`trace_campaign`] result frame, normalized to the mesh.
+/// One rendering function for every execution path, like [`fig7_table`]:
+/// a local run and a sharded run of the same trace cannot drift.
+///
+/// # Panics
+///
+/// Panics (naming the point and its failure) if the frame is missing a
+/// grid point.
+pub fn trace_table(frame: &ResultFrame, set: &Arc<TraceSet>) -> Table {
+    let norm = frame.normalize_to(Organization::Mesh);
+    let mut table = Table::new(
+        "Trace replay — performance normalized to mesh",
+        vec![
+            "Trace".into(),
+            "Mesh".into(),
+            "FBfly".into(),
+            "NOC-Out".into(),
+        ],
+    );
+    table.row(vec![
+        format!("{:016x}", set.content_hash()),
+        "1.000".into(),
+        format!(
+            "{:.3}",
+            norm.get(Organization::FlattenedButterfly, set.clone())
+        ),
+        format!("{:.3}", norm.get(Organization::NocOut, set.clone())),
     ]);
     table
 }

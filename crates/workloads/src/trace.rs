@@ -540,6 +540,15 @@ impl TraceSet {
         TraceSource::open(&self.files[slot])
     }
 
+    /// The stream files, in file-name order — the same order the content
+    /// hash folds them in, so an archiver that walks this list and
+    /// re-hashes name + bytes reproduces [`TraceSet::content_hash`]
+    /// exactly (the identity rule trace shipping relies on; see
+    /// `docs/trace-format.md`).
+    pub fn files(&self) -> &[PathBuf] {
+        &self.files
+    }
+
     /// FNV-1a 64 over every stream file's name and bytes — the token that
     /// represents this trace in `RunSpec` cache keys, so editing any byte
     /// of any stream invalidates cached replay results.

@@ -15,12 +15,14 @@
 
 use nocout_repro::config::{ChipConfig, Organization};
 use nocout_repro::distribute::{
-    DriverConfig, Endpoint, FaultPlan, ShardedDriver, Worker,
+    archive_trace, DriverConfig, Endpoint, FaultPlan, ShardedDriver, TraceStore, Worker,
 };
 use nocout_repro::runner::{BatchRunner, PointOutcome, RunSpec};
 use nocout_repro::prelude::*;
+use nocout_workloads::trace::TraceSet;
 use std::net::TcpListener;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A small campaign: 2 organizations × 2 workloads on the fast window.
@@ -256,4 +258,265 @@ fn temp_journal(tag: &str) -> PathBuf {
         "nocout-distribute-test-{tag}-{}.journal",
         std::process::id()
     ))
+}
+
+// ---------------------------------------------------------------------
+// Content-addressed trace shipping.
+// ---------------------------------------------------------------------
+
+/// A fresh temp directory for this test (removed and recreated).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nocout-distribute-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Captures a small synthetic-workload trace into a fresh temp dir.
+fn capture_trace(tag: &str) -> (PathBuf, Arc<TraceSet>) {
+    let dir = temp_dir(&format!("{tag}-capture"));
+    let chip = ChipConfig::paper(Organization::Mesh);
+    let trace = nocout_repro::capture_synthetic_trace(chip, Workload::WebSearch, 1, &dir, 2_000)
+        .expect("capture trace");
+    (dir, trace)
+}
+
+/// A 2-point trace-replay campaign: mesh and NOC-Out replaying `set`.
+fn trace_specs(set: &Arc<TraceSet>) -> Vec<RunSpec> {
+    [Organization::Mesh, Organization::NocOut]
+        .into_iter()
+        .map(|org| RunSpec {
+            chip: ChipConfig::paper(org),
+            workload: WorkloadClass::from(set.clone()),
+            window: MeasurementWindow::new(100, 400),
+            seed: 1,
+        })
+        .collect()
+}
+
+/// Starts an in-process worker with `fault` and a content-addressed
+/// trace store rooted at `store_dir`.
+fn spawn_worker_with_store(fault: FaultPlan, store_dir: &Path) -> Endpoint {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker listener");
+    let addr = listener.local_addr().expect("listener address").to_string();
+    let store = TraceStore::open(store_dir).expect("open worker trace store");
+    std::thread::spawn(move || {
+        let worker = Worker::new(BatchRunner::new(1))
+            .with_heartbeat(Duration::from_millis(50))
+            .with_faults(fault)
+            .with_trace_store(store);
+        let _ = worker.serve_listener(&listener);
+    });
+    Endpoint::Tcp(addr)
+}
+
+/// Installs `set` into the store at `dir` the same way a driver shipment
+/// would: one staged archive, committed and hash-verified.
+fn seed_store(dir: &Path, set: &Arc<TraceSet>) {
+    let store = TraceStore::open(dir).expect("open store");
+    let archive = archive_trace(set).expect("archive trace");
+    let hash = set.content_hash();
+    store.append_chunk(hash, 0, &archive).expect("stage archive");
+    store.commit(hash, archive.len() as u64).expect("install archive");
+}
+
+#[test]
+fn trace_campaign_ships_to_empty_stores_and_matches_local() {
+    let (capture_dir, set) = capture_trace("ship");
+    let specs = trace_specs(&set);
+    let s0 = temp_dir("ship-w0");
+    let s1 = temp_dir("ship-w1");
+    let endpoints = vec![
+        spawn_worker_with_store(FaultPlan::default(), &s0),
+        spawn_worker_with_store(FaultPlan::default(), &s1),
+    ];
+    let cfg = DriverConfig {
+        shard_points: 1, // one point per shard: both workers get trace work
+        chunk_bytes: 1024,
+        ..test_config()
+    };
+    let driver = ShardedDriver::new(endpoints, cfg);
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert!(sharded.iter().all(|s| s.starts_with("ok ")), "{sharded:?}");
+    assert_eq!(
+        sharded,
+        local_baseline(&specs),
+        "trace points shipped by content hash must stay bit-identical to local"
+    );
+    let stats = driver.stats();
+    assert!(stats.trace_ships >= 1, "empty stores force a shipment: {stats:?}");
+    assert_eq!(stats.failed_points, 0, "{stats:?}");
+    for d in [capture_dir, s0, s1] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn mid_transfer_worker_crash_is_resumed_on_retry() {
+    let (capture_dir, set) = capture_trace("resume-ship");
+    let specs = trace_specs(&set);
+    let store_dir = temp_dir("resume-ship-w0");
+    // The worker drops the connection after durably staging the second
+    // chunk — a crash mid-transfer. It keeps serving (a restarted
+    // worker), so the retried ship must *resume* from the staged partial
+    // rather than restart from byte zero.
+    let endpoints = vec![spawn_worker_with_store(
+        FaultPlan {
+            drop_after_chunks: Some(2),
+            ..FaultPlan::default()
+        },
+        &store_dir,
+    )];
+    let cfg = DriverConfig {
+        chunk_bytes: 512,
+        ..test_config()
+    };
+    let driver = ShardedDriver::new(endpoints, cfg);
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert_eq!(
+        sharded,
+        local_baseline(&specs),
+        "a resumed transfer must still install a bit-identical trace"
+    );
+    let stats = driver.stats();
+    assert!(stats.failed_attempts >= 1, "the crash must be observed: {stats:?}");
+    assert!(
+        stats.trace_resume_bytes >= 1024,
+        "the retry must resume past the two staged chunks: {stats:?}"
+    );
+    assert_eq!(stats.failed_points, 0, "{stats:?}");
+    for d in [capture_dir, store_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn corrupt_store_entry_is_quarantined_and_reshipped() {
+    let (capture_dir, set) = capture_trace("quarantine");
+    let specs = trace_specs(&set);
+    let store_dir = temp_dir("quarantine-w0");
+    seed_store(&store_dir, &set);
+    // Flip one byte of an installed stream file: the store still
+    // *advertises* the entry (held() is an unverified scan), but the
+    // first load re-verifies the content hash, quarantines the entry to
+    // `.bad`, and the driver's retry ships a fresh copy.
+    let hash = set.content_hash();
+    let entry = store_dir.join(format!("{hash:016x}"));
+    let victim = std::fs::read_dir(&entry)
+        .expect("read entry dir")
+        .filter_map(Result::ok)
+        .find(|e| e.path().is_file())
+        .expect("entry holds stream files")
+        .path();
+    let mut bytes = std::fs::read(&victim).expect("read stream file");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, &bytes).expect("corrupt stream file");
+
+    let endpoints = vec![spawn_worker_with_store(FaultPlan::default(), &store_dir)];
+    let driver = ShardedDriver::new(endpoints, test_config());
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert_eq!(
+        sharded,
+        local_baseline(&specs),
+        "a quarantined entry must be re-shipped, never replayed corrupt"
+    );
+    let stats = driver.stats();
+    assert!(
+        stats.trace_ships >= 1,
+        "the re-ship after quarantine must be counted: {stats:?}"
+    );
+    assert_eq!(stats.failed_points, 0, "{stats:?}");
+    assert!(
+        store_dir.join(format!("{hash:016x}.bad")).exists(),
+        "the corrupt entry must be quarantined, not deleted"
+    );
+    for d in [capture_dir, store_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn held_traces_are_reused_without_shipping() {
+    let (capture_dir, set) = capture_trace("reuse");
+    let specs = trace_specs(&set);
+    let store_dir = temp_dir("reuse-w0");
+    seed_store(&store_dir, &set);
+    let endpoints = vec![spawn_worker_with_store(FaultPlan::default(), &store_dir)];
+    let driver = ShardedDriver::new(endpoints, test_config());
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert_eq!(sharded, local_baseline(&specs));
+    let stats = driver.stats();
+    assert_eq!(stats.trace_ships, 0, "a held trace must not be re-shipped: {stats:?}");
+    assert!(stats.trace_reuses >= 1, "the reuse must be counted: {stats:?}");
+    assert_eq!(stats.failed_points, 0, "{stats:?}");
+    for d in [capture_dir, store_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn storeless_worker_degrades_trace_points_but_still_runs_synthetic() {
+    let (capture_dir, set) = capture_trace("storeless");
+    // Two synthetic points plus two trace points, one worker with *no*
+    // trace store: the synthetic half must complete bit-identically, the
+    // trace half must degrade with a typed trace-capability error — not
+    // hang, not fail the synthetic points.
+    let mut specs = vec![
+        RunSpec::new(ChipConfig::paper(Organization::Mesh), Workload::WebSearch)
+            .fast()
+            .with_seed(1),
+        RunSpec::new(ChipConfig::paper(Organization::NocOut), Workload::WebSearch)
+            .fast()
+            .with_seed(1),
+    ];
+    specs.extend(trace_specs(&set));
+    let endpoints = vec![spawn_worker(FaultPlan::default())];
+    let cfg = DriverConfig {
+        shard_points: 2, // synthetic pair in one shard, trace pair in the other
+        ..test_config()
+    };
+    let driver = ShardedDriver::new(endpoints, cfg);
+    let outcomes = driver.execute_sharded(&specs);
+    let synthetic = canon(&outcomes[..2]);
+    assert!(synthetic.iter().all(|s| s.starts_with("ok ")), "{synthetic:?}");
+    assert_eq!(synthetic, local_baseline(&specs[..2]));
+    for o in &outcomes[2..] {
+        let e = o.as_ref().expect_err("trace points must degrade without a store");
+        assert!(
+            e.message.contains("trace"),
+            "the degradation must name the trace capability: {}",
+            e.message
+        );
+    }
+    let _ = std::fs::remove_dir_all(capture_dir);
+}
+
+#[test]
+fn mixed_store_and_storeless_workers_complete_a_trace_campaign() {
+    let (capture_dir, set) = capture_trace("mixed");
+    let specs = trace_specs(&set);
+    let store_dir = temp_dir("mixed-w1");
+    // Worker 0 has no store; worker 1 does. Whichever claims a trace
+    // shard first, every point must complete (the storeless endpoint is
+    // retired from trace-bearing shards only).
+    let endpoints = vec![
+        spawn_worker(FaultPlan::default()),
+        spawn_worker_with_store(FaultPlan::default(), &store_dir),
+    ];
+    let cfg = DriverConfig {
+        shard_points: 1,
+        chunk_bytes: 1024,
+        ..test_config()
+    };
+    let driver = ShardedDriver::new(endpoints, cfg);
+    let sharded = canon(&driver.execute_sharded(&specs));
+    assert_eq!(sharded, local_baseline(&specs));
+    assert_eq!(driver.stats().failed_points, 0, "{:?}", driver.stats());
+    for d in [capture_dir, store_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
 }
